@@ -1,0 +1,105 @@
+#ifndef SCOUT_BENCH_BENCH_UTIL_H_
+#define SCOUT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/experiment.h"
+#include "index/flat_index.h"
+#include "index/rtree.h"
+#include "prefetch/no_prefetch.h"
+#include "prefetch/scout_opt_prefetcher.h"
+#include "prefetch/scout_prefetcher.h"
+#include "prefetch/static_prefetchers.h"
+#include "prefetch/trajectory_prefetcher.h"
+#include "workload/generators.h"
+
+namespace scout::bench {
+
+/// Default number of sequences per data point. The paper uses 30-50; the
+/// scaled-down datasets keep per-sequence noise comparable, so 20 gives
+/// stable means in seconds of runtime.
+inline constexpr uint32_t kSequences = 20;
+
+/// Default experiment seed (shared so every figure sees the same
+/// workloads for a given dataset).
+inline constexpr uint64_t kSeed = 20120827;  // VLDB 2012 opening day.
+
+/// Builds the default neuron-tissue dataset (paper density, ~345k
+/// objects) and an STR R-tree over it.
+struct NeuronStack {
+  Dataset dataset;
+  std::unique_ptr<RTreeIndex> rtree;
+
+  explicit NeuronStack(uint64_t target_objects = 345000,
+                       uint64_t seed = 1) {
+    dataset =
+        GenerateNeuronTissue(NeuronConfigForObjectCount(target_objects, seed));
+    rtree = std::move(*RTreeIndex::Build(dataset.objects));
+  }
+};
+
+/// Factory for the standard prefetcher lineup. `dataset_bounds` feeds the
+/// static prefetchers.
+class PrefetcherSet {
+ public:
+  explicit PrefetcherSet(const Aabb& dataset_bounds)
+      : ewma_(0.3),
+        poly2_(2),
+        poly3_(3),
+        hilbert_(StaticConfig(dataset_bounds)),
+        layered_(StaticConfig(dataset_bounds)),
+        scout_{ScoutConfig{}} {}
+
+  EwmaPrefetcher& ewma() { return ewma_; }
+  StraightLinePrefetcher& straight() { return straight_; }
+  PolynomialPrefetcher& poly2() { return poly2_; }
+  PolynomialPrefetcher& poly3() { return poly3_; }
+  HilbertPrefetcher& hilbert() { return hilbert_; }
+  LayeredPrefetcher& layered() { return layered_; }
+  ScoutPrefetcher& scout() { return scout_; }
+
+  /// The paper's Figure 11/12/17 comparison set (without SCOUT-OPT).
+  std::vector<Prefetcher*> PaperLineup() {
+    return {&ewma_, &straight_, &hilbert_, &scout_};
+  }
+
+ private:
+  static StaticPrefetchConfig StaticConfig(const Aabb& bounds) {
+    StaticPrefetchConfig config;
+    config.dataset_bounds = bounds;
+    return config;
+  }
+
+  EwmaPrefetcher ewma_;
+  StraightLinePrefetcher straight_;
+  PolynomialPrefetcher poly2_;
+  PolynomialPrefetcher poly3_;
+  HilbertPrefetcher hilbert_;
+  LayeredPrefetcher layered_;
+  ScoutPrefetcher scout_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values, int precision = 1) {
+  std::printf("%-22s", label.c_str());
+  for (double v : values) std::printf(" %10.*f", precision, v);
+  std::printf("\n");
+}
+
+inline void PrintColumns(const std::string& corner,
+                         const std::vector<std::string>& columns) {
+  std::printf("%-22s", corner.c_str());
+  for (const std::string& c : columns) std::printf(" %10s", c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace scout::bench
+
+#endif  // SCOUT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,44 @@
+/// Reproduces Figure 14: breakdown of the per-sequence query response
+/// time into graph building, prediction (traversal) and residual I/O as
+/// dataset density grows. The paper's claims to reproduce: graph building
+/// stays around ~15% of the total and prediction below ~6%, with no
+/// relative growth as results get bigger.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace scout;
+  using namespace scout::bench;
+
+  PrintHeader(
+      "Figure 14: response time breakdown [ms per sequence] vs density");
+  std::printf("%-10s %12s %12s %12s %10s %10s\n", "objects", "graph[ms]",
+              "predict[ms]", "residual[ms]", "graph[%]", "predict[%]");
+
+  for (uint64_t objects : {38000, 114000, 189000, 265000, 341000}) {
+    NeuronStack stack(objects, /*seed=*/1);
+    ScoutPrefetcher scout{ScoutConfig{}};
+    QuerySequenceConfig qcfg;
+    qcfg.num_queries = 25;
+    qcfg.query_volume = 80000.0;
+    ExecutorConfig ecfg;
+    ecfg.cache_bytes = ScaledCacheBytes(stack.rtree->store());
+
+    const ExperimentResult r =
+        RunGuidedExperiment(stack.dataset, *stack.rtree, &scout, qcfg, ecfg,
+                            kSequences, kSeed);
+    const double per_seq = 1.0 / static_cast<double>(r.num_sequences);
+    const double graph_ms = r.total_graph_build_us * 1e-3 * per_seq;
+    const double predict_ms = r.total_prediction_us * 1e-3 * per_seq;
+    const double residual_ms = r.total_residual_us * 1e-3 * per_seq;
+    const double total = graph_ms + predict_ms + residual_ms;
+    std::printf("%-10zu %12.2f %12.2f %12.2f %10.1f %10.1f\n",
+                static_cast<size_t>(objects), graph_ms, predict_ms,
+                residual_ms, total > 0 ? 100.0 * graph_ms / total : 0.0,
+                total > 0 ? 100.0 * predict_ms / total : 0.0);
+  }
+  std::printf(
+      "\npaper shape: residual I/O dominates; graph building ~15%% and\n"
+      "prediction <=6%% of response time, flat across density.\n");
+  return 0;
+}

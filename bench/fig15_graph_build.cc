@@ -1,0 +1,93 @@
+/// Reproduces Figure 15 (and the §8.2 memory numbers): graph-building
+/// time as a function of the number of objects in the query results, for
+/// SCOUT (full construction) and SCOUT-OPT (sparse construction), plus
+/// the memory overhead of the graph relative to the result size. Paper
+/// claims to reproduce: build time is linear in the result size;
+/// SCOUT-OPT scales better than SCOUT; memory overhead ~24% (SCOUT) vs
+/// ~6% (SCOUT-OPT).
+
+#include <algorithm>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "engine/query_executor.h"
+
+using namespace scout;
+using namespace scout::bench;
+
+namespace {
+
+struct Series {
+  // Bucket: total result objects per sequence -> wall build time.
+  std::map<int, RunningStat> build_time_by_objects;
+  RunningStat memory_ratio;
+};
+
+Series Measure(const Dataset& dataset, const SpatialIndex& index,
+               Prefetcher* prefetcher) {
+  Series series;
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 25;
+  qcfg.query_volume = 80000.0;
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(index.store());
+
+  QueryExecutor executor(&index, prefetcher, ecfg);
+  Rng rng(kSeed);
+  for (uint32_t s = 0; s < 35; ++s) {
+    Rng seq_rng = rng.Fork();
+    const GuidedSequence seq = GenerateGuidedSequence(dataset, qcfg, &seq_rng);
+    if (seq.queries.empty()) continue;
+    const SequenceRunStats run = executor.RunSequence(seq.queries);
+    int64_t total_objects = 0;
+    int64_t total_wall_us = 0;
+    for (const QueryRunStats& q : run.queries) {
+      total_objects += static_cast<int64_t>(q.result_objects);
+      total_wall_us += q.wall_graph_build_us;
+      if (q.result_objects > 0 && q.graph_memory_bytes > 0) {
+        series.memory_ratio.Add(
+            static_cast<double>(q.graph_memory_bytes) /
+            static_cast<double>(q.pages_total * kPageBytes));
+      }
+    }
+    const int bucket = static_cast<int>(total_objects / 1000);
+    series.build_time_by_objects[bucket].Add(total_wall_us * 1e-3);
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  NeuronStack stack;
+  auto flat = std::move(*FlatIndex::Build(stack.dataset.objects));
+
+  ScoutPrefetcher scout{ScoutConfig{}};
+  ScoutOptPrefetcher opt{ScoutConfig{}, flat.get()};
+
+  const Series s_scout = Measure(stack.dataset, *stack.rtree, &scout);
+  const Series s_opt = Measure(stack.dataset, *flat, &opt);
+
+  PrintHeader(
+      "Figure 15: graph building wall time [ms] vs result objects per "
+      "sequence [x1000]");
+  std::printf("%-12s %12s %12s\n", "objects[k]", "scout[ms]", "opt[ms]");
+  std::map<int, std::pair<double, double>> merged;
+  for (const auto& [bucket, stat] : s_scout.build_time_by_objects) {
+    merged[bucket].first = stat.mean();
+  }
+  for (const auto& [bucket, stat] : s_opt.build_time_by_objects) {
+    merged[bucket].second = stat.mean();
+  }
+  for (const auto& [bucket, times] : merged) {
+    std::printf("%-12d %12.3f %12.3f\n", bucket, times.first, times.second);
+  }
+
+  PrintHeader("Memory overhead of the graph (fraction of result bytes)");
+  std::printf("scout     : %5.1f%%\n", 100.0 * s_scout.memory_ratio.mean());
+  std::printf("scout-opt : %5.1f%%\n", 100.0 * s_opt.memory_ratio.mean());
+  std::printf(
+      "\npaper shape: build time linear in result size; SCOUT-OPT below\n"
+      "SCOUT; memory ~24%% (SCOUT) vs ~6%% (SCOUT-OPT) of the result.\n");
+  return 0;
+}

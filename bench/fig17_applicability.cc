@@ -1,0 +1,78 @@
+/// Reproduces Figure 17: prediction accuracy on datasets from other
+/// domains — lung airway model (explicit mesh adjacency), pig arterial
+/// tree (smooth structures) and a road network (planar) — for (a) small
+/// queries (5e-7 of the dataset volume) and (b) large queries (5e-4).
+/// Paper claims to reproduce: SCOUT best on lung and roads; for the
+/// arterial tree with *small* queries, trajectory extrapolation wins
+/// (smooth arteries extrapolate well) while SCOUT still exceeds ~90% of
+/// its accuracy; with *large* queries SCOUT is best everywhere.
+
+#include "bench/bench_util.h"
+
+using namespace scout;
+using namespace scout::bench;
+
+namespace {
+
+void RunDataset(const std::string& label, const Dataset& dataset,
+                double volume_fraction, bool explicit_adjacency) {
+  auto index = std::move(*RTreeIndex::Build(dataset.objects));
+
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 25;
+  qcfg.query_volume = dataset.bounds.Volume() * volume_fraction;
+
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(index->store());
+  ecfg.prefetch_window_ratio = 1.0;
+
+  PrefetcherSet set(dataset.bounds);
+  ScoutConfig scout_cfg;
+  if (explicit_adjacency && !dataset.adjacency.empty()) {
+    scout_cfg.explicit_adjacency = &dataset.adjacency;
+  }
+  ScoutPrefetcher scout{scout_cfg};
+
+  std::vector<Prefetcher*> lineup = {&set.ewma(), &set.straight(),
+                                     &set.hilbert(), &scout};
+  std::printf("%-22s", label.c_str());
+  for (Prefetcher* p : lineup) {
+    const ExperimentResult r = RunGuidedExperiment(
+        dataset, *index, p, qcfg, ecfg, kSequences, kSeed);
+    std::printf(" %10.1f", r.hit_rate_pct);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const Dataset lung = GenerateLungAirway(AirwayGenConfig{});
+  const Dataset artery = GenerateArterialTree(VascularGenConfig{});
+  const Dataset roads = GenerateRoadNetwork(RoadGenConfig{});
+  std::printf("datasets: lung=%zu objs, artery=%zu objs, roads=%zu objs\n",
+              lung.objects.size(), artery.objects.size(),
+              roads.objects.size());
+
+  PrintHeader("Figure 17a: hit rate [%], small queries (5e-7 x volume)");
+  PrintColumns("dataset", {"ewma-0.3", "straight", "hilbert", "scout"});
+  // The paper describes small queries as 5e-7 *of* the dataset volume;
+  // our datasets are ~1000x smaller, so the same *relative* query size
+  // corresponds to a larger fraction. We scale so queries hold a
+  // comparable number of objects (~100) as in the paper.
+  RunDataset("lung-airway", lung, 3e-5, /*explicit_adjacency=*/true);
+  RunDataset("arterial-tree", artery, 3e-5, false);
+  RunDataset("road-network", roads, 2e-4, false);
+
+  PrintHeader("Figure 17b: hit rate [%], large queries (5e-4 x volume)");
+  PrintColumns("dataset", {"ewma-0.3", "straight", "hilbert", "scout"});
+  RunDataset("lung-airway", lung, 5e-4, true);
+  RunDataset("arterial-tree", artery, 5e-4, false);
+  RunDataset("road-network", roads, 1e-3, false);
+
+  std::printf(
+      "\npaper shape: (a) trajectory extrapolation can win on the smooth\n"
+      "arterial tree with small queries; SCOUT best elsewhere. (b) With\n"
+      "large queries SCOUT is best on all three datasets.\n");
+  return 0;
+}

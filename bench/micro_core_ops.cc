@@ -1,0 +1,157 @@
+/// google-benchmark microbenchmarks of the core operations underlying
+/// SCOUT: Hilbert encoding, grid hashing (DDA cell walks), approximate
+/// graph construction, R-tree / FLAT range queries and segment distance.
+
+#include <benchmark/benchmark.h>
+
+#include "geom/grid.h"
+#include "geom/hilbert.h"
+#include "graph/graph_builder.h"
+#include "graph/kmeans.h"
+#include "index/flat_index.h"
+#include "index/rtree.h"
+#include "testing_support.h"
+
+namespace scout {
+namespace {
+
+void BM_HilbertEncode3(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  uint32_t x = 12345 & ((1u << bits) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertEncode3(x, x ^ 21u, x ^ 7u, bits));
+    ++x;
+    x &= (1u << bits) - 1;
+  }
+}
+BENCHMARK(BM_HilbertEncode3)->Arg(8)->Arg(16)->Arg(21);
+
+void BM_SegmentDistance(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Segment> segments;
+  for (int i = 0; i < 1024; ++i) {
+    segments.emplace_back(
+        Vec3(rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)),
+        Vec3(rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        segments[i & 1023].DistanceSquaredTo(segments[(i + 7) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SegmentDistance);
+
+void BM_GridCellsAlongSegment(benchmark::State& state) {
+  const UniformGrid grid(Aabb(Vec3(0, 0, 0), Vec3(100, 100, 100)), 32, 32,
+                         32);
+  Rng rng(2);
+  std::vector<Segment> segments;
+  for (int i = 0; i < 256; ++i) {
+    const Vec3 a(rng.Uniform(0, 100), rng.Uniform(0, 100),
+                 rng.Uniform(0, 100));
+    Vec3 d(rng.Gaussian(0, 1), rng.Gaussian(0, 1), rng.Gaussian(0, 1));
+    segments.emplace_back(a, a + d.Normalized() * 4.0);
+  }
+  std::vector<int64_t> cells;
+  size_t i = 0;
+  for (auto _ : state) {
+    cells.clear();
+    grid.CellsAlongSegment(segments[i & 255], &cells);
+    benchmark::DoNotOptimize(cells.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_GridCellsAlongSegment);
+
+void BM_GraphGridHash(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(43, 43, 43));
+  const auto objects = benchsupport::RandomObjects(n, bounds, 3);
+  std::vector<GraphInput> inputs;
+  for (const auto& obj : objects) inputs.push_back(GraphInput{&obj, 0});
+  for (auto _ : state) {
+    SpatialGraph graph;
+    benchmark::DoNotOptimize(
+        BuildGraphGridHash(inputs, bounds, 32768, &graph));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GraphGridHash)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_GraphBruteForce(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(43, 43, 43));
+  const auto objects = benchsupport::RandomObjects(n, bounds, 3);
+  std::vector<GraphInput> inputs;
+  for (const auto& obj : objects) inputs.push_back(GraphInput{&obj, 0});
+  for (auto _ : state) {
+    SpatialGraph graph;
+    benchmark::DoNotOptimize(BuildGraphBruteForce(inputs, 1.5, &graph));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GraphBruteForce)->Arg(128)->Arg(512);
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(300, 300, 300));
+  static auto index = []() {
+    return std::move(*RTreeIndex::Build(
+        benchsupport::RandomObjects(200000, Aabb(Vec3(0, 0, 0),
+                                                 Vec3(300, 300, 300)),
+                                    4)));
+  }();
+  Rng rng(5);
+  std::vector<PageId> pages;
+  for (auto _ : state) {
+    const Region query = Region::CubeAt(
+        Vec3(rng.Uniform(30, 270), rng.Uniform(30, 270),
+             rng.Uniform(30, 270)),
+        80000.0);
+    pages.clear();
+    index->QueryPages(query, &pages);
+    benchmark::DoNotOptimize(pages.data());
+  }
+  (void)bounds;
+}
+BENCHMARK(BM_RTreeRangeQuery);
+
+void BM_FlatOrderedQuery(benchmark::State& state) {
+  static auto index = []() {
+    return std::move(*FlatIndex::Build(
+        benchsupport::RandomObjects(100000, Aabb(Vec3(0, 0, 0),
+                                                 Vec3(250, 250, 250)),
+                                    6)));
+  }();
+  Rng rng(7);
+  std::vector<PageId> pages;
+  for (auto _ : state) {
+    const Vec3 center(rng.Uniform(30, 220), rng.Uniform(30, 220),
+                      rng.Uniform(30, 220));
+    const Region query = Region::CubeAt(center, 80000.0);
+    pages.clear();
+    index->QueryPagesOrdered(query, center - Vec3(20, 0, 0), &pages);
+    benchmark::DoNotOptimize(pages.data());
+  }
+}
+BENCHMARK(BM_FlatOrderedQuery);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng data_rng(8);
+  std::vector<Vec3> points;
+  for (int i = 0; i < 200; ++i) {
+    points.emplace_back(data_rng.Uniform(0, 50), data_rng.Uniform(0, 50),
+                        data_rng.Uniform(0, 50));
+  }
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KMeans(points, 6, &rng));
+  }
+}
+BENCHMARK(BM_KMeans);
+
+}  // namespace
+}  // namespace scout
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+#ifndef SCOUT_BENCH_TESTING_SUPPORT_H_
+#define SCOUT_BENCH_TESTING_SUPPORT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/object.h"
+
+namespace scout::benchsupport {
+
+/// Uniformly scattered short cylinders for microbenchmarks.
+inline std::vector<SpatialObject> RandomObjects(size_t n, const Aabb& bounds,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SpatialObject> objects;
+  objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec3 p(rng.Uniform(bounds.min().x, bounds.max().x),
+                 rng.Uniform(bounds.min().y, bounds.max().y),
+                 rng.Uniform(bounds.min().z, bounds.max().z));
+    Vec3 dir(rng.Gaussian(0, 1), rng.Gaussian(0, 1), rng.Gaussian(0, 1));
+    dir = dir.Normalized();
+    if (dir == Vec3()) dir = Vec3(1, 0, 0);
+    SpatialObject obj;
+    obj.id = i;
+    obj.geom = Cylinder(p, p + dir * 4.0, 0.5);
+    objects.push_back(obj);
+  }
+  return objects;
+}
+
+}  // namespace scout::benchsupport
+
+#endif  // SCOUT_BENCH_TESTING_SUPPORT_H_

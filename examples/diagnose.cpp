@@ -1,0 +1,86 @@
+/// Internal diagnostic harness (not part of the documented examples):
+/// prints per-query SCOUT internals (candidate counts, exits, resets) and
+/// baseline prediction errors on one guided sequence.
+
+#include <cstdio>
+
+#include "engine/experiment.h"
+#include "index/rtree.h"
+#include "prefetch/scout_prefetcher.h"
+#include "prefetch/static_prefetchers.h"
+#include "prefetch/trajectory_prefetcher.h"
+#include "workload/generators.h"
+
+using namespace scout;
+
+int main(int argc, char** argv) {
+  double turn = argc > 1 ? atof(argv[1]) : 0.35;
+  NeuronGenConfig gen;
+  gen.turn_stddev = turn;
+  gen.seed = 7;
+  Dataset dataset = GenerateNeuronTissue(gen);
+  std::printf("turn=%.2f objects=%zu density=%.2e\n", turn,
+              dataset.objects.size(), dataset.Density());
+
+  auto index_or = RTreeIndex::Build(dataset.objects);
+  const RTreeIndex& index = **index_or;
+
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 25;
+  qcfg.query_volume = 80000.0;
+
+  Rng rng(123);
+  GuidedSequence seq = GenerateGuidedSequence(dataset, qcfg, &rng);
+  std::printf("sequence: %zu queries on structure %u\n", seq.queries.size(),
+              seq.structure);
+
+  // Straight-line prediction error per step.
+  for (size_t i = 2; i < seq.queries.size(); ++i) {
+    const Vec3 c0 = seq.queries[i - 2].Center();
+    const Vec3 c1 = seq.queries[i - 1].Center();
+    const Vec3 pred = c1 + (c1 - c0);
+    const double err = pred.DistanceTo(seq.queries[i].Center());
+    if (i < 8) std::printf("  straight err q%zu = %.1f um\n", i, err);
+  }
+
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(index.store());
+  ecfg.prefetch_window_ratio = argc > 2 ? atof(argv[2]) : 1.0;
+  std::printf("window ratio = %.2f\n", ecfg.prefetch_window_ratio);
+  ScoutPrefetcher scout{ScoutConfig{}};
+  QueryExecutor exec(&index, &scout, ecfg);
+  SequenceRunStats stats = exec.RunSequence(seq.queries);
+  std::printf("scout hit rate: %.1f%%\n", stats.CacheHitRatePct());
+  for (size_t i = 0; i < stats.queries.size(); ++i) {
+    const auto& q = stats.queries[i];
+    std::printf(
+        "  q%02zu pages=%zu hit=%zu objs=%zu verts=%zu edges=%zu cand=%zu "
+        "window=%lld obs=%lld pf=%zu\n",
+        i, q.pages_total, q.pages_hit, q.result_objects, q.graph_vertices,
+        q.graph_edges, q.num_candidates, (long long)q.window_us,
+        (long long)q.observe_us, q.prefetch_pages);
+  }
+
+  // Full comparison over 15 sequences.
+  StraightLinePrefetcher straight;
+  PolynomialPrefetcher poly2(2);
+  EwmaPrefetcher ewma(0.3);
+  StaticPrefetchConfig scfg;
+  scfg.dataset_bounds = dataset.bounds;
+  HilbertPrefetcher hilbert(scfg);
+  ScoutPrefetcher scout2{ScoutConfig{}};
+  std::printf("\n%-16s %12s %10s\n", "prefetcher", "hit-rate[%]", "speedup");
+  for (Prefetcher* p :
+       {static_cast<Prefetcher*>(&straight), static_cast<Prefetcher*>(&poly2),
+        static_cast<Prefetcher*>(&ewma), static_cast<Prefetcher*>(&hilbert),
+        static_cast<Prefetcher*>(&scout2)}) {
+    const ExperimentResult r =
+        RunGuidedExperiment(dataset, index, p, qcfg, ecfg, 15, 99);
+    std::printf("%-16s %12.1f %10.2f  seq[min=%.0f mean=%.0f max=%.0f] "
+                "resets=%zu/%zu\n",
+                r.prefetcher_name.c_str(), r.hit_rate_pct, r.speedup,
+                r.seq_hit_rate.min(), r.seq_hit_rate.mean(),
+                r.seq_hit_rate.max(), r.total_resets, r.total_queries);
+  }
+  return 0;
+}

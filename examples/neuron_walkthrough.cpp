@@ -1,0 +1,73 @@
+/// Walkthrough visualization scenario (paper §3.1 / §7.2.3): a
+/// neuroscientist flies along a neuron branch issuing view-frustum
+/// queries; SCOUT prefetches the data for the next frame while the
+/// renderer is busy. Prints a per-frame trace of cache hits, candidate
+/// pruning and prefetch activity, then the end-to-end comparison with
+/// trajectory extrapolation.
+
+#include <cstdio>
+
+#include "engine/experiment.h"
+#include "index/rtree.h"
+#include "prefetch/scout_prefetcher.h"
+#include "prefetch/trajectory_prefetcher.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace scout;
+
+  const Dataset dataset =
+      GenerateNeuronTissue(NeuronConfigForObjectCount(345000, /*seed=*/11));
+  auto index = std::move(*RTreeIndex::Build(dataset.objects));
+  std::printf("tissue model: %zu cylinders, %zu neurons\n",
+              dataset.objects.size(), dataset.structures.size());
+
+  // High-quality rendering (ray tracing): window ratio 1.6, frustum
+  // queries of 30,000 um^3, 65 frames (Figure 10, vis-high-quality).
+  QuerySequenceConfig frames;
+  frames.num_queries = 65;
+  frames.query_volume = 30000.0;
+  frames.aspect = QueryAspect::kFrustum;
+
+  ExecutorConfig executor_config;
+  executor_config.prefetch_window_ratio = 1.6;
+  executor_config.cache_bytes = ScaledCacheBytes(index->store());
+
+  // One sequence traced frame by frame.
+  Rng rng(2026);
+  const GuidedSequence flight = GenerateGuidedSequence(dataset, frames, &rng);
+  std::printf("flying along neuron %u for %zu frames\n\n", flight.structure,
+              flight.queries.size());
+
+  ScoutPrefetcher scout{ScoutConfig{}};
+  QueryExecutor executor(index.get(), &scout, executor_config);
+  const SequenceRunStats run = executor.RunSequence(flight.queries);
+
+  std::printf("%-6s %8s %8s %11s %10s %9s\n", "frame", "pages", "hits",
+              "candidates", "prefetched", "stall[ms]");
+  for (size_t f = 0; f < run.queries.size(); ++f) {
+    const QueryRunStats& q = run.queries[f];
+    std::printf("%-6zu %8zu %8zu %11zu %10zu %9.1f\n", f, q.pages_total,
+                q.pages_hit, q.num_candidates, q.prefetch_pages,
+                q.residual_io_us * 1e-3);
+    if (f == 9 && run.queries.size() > 20) {
+      std::printf("  ... (%zu more frames)\n", run.queries.size() - 15);
+      f = run.queries.size() - 6;
+    }
+  }
+  std::printf("\nflight hit rate: %.1f%%  (total stall %.0f ms)\n",
+              run.CacheHitRatePct(), run.TotalResidualUs() * 1e-3);
+
+  // Aggregate comparison against the best trajectory baseline.
+  EwmaPrefetcher ewma(0.3);
+  ScoutPrefetcher fresh_scout{ScoutConfig{}};
+  const ExperimentResult r_scout = RunGuidedExperiment(
+      dataset, *index, &fresh_scout, frames, executor_config, 10, 99);
+  const ExperimentResult r_ewma = RunGuidedExperiment(
+      dataset, *index, &ewma, frames, executor_config, 10, 99);
+  std::printf("\n10-flight comparison: scout %.1f%% / %.2fx  vs  ewma "
+              "%.1f%% / %.2fx\n",
+              r_scout.hit_rate_pct, r_scout.speedup, r_ewma.hit_rate_pct,
+              r_ewma.speedup);
+  return 0;
+}

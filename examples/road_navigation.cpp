@@ -1,0 +1,54 @@
+/// Mobile navigation scenario (paper §8.4): prefetching map data along a
+/// road-network route onto a memory-constrained device. Accuracy matters
+/// because the prefetch cache is tiny; SCOUT identifies the road being
+/// driven from the query contents and prefetches along it.
+
+#include <cstdio>
+
+#include "engine/experiment.h"
+#include "index/rtree.h"
+#include "prefetch/scout_prefetcher.h"
+#include "prefetch/static_prefetchers.h"
+#include "prefetch/trajectory_prefetcher.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace scout;
+
+  const Dataset roads = GenerateRoadNetwork(RoadGenConfig{});
+  auto index = std::move(*RTreeIndex::Build(roads.objects));
+  std::printf("road network: %zu segments, %zu roads, %.1f MB on disk\n",
+              roads.objects.size(), roads.structures.size(),
+              static_cast<double>(index->store().TotalBytes()) / (1 << 20));
+
+  QuerySequenceConfig drive;
+  drive.num_queries = 25;
+  // Map tiles around the vehicle: a small fraction of the dataset.
+  drive.query_volume = roads.bounds.Volume() * 2e-4;
+
+  // A phone-sized prefetch cache: 2% of the dataset.
+  ExecutorConfig config;
+  config.cache_bytes = ScaledCacheBytes(index->store(), 0.02);
+  config.prefetch_window_ratio = 1.0;  // Driver decision time ~ tile load.
+
+  ScoutPrefetcher scout{ScoutConfig{}};
+  StraightLinePrefetcher straight;
+  EwmaPrefetcher ewma(0.3);
+  StaticPrefetchConfig static_cfg;
+  static_cfg.dataset_bounds = roads.bounds;
+  HilbertPrefetcher hilbert(static_cfg);
+
+  std::printf("\n%-16s %12s %10s\n", "policy", "hit-rate[%]", "speedup");
+  for (Prefetcher* p :
+       {static_cast<Prefetcher*>(&scout), static_cast<Prefetcher*>(&straight),
+        static_cast<Prefetcher*>(&ewma),
+        static_cast<Prefetcher*>(&hilbert)}) {
+    const ExperimentResult r =
+        RunGuidedExperiment(roads, *index, p, drive, config, 15, 404);
+    std::printf("%-16s %12.1f %10.2f\n", r.prefetcher_name.c_str(),
+                r.hit_rate_pct, r.speedup);
+  }
+  std::printf("\nroads bend and fork; following the actual road geometry\n"
+              "beats extrapolating the vehicle's past positions.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#ifndef SCOUT_COMMON_RNG_H_
+#define SCOUT_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace scout {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// SplitMix64). All randomness in the library flows through this type so
+/// that datasets, query sequences and experiments are exactly reproducible
+/// from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5c0075c007ull) { Seed(seed); }
+
+  /// Re-seeds the generator. Two Rng instances seeded identically produce
+  /// identical streams.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBounded(uint64_t n) {
+    assert(n > 0);
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible
+    // for our n << 2^64 use cases and determinism is what matters here.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(NextUint64()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair; caches
+  /// the spare value).
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u;
+    double v;
+    double s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Forks an independent, deterministic child stream. Useful to give each
+  /// structure/sequence its own stream so changing one parameter does not
+  /// perturb unrelated random draws.
+  Rng Fork() { return Rng(NextUint64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_COMMON_RNG_H_

@@ -1,0 +1,38 @@
+#ifndef SCOUT_COMMON_SIM_CLOCK_H_
+#define SCOUT_COMMON_SIM_CLOCK_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace scout {
+
+/// Simulated time in microseconds. All engine-level accounting (disk
+/// reads, prefetch windows, prediction cost) advances a SimClock rather
+/// than reading wall-clock time, which makes every experiment exactly
+/// reproducible and independent of the host machine.
+using SimMicros = int64_t;
+
+/// A monotonically advancing simulated clock.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current simulated time in microseconds since the clock's epoch.
+  SimMicros now() const { return now_us_; }
+
+  /// Advances the clock by `delta_us` (must be >= 0).
+  void Advance(SimMicros delta_us) {
+    assert(delta_us >= 0);
+    now_us_ += delta_us;
+  }
+
+  /// Resets the clock to zero.
+  void Reset() { now_us_ = 0; }
+
+ private:
+  SimMicros now_us_ = 0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,58 @@
+#ifndef SCOUT_COMMON_STATS_H_
+#define SCOUT_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scout {
+
+/// Online accumulator for mean/min/max/stddev of a stream of samples
+/// (Welford's algorithm; numerically stable).
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  void Reset() { *this = RunningStat(); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed set of percentile summaries over a collected sample vector.
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes percentiles from samples (copies and sorts internally).
+PercentileSummary ComputePercentiles(std::vector<double> samples);
+
+/// Formats a double with fixed precision, e.g. FormatDouble(3.14159, 2)
+/// == "3.14". Small helper for table-printing benches.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace scout
+
+#endif  // SCOUT_COMMON_STATS_H_

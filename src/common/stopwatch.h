@@ -1,0 +1,38 @@
+#ifndef SCOUT_COMMON_STOPWATCH_H_
+#define SCOUT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace scout {
+
+/// Wall-clock stopwatch for measuring real CPU-side costs (graph building,
+/// traversal) reported alongside simulated-time results. Not used for any
+/// decision-making inside the engine, only for reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds (double precision).
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_COMMON_STOPWATCH_H_

@@ -1,0 +1,90 @@
+#include "engine/experiment.h"
+
+#include <algorithm>
+
+#include "prefetch/no_prefetch.h"
+
+namespace scout {
+
+uint64_t ScaledCacheBytes(const PageStore& store, double fraction) {
+  const uint64_t scaled =
+      static_cast<uint64_t>(static_cast<double>(store.TotalBytes()) *
+                            fraction);
+  return std::max<uint64_t>(scaled, 64 * kPageBytes);
+}
+
+QuerySequenceConfig QueryConfigFor(const MicrobenchSpec& spec) {
+  QuerySequenceConfig config;
+  config.num_queries = spec.queries_in_sequence;
+  config.query_volume = spec.query_volume;
+  config.aspect = spec.aspect;
+  config.gap_distance = spec.gap_distance;
+  return config;
+}
+
+ExecutorConfig ExecutorConfigFor(const MicrobenchSpec& spec,
+                                 const PageStore& store) {
+  ExecutorConfig config;
+  config.prefetch_window_ratio = spec.prefetch_window_ratio;
+  config.cache_bytes = ScaledCacheBytes(store);
+  return config;
+}
+
+ExperimentResult RunGuidedExperiment(const Dataset& dataset,
+                                     const SpatialIndex& index,
+                                     Prefetcher* prefetcher,
+                                     const QuerySequenceConfig& query_config,
+                                     const ExecutorConfig& executor_config,
+                                     uint32_t num_sequences, uint64_t seed) {
+  ExperimentResult result;
+  result.prefetcher_name = std::string(prefetcher->name());
+  result.num_sequences = num_sequences;
+
+  NoPrefetcher baseline;
+  QueryExecutor executor(&index, prefetcher, executor_config);
+  QueryExecutor baseline_executor(&index, &baseline, executor_config);
+
+  Rng rng(seed);
+  size_t total_queries = 0;
+  for (uint32_t s = 0; s < num_sequences; ++s) {
+    Rng seq_rng = rng.Fork();
+    const GuidedSequence sequence =
+        GenerateGuidedSequence(dataset, query_config, &seq_rng);
+    if (sequence.queries.empty()) continue;
+
+    const SequenceRunStats run = executor.RunSequence(sequence.queries);
+    const SequenceRunStats base =
+        baseline_executor.RunSequence(sequence.queries);
+
+    result.seq_hit_rate.Add(run.CacheHitRatePct());
+    result.total_response_us += run.TotalResponseUs();
+    result.baseline_response_us += base.TotalResponseUs();
+    result.total_residual_us += run.TotalResidualUs();
+    result.total_graph_build_us += run.TotalGraphBuildUs();
+    result.total_prediction_us += run.TotalPredictionUs();
+    result.total_pages += run.TotalPagesTotal();
+    result.total_hits += run.TotalPagesHit();
+    result.total_result_objects += run.TotalResultObjects();
+    total_queries += run.queries.size();
+    for (const QueryRunStats& q : run.queries) {
+      if (q.was_reset) ++result.total_resets;
+    }
+  }
+  result.total_queries = total_queries;
+
+  if (result.total_pages > 0) {
+    result.hit_rate_pct = 100.0 * static_cast<double>(result.total_hits) /
+                          static_cast<double>(result.total_pages);
+  }
+  if (result.total_response_us > 0) {
+    result.speedup = static_cast<double>(result.baseline_response_us) /
+                     static_cast<double>(result.total_response_us);
+  }
+  if (total_queries > 0) {
+    result.mean_pages_per_query = static_cast<double>(result.total_pages) /
+                                  static_cast<double>(total_queries);
+  }
+  return result;
+}
+
+}  // namespace scout

@@ -1,0 +1,83 @@
+#ifndef SCOUT_ENGINE_EXPERIMENT_H_
+#define SCOUT_ENGINE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/stats.h"
+#include "engine/query_executor.h"
+#include "workload/dataset.h"
+#include "workload/query_gen.h"
+
+namespace scout {
+
+/// One microbenchmark row of the paper's Figure 10.
+struct MicrobenchSpec {
+  std::string_view name;
+  uint32_t queries_in_sequence;
+  double query_volume;  ///< µm³.
+  QueryAspect aspect;
+  double gap_distance;  ///< µm.
+  double prefetch_window_ratio;
+};
+
+/// The seven microbenchmarks of Figure 10, verbatim.
+inline constexpr MicrobenchSpec kMicrobenchmarks[] = {
+    {"adhoc-stat", 25, 80000.0, QueryAspect::kCube, 0.0, 0.8},
+    {"adhoc-pattern", 25, 80000.0, QueryAspect::kCube, 0.0, 1.4},
+    {"model-building", 35, 20000.0, QueryAspect::kCube, 0.0, 2.0},
+    {"vis-low-quality", 65, 30000.0, QueryAspect::kFrustum, 0.0, 1.2},
+    {"vis-high-quality", 65, 30000.0, QueryAspect::kFrustum, 0.0, 1.6},
+    {"vis-gaps-high", 65, 30000.0, QueryAspect::kFrustum, 25.0, 1.2},
+    {"vis-gaps-low", 65, 30000.0, QueryAspect::kFrustum, 25.0, 1.6},
+};
+
+/// Indices of the no-gap microbenchmarks (Figure 11) and the gap ones
+/// (Figure 12) in kMicrobenchmarks.
+inline constexpr int kNoGapBenchCount = 5;
+inline constexpr int kGapBenchFirst = 5;
+
+/// Aggregated outcome of running one prefetcher over many sequences.
+struct ExperimentResult {
+  std::string prefetcher_name;
+  double hit_rate_pct = 0.0;       ///< Pooled over all sequences.
+  double speedup = 1.0;            ///< vs the no-prefetching baseline.
+  RunningStat seq_hit_rate;        ///< Per-sequence hit-rate spread.
+  SimMicros total_response_us = 0;
+  SimMicros baseline_response_us = 0;
+  SimMicros total_residual_us = 0;
+  SimMicros total_graph_build_us = 0;
+  SimMicros total_prediction_us = 0;
+  size_t total_pages = 0;
+  size_t total_hits = 0;
+  size_t total_result_objects = 0;
+  size_t num_sequences = 0;
+  size_t total_queries = 0;
+  size_t total_resets = 0;  ///< Candidate-set resets (SCOUT variants).
+  double mean_pages_per_query = 0.0;
+};
+
+/// Prefetch-cache capacity scaled to the dataset like the paper's
+/// 4 GB-for-33 GB setup (fraction defaults to ~12%).
+uint64_t ScaledCacheBytes(const PageStore& store, double fraction = 0.12);
+
+/// Runs `num_sequences` guided sequences (identical for a given seed and
+/// dataset, regardless of the prefetcher) through the executor, measuring
+/// hit rate and speedup vs a NoPrefetcher baseline run on the very same
+/// sequences.
+ExperimentResult RunGuidedExperiment(const Dataset& dataset,
+                                     const SpatialIndex& index,
+                                     Prefetcher* prefetcher,
+                                     const QuerySequenceConfig& query_config,
+                                     const ExecutorConfig& executor_config,
+                                     uint32_t num_sequences, uint64_t seed);
+
+/// QuerySequenceConfig + ExecutorConfig for a Figure-10 microbenchmark.
+QuerySequenceConfig QueryConfigFor(const MicrobenchSpec& spec);
+ExecutorConfig ExecutorConfigFor(const MicrobenchSpec& spec,
+                                 const PageStore& store);
+
+}  // namespace scout
+
+#endif  // SCOUT_ENGINE_EXPERIMENT_H_

@@ -1,0 +1,60 @@
+#include "engine/metrics.h"
+
+namespace scout {
+
+double SequenceRunStats::CacheHitRatePct() const {
+  const size_t total = TotalPagesTotal();
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(TotalPagesHit()) /
+         static_cast<double>(total);
+}
+
+SimMicros SequenceRunStats::TotalResponseUs() const {
+  SimMicros sum = 0;
+  for (const auto& q : queries) sum += q.response_us;
+  return sum;
+}
+
+SimMicros SequenceRunStats::TotalResidualUs() const {
+  SimMicros sum = 0;
+  for (const auto& q : queries) sum += q.residual_io_us;
+  return sum;
+}
+
+SimMicros SequenceRunStats::TotalGraphBuildUs() const {
+  SimMicros sum = 0;
+  for (const auto& q : queries) sum += q.graph_build_us;
+  return sum;
+}
+
+SimMicros SequenceRunStats::TotalPredictionUs() const {
+  SimMicros sum = 0;
+  for (const auto& q : queries) sum += q.prediction_us;
+  return sum;
+}
+
+size_t SequenceRunStats::TotalPagesTotal() const {
+  size_t sum = 0;
+  for (const auto& q : queries) sum += q.pages_total;
+  return sum;
+}
+
+size_t SequenceRunStats::TotalPagesHit() const {
+  size_t sum = 0;
+  for (const auto& q : queries) sum += q.pages_hit;
+  return sum;
+}
+
+size_t SequenceRunStats::TotalPrefetchPages() const {
+  size_t sum = 0;
+  for (const auto& q : queries) sum += q.prefetch_pages;
+  return sum;
+}
+
+size_t SequenceRunStats::TotalResultObjects() const {
+  size_t sum = 0;
+  for (const auto& q : queries) sum += q.result_objects;
+  return sum;
+}
+
+}  // namespace scout

@@ -1,0 +1,54 @@
+#ifndef SCOUT_ENGINE_METRICS_H_
+#define SCOUT_ENGINE_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace scout {
+
+/// Per-query measurements taken by the executor.
+struct QueryRunStats {
+  size_t pages_total = 0;       ///< Result pages of the query.
+  size_t pages_hit = 0;         ///< Served from the prefetch cache.
+  size_t result_objects = 0;
+  SimMicros residual_io_us = 0; ///< Disk time for cache misses.
+  SimMicros response_us = 0;    ///< Residual I/O + carried prediction
+                                ///< overflow from the previous window.
+  SimMicros window_us = 0;      ///< Prefetch window duration.
+  SimMicros observe_us = 0;     ///< Prediction computation (simulated).
+  SimMicros graph_build_us = 0; ///< Portion of observe: graph building.
+  SimMicros prediction_us = 0;  ///< Portion of observe: traversal etc.
+  size_t prefetch_pages = 0;    ///< Pages fetched during the window.
+  size_t graph_vertices = 0;
+  size_t graph_edges = 0;
+  size_t graph_memory_bytes = 0;
+  size_t num_candidates = 0;
+  bool was_reset = false;
+  int64_t wall_graph_build_us = 0;
+  int64_t wall_prediction_us = 0;
+};
+
+/// Aggregates over one executed sequence.
+struct SequenceRunStats {
+  std::vector<QueryRunStats> queries;
+
+  /// The paper's accuracy metric: percentage of result data (pages) read
+  /// from the prefetch cache rather than from disk.
+  double CacheHitRatePct() const;
+
+  SimMicros TotalResponseUs() const;
+  SimMicros TotalResidualUs() const;
+  SimMicros TotalGraphBuildUs() const;
+  SimMicros TotalPredictionUs() const;
+  size_t TotalPagesTotal() const;
+  size_t TotalPagesHit() const;
+  size_t TotalPrefetchPages() const;
+  size_t TotalResultObjects() const;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_ENGINE_METRICS_H_

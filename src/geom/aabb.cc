@@ -1,0 +1,24 @@
+#include "geom/aabb.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scout {
+
+Aabb Aabb::CubeWithVolume(const Vec3& center, double volume) {
+  const double half = std::cbrt(volume) * 0.5;
+  return FromCenterHalfExtents(center, Vec3(half, half, half));
+}
+
+std::string Vec3::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f, %.3f)", x, y, z);
+  return std::string(buf);
+}
+
+std::string Aabb::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  return "[" + min_.ToString() + " .. " + max_.ToString() + "]";
+}
+
+}  // namespace scout

@@ -1,0 +1,142 @@
+#ifndef SCOUT_GEOM_AABB_H_
+#define SCOUT_GEOM_AABB_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geom/vec3.h"
+
+namespace scout {
+
+/// Axis-aligned bounding box. An empty box (default constructed) has
+/// min > max and behaves as the identity for Union.
+class Aabb {
+ public:
+  /// Constructs an empty box.
+  Aabb()
+      : min_(std::numeric_limits<double>::max(),
+             std::numeric_limits<double>::max(),
+             std::numeric_limits<double>::max()),
+        max_(std::numeric_limits<double>::lowest(),
+             std::numeric_limits<double>::lowest(),
+             std::numeric_limits<double>::lowest()) {}
+
+  Aabb(const Vec3& min, const Vec3& max) : min_(min), max_(max) {}
+
+  /// Box centered at `center` with half-extents `half` (all components
+  /// must be >= 0).
+  static Aabb FromCenterHalfExtents(const Vec3& center, const Vec3& half) {
+    return Aabb(center - half, center + half);
+  }
+
+  /// Cube centered at `center` with the given total volume.
+  static Aabb CubeWithVolume(const Vec3& center, double volume);
+
+  /// Smallest box containing both points.
+  static Aabb FromPoints(const Vec3& a, const Vec3& b) {
+    return Aabb(Vec3::Min(a, b), Vec3::Max(a, b));
+  }
+
+  const Vec3& min() const { return min_; }
+  const Vec3& max() const { return max_; }
+
+  bool IsEmpty() const {
+    return min_.x > max_.x || min_.y > max_.y || min_.z > max_.z;
+  }
+
+  Vec3 Center() const { return (min_ + max_) * 0.5; }
+  Vec3 Extents() const { return max_ - min_; }
+  Vec3 HalfExtents() const { return (max_ - min_) * 0.5; }
+
+  double Volume() const {
+    if (IsEmpty()) return 0.0;
+    const Vec3 e = Extents();
+    return e.x * e.y * e.z;
+  }
+
+  double SurfaceArea() const {
+    if (IsEmpty()) return 0.0;
+    const Vec3 e = Extents();
+    return 2.0 * (e.x * e.y + e.y * e.z + e.z * e.x);
+  }
+
+  bool Contains(const Vec3& p) const {
+    return p.x >= min_.x && p.x <= max_.x && p.y >= min_.y && p.y <= max_.y &&
+           p.z >= min_.z && p.z <= max_.z;
+  }
+
+  bool Contains(const Aabb& o) const {
+    return !o.IsEmpty() && Contains(o.min_) && Contains(o.max_);
+  }
+
+  bool Intersects(const Aabb& o) const {
+    if (IsEmpty() || o.IsEmpty()) return false;
+    return min_.x <= o.max_.x && max_.x >= o.min_.x && min_.y <= o.max_.y &&
+           max_.y >= o.min_.y && min_.z <= o.max_.z && max_.z >= o.min_.z;
+  }
+
+  /// Grows the box to include the point.
+  void Extend(const Vec3& p) {
+    min_ = Vec3::Min(min_, p);
+    max_ = Vec3::Max(max_, p);
+  }
+
+  /// Grows the box to include another box.
+  void Extend(const Aabb& o) {
+    if (o.IsEmpty()) return;
+    min_ = Vec3::Min(min_, o.min_);
+    max_ = Vec3::Max(max_, o.max_);
+  }
+
+  /// Box grown by `margin` on every side (margin may be negative; the
+  /// result may become empty).
+  Aabb Expanded(double margin) const {
+    const Vec3 m(margin, margin, margin);
+    return Aabb(min_ - m, max_ + m);
+  }
+
+  /// Intersection of two boxes (possibly empty).
+  Aabb Intersection(const Aabb& o) const {
+    return Aabb(Vec3::Max(min_, o.min_), Vec3::Min(max_, o.max_));
+  }
+
+  /// Union of two boxes.
+  Aabb Union(const Aabb& o) const {
+    Aabb result = *this;
+    result.Extend(o);
+    return result;
+  }
+
+  /// Translated copy.
+  Aabb Translated(const Vec3& d) const { return Aabb(min_ + d, max_ + d); }
+
+  /// Closest point inside the box to `p` (p itself if contained).
+  Vec3 ClosestPoint(const Vec3& p) const {
+    return Vec3(std::clamp(p.x, min_.x, max_.x),
+                std::clamp(p.y, min_.y, max_.y),
+                std::clamp(p.z, min_.z, max_.z));
+  }
+
+  /// Squared distance from `p` to the box (0 if inside).
+  double DistanceSquaredTo(const Vec3& p) const {
+    return ClosestPoint(p).DistanceSquaredTo(p);
+  }
+  double DistanceTo(const Vec3& p) const {
+    return std::sqrt(DistanceSquaredTo(p));
+  }
+
+  bool operator==(const Aabb& o) const {
+    return min_ == o.min_ && max_ == o.max_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Vec3 min_;
+  Vec3 max_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_GEOM_AABB_H_

@@ -1,0 +1,13 @@
+#include "geom/cylinder.h"
+
+#include <numbers>
+
+namespace scout {
+
+double Cylinder::Volume() const {
+  // Truncated cone: V = pi/3 * h * (r0^2 + r0*r1 + r1^2).
+  const double h = Length();
+  return std::numbers::pi / 3.0 * h * (r0_ * r0_ + r0_ * r1_ + r1_ * r1_);
+}
+
+}  // namespace scout

@@ -1,0 +1,67 @@
+#ifndef SCOUT_GEOM_CYLINDER_H_
+#define SCOUT_GEOM_CYLINDER_H_
+
+#include "geom/aabb.h"
+#include "geom/segment.h"
+#include "geom/vec3.h"
+
+namespace scout {
+
+/// A (truncated-cone) cylinder: two endpoints with a radius at each, as in
+/// the Blue Brain neuron models ("each cylinder is described by two end
+/// points and a radius for each endpoint", paper §7.1). Treated as a
+/// capsule for conservative geometric tests.
+class Cylinder {
+ public:
+  Cylinder() = default;
+  Cylinder(const Vec3& p0, const Vec3& p1, double r0, double r1)
+      : axis_(p0, p1), r0_(r0), r1_(r1) {}
+
+  /// Uniform-radius convenience constructor.
+  Cylinder(const Vec3& p0, const Vec3& p1, double r)
+      : Cylinder(p0, p1, r, r) {}
+
+  const Segment& axis() const { return axis_; }
+  const Vec3& p0() const { return axis_.a; }
+  const Vec3& p1() const { return axis_.b; }
+  double r0() const { return r0_; }
+  double r1() const { return r1_; }
+  double max_radius() const { return r0_ > r1_ ? r0_ : r1_; }
+
+  Vec3 Centroid() const { return axis_.Midpoint(); }
+  double Length() const { return axis_.Length(); }
+
+  /// Volume of the truncated cone.
+  double Volume() const;
+
+  /// Conservative bounding box: the axis bounds expanded by the larger
+  /// radius on every side.
+  Aabb Bounds() const { return axis_.Bounds().Expanded(max_radius()); }
+
+  /// The straight-line simplification SCOUT uses for grid hashing
+  /// (paper §4.2 / Figure 4).
+  const Segment& AsLine() const { return axis_; }
+
+  /// Conservative cylinder-box overlap test: true if the axis segment
+  /// passes within max_radius of the box.
+  bool Intersects(const Aabb& box) const {
+    return axis_.Intersects(box.Expanded(max_radius()));
+  }
+
+  /// Minimum distance between the surfaces of two cylinders (capsule
+  /// approximation). Negative values indicate overlap. This is the
+  /// "computationally expensive" branch-proximity primitive of the model
+  /// building use case (paper §3.1).
+  double SurfaceDistanceTo(const Cylinder& other) const {
+    return axis_.DistanceTo(other.axis_) - max_radius() - other.max_radius();
+  }
+
+ private:
+  Segment axis_;
+  double r0_ = 0.0;
+  double r1_ = 0.0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_GEOM_CYLINDER_H_

@@ -1,0 +1,136 @@
+#include "geom/frustum.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace scout {
+
+namespace {
+
+// Builds an orthonormal basis around `dir` (unit). Any stable choice works;
+// we pick the axis least aligned with dir as the helper.
+void MakeBasis(const Vec3& dir, Vec3* right, Vec3* up) {
+  Vec3 helper = std::abs(dir.x) < 0.9 ? Vec3(1, 0, 0) : Vec3(0, 1, 0);
+  *right = dir.Cross(helper).Normalized();
+  *up = right->Cross(dir).Normalized();
+}
+
+}  // namespace
+
+Frustum::Frustum(const Vec3& apex, const Vec3& dir, double near_dist,
+                 double far_dist, double near_half, double far_half)
+    : apex_(apex),
+      near_(near_dist),
+      far_(far_dist),
+      near_half_(near_half),
+      far_half_(far_half) {
+  assert(far_dist > near_dist && near_dist >= 0.0);
+  assert(far_half >= near_half && near_half >= 0.0);
+  dir_ = dir.Normalized();
+  if (dir_ == Vec3()) dir_ = Vec3(0, 0, 1);
+  MakeBasis(dir_, &right_, &up_);
+  ComputePlanes();
+}
+
+Frustum Frustum::WithVolume(const Vec3& center, const Vec3& dir,
+                            double volume) {
+  assert(volume > 0.0);
+  // Square cross sections with far side s and near side s/2; depth = s.
+  // Prismatoid volume: V = h/3 * (A_near + A_far + sqrt(A_near * A_far))
+  //   = s/3 * (s^2/4 + s^2 + s^2/2) = s^3 * 7/12.
+  const double s = std::cbrt(volume * 12.0 / 7.0);
+  const double depth = s;
+  const double far_half = s * 0.5;
+  const double near_half = s * 0.25;
+  const Vec3 d = dir.Normalized() == Vec3() ? Vec3(0, 0, 1) : dir.Normalized();
+  // Place the prismatoid so its axis midpoint is at `center`; apex sits
+  // behind the near plane at the cone apex (near_half : far_half = 1 : 2
+  // means the apex is one depth behind the near plane).
+  const double near_dist = depth;  // Apex-to-near distance.
+  const double far_dist = near_dist + depth;
+  const Vec3 apex = center - d * (near_dist + depth * 0.5);
+  return Frustum(apex, d, near_dist, far_dist, near_half, far_half);
+}
+
+void Frustum::ComputePlanes() {
+  // Near plane: inside means beyond the near distance along dir.
+  planes_[0].normal = dir_;
+  planes_[0].d = -dir_.Dot(apex_ + dir_ * near_);
+  // Far plane: inside means before the far distance.
+  planes_[1].normal = -dir_;
+  planes_[1].d = dir_.Dot(apex_ + dir_ * far_);
+
+  // Side planes pass through the apex. The half-extent grows linearly
+  // with distance t from the apex as: half(t) = far_half_ / far_ * t
+  // (using the far rectangle to define the aperture; when near_half_ is
+  // consistent, i.e. near_half_/near_ == far_half_/far_, the frustum is a
+  // truncated pyramid with apex at apex_).
+  const double slope = far_half_ / far_;
+  const std::array<Vec3, 4> lateral = {right_, -right_, up_, -up_};
+  for (int i = 0; i < 4; ++i) {
+    // Plane normal tilts inward: n = -lateral + slope-projected dir,
+    // normalized. A point p is inside iff lateral.Dot(p - apex) <=
+    // slope * dir.Dot(p - apex).
+    Vec3 n = (dir_ * slope - lateral[i]).Normalized();
+    planes_[2 + i].normal = n;
+    planes_[2 + i].d = -n.Dot(apex_);
+  }
+}
+
+bool Frustum::Contains(const Vec3& p) const {
+  for (const Plane& plane : planes_) {
+    if (plane.normal.Dot(p) + plane.d < 0.0) return false;
+  }
+  return true;
+}
+
+bool Frustum::Intersects(const Aabb& box) const {
+  if (box.IsEmpty()) return false;
+  for (const Plane& plane : planes_) {
+    // Find the box corner most aligned with the plane normal (p-vertex);
+    // if even that corner is outside, the whole box is outside.
+    const Vec3 p(plane.normal.x >= 0 ? box.max().x : box.min().x,
+                 plane.normal.y >= 0 ? box.max().y : box.min().y,
+                 plane.normal.z >= 0 ? box.max().z : box.min().z);
+    if (plane.normal.Dot(p) + plane.d < 0.0) return false;
+  }
+  return true;
+}
+
+std::array<Vec3, 8> Frustum::Corners() const {
+  std::array<Vec3, 8> corners;
+  const Vec3 near_center = apex_ + dir_ * near_;
+  const Vec3 far_center = apex_ + dir_ * far_;
+  int idx = 0;
+  for (double dist : {0.0, 1.0}) {
+    const Vec3 center = dist == 0.0 ? near_center : far_center;
+    const double half = dist == 0.0 ? near_half_ : far_half_;
+    for (int sx : {-1, 1}) {
+      for (int sy : {-1, 1}) {
+        corners[idx++] = center + right_ * (half * sx) + up_ * (half * sy);
+      }
+    }
+  }
+  return corners;
+}
+
+Aabb Frustum::Bounds() const {
+  Aabb box;
+  for (const Vec3& c : Corners()) box.Extend(c);
+  return box;
+}
+
+double Frustum::Volume() const {
+  const double h = far_ - near_;
+  const double a_near = 4.0 * near_half_ * near_half_;
+  const double a_far = 4.0 * far_half_ * far_half_;
+  return h / 3.0 * (a_near + a_far + std::sqrt(a_near * a_far));
+}
+
+Vec3 Frustum::Centroid() const {
+  // Midpoint of the axis between near and far planes; close enough to the
+  // volume centroid for query-placement purposes.
+  return apex_ + dir_ * ((near_ + far_) * 0.5);
+}
+
+}  // namespace scout

@@ -1,0 +1,79 @@
+#ifndef SCOUT_GEOM_FRUSTUM_H_
+#define SCOUT_GEOM_FRUSTUM_H_
+
+#include <array>
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace scout {
+
+/// A rectangular view frustum used for the walkthrough-visualization
+/// workload (paper §7.2.3): the volume enclosing everything potentially
+/// visible from an eye point looking along a direction. Defined by apex,
+/// view direction, near/far distances and the half-extent of the far
+/// rectangle (square cross-section).
+class Frustum {
+ public:
+  Frustum() = default;
+
+  /// Builds a frustum from `apex` looking along `dir` (need not be
+  /// normalized). The cross-section is square, growing linearly from
+  /// near_half at distance `near` to far_half at distance `far`.
+  Frustum(const Vec3& apex, const Vec3& dir, double near_dist,
+          double far_dist, double near_half, double far_half);
+
+  /// Frustum with the given total volume whose centroid is at `center`,
+  /// looking along `dir`, with a 2:1 far/near cross-section ratio. This is
+  /// how the visualization benchmarks create queries of a target volume.
+  static Frustum WithVolume(const Vec3& center, const Vec3& dir,
+                            double volume);
+
+  const Vec3& apex() const { return apex_; }
+  const Vec3& direction() const { return dir_; }
+  double near_distance() const { return near_; }
+  double far_distance() const { return far_; }
+
+  /// Exact point-containment test against the six planes.
+  bool Contains(const Vec3& p) const;
+
+  /// Conservative frustum-box overlap: false only if the box is entirely
+  /// outside one of the six planes (the standard culling test; may report
+  /// rare false positives, never false negatives).
+  bool Intersects(const Aabb& box) const;
+
+  /// Bounding box of the eight corners.
+  Aabb Bounds() const;
+
+  /// Exact volume of the frustum (prismatoid formula).
+  double Volume() const;
+
+  /// The eight corner points (4 near, 4 far).
+  std::array<Vec3, 8> Corners() const;
+
+  /// Centroid (volume-weighted center along the axis).
+  Vec3 Centroid() const;
+
+ private:
+  struct Plane {
+    // Points with normal.Dot(p) + d >= 0 are inside.
+    Vec3 normal;
+    double d = 0.0;
+  };
+
+  void ComputePlanes();
+
+  Vec3 apex_;
+  Vec3 dir_{0.0, 0.0, 1.0};  // Unit view direction.
+  Vec3 right_{1.0, 0.0, 0.0};
+  Vec3 up_{0.0, 1.0, 0.0};
+  double near_ = 0.0;
+  double far_ = 1.0;
+  double near_half_ = 0.5;
+  double far_half_ = 1.0;
+  std::array<Plane, 6> planes_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_GEOM_FRUSTUM_H_

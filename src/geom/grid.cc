@@ -1,0 +1,139 @@
+#include "geom/grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace scout {
+
+UniformGrid::UniformGrid(const Aabb& bounds, int nx, int ny, int nz)
+    : bounds_(bounds), nx_(nx), ny_(ny), nz_(nz) {
+  assert(nx >= 1 && ny >= 1 && nz >= 1);
+  assert(!bounds.IsEmpty());
+  const Vec3 ext = bounds.Extents();
+  cell_size_ = Vec3(ext.x / nx, ext.y / ny, ext.z / nz);
+}
+
+UniformGrid UniformGrid::WithTotalCells(const Aabb& bounds,
+                                        int64_t total_cells) {
+  assert(total_cells >= 1);
+  const Vec3 ext = bounds.Extents();
+  // Choose per-axis counts so cells are as cubic as possible:
+  // n_axis ~ ext_axis / s where s = (V / total)^(1/3).
+  const double volume = std::max(bounds.Volume(), 1e-30);
+  const double s = std::cbrt(volume / static_cast<double>(total_cells));
+  auto count = [&](double e) {
+    return std::max(1, static_cast<int>(std::round(e / s)));
+  };
+  int nx = count(ext.x);
+  int ny = count(ext.y);
+  int nz = count(ext.z);
+  return UniformGrid(bounds, nx, ny, nz);
+}
+
+CellCoords UniformGrid::CellOf(const Vec3& p) const {
+  auto coord = [](double v, double lo, double size, int n) {
+    if (size <= 0.0) return 0;
+    int c = static_cast<int>(std::floor((v - lo) / size));
+    return std::clamp(c, 0, n - 1);
+  };
+  return CellCoords{coord(p.x, bounds_.min().x, cell_size_.x, nx_),
+                    coord(p.y, bounds_.min().y, cell_size_.y, ny_),
+                    coord(p.z, bounds_.min().z, cell_size_.z, nz_)};
+}
+
+CellCoords UniformGrid::CoordsOf(int64_t flat_index) const {
+  assert(flat_index >= 0 && flat_index < TotalCells());
+  CellCoords c;
+  c.x = static_cast<int32_t>(flat_index % nx_);
+  flat_index /= nx_;
+  c.y = static_cast<int32_t>(flat_index % ny_);
+  c.z = static_cast<int32_t>(flat_index / ny_);
+  return c;
+}
+
+Aabb UniformGrid::CellBounds(const CellCoords& c) const {
+  const Vec3 lo(bounds_.min().x + c.x * cell_size_.x,
+                bounds_.min().y + c.y * cell_size_.y,
+                bounds_.min().z + c.z * cell_size_.z);
+  return Aabb(lo, lo + cell_size_);
+}
+
+void UniformGrid::CellsOverlapping(const Aabb& box,
+                                   std::vector<int64_t>* out) const {
+  const Aabb clipped = box.Intersection(bounds_);
+  if (clipped.IsEmpty()) return;
+  const CellCoords lo = CellOf(clipped.min());
+  const CellCoords hi = CellOf(clipped.max());
+  for (int32_t z = lo.z; z <= hi.z; ++z) {
+    for (int32_t y = lo.y; y <= hi.y; ++y) {
+      for (int32_t x = lo.x; x <= hi.x; ++x) {
+        out->push_back(FlatIndex(CellCoords{x, y, z}));
+      }
+    }
+  }
+}
+
+void UniformGrid::CellsAlongSegment(const Segment& seg,
+                                    std::vector<int64_t>* out) const {
+  double t0;
+  double t1;
+  if (!seg.ClipToBox(bounds_, &t0, &t1)) return;
+  const Vec3 start = seg.PointAt(t0);
+  const Vec3 end = seg.PointAt(t1);
+
+  CellCoords cur = CellOf(start);
+  const CellCoords last = CellOf(end);
+  out->push_back(FlatIndex(cur));
+  if (cur == last) return;
+
+  // Amanatides & Woo 3-D DDA traversal.
+  const Vec3 d = end - start;
+  const double dir[3] = {d.x, d.y, d.z};
+  const double size[3] = {cell_size_.x, cell_size_.y, cell_size_.z};
+  const double origin[3] = {start.x, start.y, start.z};
+  const double lo[3] = {bounds_.min().x, bounds_.min().y, bounds_.min().z};
+  int32_t pos[3] = {cur.x, cur.y, cur.z};
+  const int32_t target[3] = {last.x, last.y, last.z};
+  const int32_t limit[3] = {nx_ - 1, ny_ - 1, nz_ - 1};
+
+  int step[3];
+  double t_max[3];
+  double t_delta[3];
+  for (int i = 0; i < 3; ++i) {
+    if (dir[i] > 0) {
+      step[i] = 1;
+      const double next_boundary = lo[i] + (pos[i] + 1) * size[i];
+      t_max[i] = (next_boundary - origin[i]) / dir[i];
+      t_delta[i] = size[i] / dir[i];
+    } else if (dir[i] < 0) {
+      step[i] = -1;
+      const double next_boundary = lo[i] + pos[i] * size[i];
+      t_max[i] = (next_boundary - origin[i]) / dir[i];
+      t_delta[i] = -size[i] / dir[i];
+    } else {
+      step[i] = 0;
+      t_max[i] = std::numeric_limits<double>::max();
+      t_delta[i] = std::numeric_limits<double>::max();
+    }
+  }
+
+  // Cap iterations defensively; a straight walk can visit at most
+  // nx+ny+nz cells.
+  const int max_steps = nx_ + ny_ + nz_ + 3;
+  for (int it = 0; it < max_steps; ++it) {
+    int axis = 0;
+    if (t_max[1] < t_max[axis]) axis = 1;
+    if (t_max[2] < t_max[axis]) axis = 2;
+    pos[axis] += step[axis];
+    if (pos[axis] < 0 || pos[axis] > limit[axis]) break;
+    t_max[axis] += t_delta[axis];
+    out->push_back(
+        FlatIndex(CellCoords{pos[0], pos[1], pos[2]}));
+    if (pos[0] == target[0] && pos[1] == target[1] && pos[2] == target[2]) {
+      break;
+    }
+  }
+}
+
+}  // namespace scout

@@ -1,0 +1,82 @@
+#ifndef SCOUT_GEOM_GRID_H_
+#define SCOUT_GEOM_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/segment.h"
+#include "geom/vec3.h"
+
+namespace scout {
+
+/// Integer cell coordinates in a UniformGrid.
+struct CellCoords {
+  int32_t x = 0;
+  int32_t y = 0;
+  int32_t z = 0;
+
+  bool operator==(const CellCoords& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+/// A uniform 3-D grid over a bounding box — the "spatial grid hashing"
+/// machinery of paper §4.2. Objects (reduced to line segments or boxes)
+/// are mapped to the cells they touch; objects sharing a cell become graph
+/// neighbors. The grid resolution (total cell count) is the knob studied
+/// in Figure 13(e).
+class UniformGrid {
+ public:
+  /// Grid over `bounds` with the given cell counts per axis (>= 1 each).
+  UniformGrid(const Aabb& bounds, int nx, int ny, int nz);
+
+  /// Grid over `bounds` with approximately `total_cells` equi-volume cubic
+  /// cells (per-axis counts chosen proportionally to the extents).
+  static UniformGrid WithTotalCells(const Aabb& bounds, int64_t total_cells);
+
+  const Aabb& bounds() const { return bounds_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int64_t TotalCells() const {
+    return static_cast<int64_t>(nx_) * ny_ * nz_;
+  }
+  Vec3 CellSize() const { return cell_size_; }
+
+  /// Cell containing the point (clamped to the grid for points outside).
+  CellCoords CellOf(const Vec3& p) const;
+
+  /// Flat index of a cell: x + nx * (y + ny * z).
+  int64_t FlatIndex(const CellCoords& c) const {
+    return static_cast<int64_t>(c.x) +
+           static_cast<int64_t>(nx_) *
+               (static_cast<int64_t>(c.y) +
+                static_cast<int64_t>(ny_) * static_cast<int64_t>(c.z));
+  }
+
+  CellCoords CoordsOf(int64_t flat_index) const;
+
+  /// Bounding box of a cell.
+  Aabb CellBounds(const CellCoords& c) const;
+
+  /// Appends the flat indices of all cells overlapped by `box`
+  /// (intersected with the grid bounds) to `out`.
+  void CellsOverlapping(const Aabb& box, std::vector<int64_t>* out) const;
+
+  /// Appends the flat indices of cells traversed by the segment (3-D DDA
+  /// voxel walk; clips the segment to the grid bounds first). This is how
+  /// a cylinder-reduced-to-a-line is hashed to grid cells (Figure 4).
+  void CellsAlongSegment(const Segment& seg, std::vector<int64_t>* out) const;
+
+ private:
+  Aabb bounds_;
+  int nx_;
+  int ny_;
+  int nz_;
+  Vec3 cell_size_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_GEOM_GRID_H_

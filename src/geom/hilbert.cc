@@ -1,0 +1,150 @@
+#include "geom/hilbert.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace scout {
+
+namespace {
+
+// Skilling's "transpose" Hilbert algorithm (J. Skilling, "Programming the
+// Hilbert curve", AIP 2004). Coordinates are transformed in place between
+// the axes-representation and the transposed Hilbert representation.
+
+// Converts coordinates in X[0..n) (each `bits` wide) from axes to
+// transposed Hilbert form.
+void AxesToTranspose(uint32_t* X, int bits, int n) {
+  uint32_t M = 1u << (bits - 1);
+  // Inverse undo.
+  for (uint32_t Q = M; Q > 1; Q >>= 1) {
+    const uint32_t P = Q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (X[i] & Q) {
+        X[0] ^= P;  // invert
+      } else {
+        const uint32_t t = (X[0] ^ X[i]) & P;
+        X[0] ^= t;
+        X[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) X[i] ^= X[i - 1];
+  uint32_t t = 0;
+  for (uint32_t Q = M; Q > 1; Q >>= 1) {
+    if (X[n - 1] & Q) t ^= Q - 1;
+  }
+  for (int i = 0; i < n; ++i) X[i] ^= t;
+}
+
+// Inverse of AxesToTranspose.
+void TransposeToAxes(uint32_t* X, int bits, int n) {
+  const uint32_t N = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = X[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) X[i] ^= X[i - 1];
+  X[0] ^= t;
+  // Undo excess work.
+  for (uint32_t Q = 2; Q != N; Q <<= 1) {
+    const uint32_t P = Q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (X[i] & Q) {
+        X[0] ^= P;
+      } else {
+        t = (X[0] ^ X[i]) & P;
+        X[0] ^= t;
+        X[i] ^= t;
+      }
+    }
+  }
+}
+
+// Interleaves the transposed representation into a single index: bit b of
+// X[i] becomes bit (b * n + (n - 1 - i)) of the output.
+uint64_t InterleaveTransposed(const uint32_t* X, int bits, int n) {
+  uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < n; ++i) {
+      index = (index << 1) | ((X[i] >> b) & 1u);
+    }
+  }
+  return index;
+}
+
+void DeinterleaveTransposed(uint64_t index, int bits, int n, uint32_t* X) {
+  for (int i = 0; i < n; ++i) X[i] = 0;
+  int shift = bits * n - 1;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < n; ++i) {
+      X[i] |= static_cast<uint32_t>((index >> shift) & 1u) << b;
+      --shift;
+    }
+  }
+}
+
+uint32_t QuantizeCoord(double v, double lo, double hi, int bits) {
+  const uint32_t cells = 1u << bits;
+  if (hi <= lo) return 0;
+  double f = (v - lo) / (hi - lo);
+  f = std::clamp(f, 0.0, 1.0);
+  uint32_t c = static_cast<uint32_t>(f * static_cast<double>(cells));
+  return std::min(c, cells - 1);
+}
+
+}  // namespace
+
+uint64_t HilbertEncode3(uint32_t x, uint32_t y, uint32_t z, int bits) {
+  assert(bits >= 1 && bits <= 21);
+  uint32_t X[3] = {x, y, z};
+  AxesToTranspose(X, bits, 3);
+  return InterleaveTransposed(X, bits, 3);
+}
+
+void HilbertDecode3(uint64_t index, int bits, uint32_t* x, uint32_t* y,
+                    uint32_t* z) {
+  assert(bits >= 1 && bits <= 21);
+  uint32_t X[3];
+  DeinterleaveTransposed(index, bits, 3, X);
+  TransposeToAxes(X, bits, 3);
+  *x = X[0];
+  *y = X[1];
+  *z = X[2];
+}
+
+uint64_t HilbertEncode2(uint32_t x, uint32_t y, int bits) {
+  assert(bits >= 1 && bits <= 31);
+  uint32_t X[2] = {x, y};
+  AxesToTranspose(X, bits, 2);
+  return InterleaveTransposed(X, bits, 2);
+}
+
+void HilbertDecode2(uint64_t index, int bits, uint32_t* x, uint32_t* y) {
+  assert(bits >= 1 && bits <= 31);
+  uint32_t X[2];
+  DeinterleaveTransposed(index, bits, 2, X);
+  TransposeToAxes(X, bits, 2);
+  *x = X[0];
+  *y = X[1];
+}
+
+uint64_t HilbertIndexOfPoint(const Vec3& p, const Aabb& bounds, int bits) {
+  const uint32_t x = QuantizeCoord(p.x, bounds.min().x, bounds.max().x, bits);
+  const uint32_t y = QuantizeCoord(p.y, bounds.min().y, bounds.max().y, bits);
+  const uint32_t z = QuantizeCoord(p.z, bounds.min().z, bounds.max().z, bits);
+  return HilbertEncode3(x, y, z, bits);
+}
+
+Vec3 PointOfHilbertIndex(uint64_t index, const Aabb& bounds, int bits) {
+  uint32_t x;
+  uint32_t y;
+  uint32_t z;
+  HilbertDecode3(index, bits, &x, &y, &z);
+  const double cells = static_cast<double>(1u << bits);
+  const Vec3 ext = bounds.Extents();
+  return Vec3(bounds.min().x + (x + 0.5) / cells * ext.x,
+              bounds.min().y + (y + 0.5) / cells * ext.y,
+              bounds.min().z + (z + 0.5) / cells * ext.z);
+}
+
+}  // namespace scout

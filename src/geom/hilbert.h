@@ -1,0 +1,41 @@
+#ifndef SCOUT_GEOM_HILBERT_H_
+#define SCOUT_GEOM_HILBERT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace scout {
+
+/// Hilbert space-filling curve encode/decode (Skilling's transpose
+/// algorithm), used by the Hilbert-Prefetch baseline (paper §2.1) and by
+/// the FLAT-style index to lay result pages out in a locality-preserving
+/// order.
+///
+/// Grid coordinates use `bits` bits per dimension; indices fit in 64 bits
+/// as long as dims * bits <= 64.
+
+/// Maps grid coordinates (x, y, z), each in [0, 2^bits), to the position
+/// along the 3-D Hilbert curve.
+uint64_t HilbertEncode3(uint32_t x, uint32_t y, uint32_t z, int bits);
+
+/// Inverse of HilbertEncode3.
+void HilbertDecode3(uint64_t index, int bits, uint32_t* x, uint32_t* y,
+                    uint32_t* z);
+
+/// 2-D variants (used for planar datasets such as road networks).
+uint64_t HilbertEncode2(uint32_t x, uint32_t y, int bits);
+void HilbertDecode2(uint64_t index, int bits, uint32_t* x, uint32_t* y);
+
+/// Maps a point inside `bounds` onto the 3-D Hilbert curve with the given
+/// per-dimension resolution. Points outside are clamped to the boundary.
+uint64_t HilbertIndexOfPoint(const Vec3& p, const Aabb& bounds, int bits);
+
+/// Inverse mapping: the center of the Hilbert cell with the given index.
+Vec3 PointOfHilbertIndex(uint64_t index, const Aabb& bounds, int bits);
+
+}  // namespace scout
+
+#endif  // SCOUT_GEOM_HILBERT_H_

@@ -1,0 +1,41 @@
+#include "geom/region.h"
+
+#include <cmath>
+
+namespace scout {
+
+Aabb Region::Bounds() const {
+  if (is_box()) return box();
+  return frustum().Bounds();
+}
+
+bool Region::Contains(const Vec3& p) const {
+  if (is_box()) return box().Contains(p);
+  return frustum().Contains(p);
+}
+
+bool Region::Intersects(const Aabb& other) const {
+  if (is_box()) return box().Intersects(other);
+  return frustum().Intersects(other);
+}
+
+double Region::Volume() const {
+  if (is_box()) return box().Volume();
+  return frustum().Volume();
+}
+
+Vec3 Region::Center() const {
+  if (is_box()) return box().Center();
+  return frustum().Centroid();
+}
+
+Region Region::RecenteredAt(const Vec3& center, const Vec3* new_dir) const {
+  if (is_box()) {
+    return Region(Aabb::FromCenterHalfExtents(center, box().HalfExtents()));
+  }
+  const Frustum& f = frustum();
+  const Vec3 dir = new_dir != nullptr ? *new_dir : f.direction();
+  return Region(Frustum::WithVolume(center, dir, f.Volume()));
+}
+
+}  // namespace scout

@@ -1,0 +1,66 @@
+#ifndef SCOUT_GEOM_REGION_H_
+#define SCOUT_GEOM_REGION_H_
+
+#include <variant>
+
+#include "geom/aabb.h"
+#include "geom/frustum.h"
+#include "geom/vec3.h"
+
+namespace scout {
+
+/// A spatial query region: either an axis-aligned box (ad-hoc queries,
+/// model building) or a view frustum (walkthrough visualization). The
+/// whole query/prefetch pipeline is written against this type so that
+/// both aspect shapes from the paper's Figure 10 run through identical
+/// code paths.
+class Region {
+ public:
+  Region() : shape_(Aabb()) {}
+  explicit Region(const Aabb& box) : shape_(box) {}
+  explicit Region(const Frustum& frustum) : shape_(frustum) {}
+
+  /// Cube with the given volume centered at `center`.
+  static Region CubeAt(const Vec3& center, double volume) {
+    return Region(Aabb::CubeWithVolume(center, volume));
+  }
+
+  /// Frustum with the given volume centered at `center`, looking along
+  /// `dir`.
+  static Region FrustumAt(const Vec3& center, const Vec3& dir,
+                          double volume) {
+    return Region(Frustum::WithVolume(center, dir, volume));
+  }
+
+  bool is_box() const { return std::holds_alternative<Aabb>(shape_); }
+  bool is_frustum() const { return std::holds_alternative<Frustum>(shape_); }
+
+  const Aabb& box() const { return std::get<Aabb>(shape_); }
+  const Frustum& frustum() const { return std::get<Frustum>(shape_); }
+
+  /// Bounding box of the region.
+  Aabb Bounds() const;
+
+  /// True if the point lies inside the region.
+  bool Contains(const Vec3& p) const;
+
+  /// Conservative region-box overlap test (never false negative).
+  bool Intersects(const Aabb& box) const;
+
+  double Volume() const;
+
+  /// Representative center of the region (cube center / frustum axis
+  /// midpoint). Baseline prefetchers extrapolate these.
+  Vec3 Center() const;
+
+  /// A region of the same shape and size re-centered at `center` (frustum
+  /// keeps its orientation unless `new_dir` is non-null).
+  Region RecenteredAt(const Vec3& center, const Vec3* new_dir = nullptr) const;
+
+ private:
+  std::variant<Aabb, Frustum> shape_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_GEOM_REGION_H_

@@ -1,0 +1,99 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scout {
+
+double Segment::ClosestParameterTo(const Vec3& p) const {
+  const Vec3 d = b - a;
+  const double len_sq = d.NormSquared();
+  if (len_sq == 0.0) return 0.0;
+  return std::clamp((p - a).Dot(d) / len_sq, 0.0, 1.0);
+}
+
+double Segment::DistanceSquaredTo(const Segment& other) const {
+  // Standard robust segment-segment closest-point computation
+  // (Ericson, "Real-Time Collision Detection", §5.1.9).
+  const Vec3 d1 = b - a;
+  const Vec3 d2 = other.b - other.a;
+  const Vec3 r = a - other.a;
+  const double a11 = d1.NormSquared();
+  const double a22 = d2.NormSquared();
+  const double f = d2.Dot(r);
+
+  double s = 0.0;
+  double t = 0.0;
+  constexpr double kEps = 1e-12;
+
+  if (a11 <= kEps && a22 <= kEps) {
+    // Both segments degenerate to points.
+    return r.NormSquared();
+  }
+  if (a11 <= kEps) {
+    s = 0.0;
+    t = std::clamp(f / a22, 0.0, 1.0);
+  } else {
+    const double c = d1.Dot(r);
+    if (a22 <= kEps) {
+      t = 0.0;
+      s = std::clamp(-c / a11, 0.0, 1.0);
+    } else {
+      const double a12 = d1.Dot(d2);
+      const double denom = a11 * a22 - a12 * a12;
+      if (denom > kEps) {
+        s = std::clamp((a12 * f - c * a22) / denom, 0.0, 1.0);
+      } else {
+        s = 0.0;  // Parallel: pick an arbitrary point on this segment.
+      }
+      t = (a12 * s + f) / a22;
+      if (t < 0.0) {
+        t = 0.0;
+        s = std::clamp(-c / a11, 0.0, 1.0);
+      } else if (t > 1.0) {
+        t = 1.0;
+        s = std::clamp((a12 - c) / a11, 0.0, 1.0);
+      }
+    }
+  }
+  const Vec3 closest1 = a + d1 * s;
+  const Vec3 closest2 = other.a + d2 * t;
+  return closest1.DistanceSquaredTo(closest2);
+}
+
+double Segment::DistanceTo(const Segment& other) const {
+  return std::sqrt(DistanceSquaredTo(other));
+}
+
+bool Segment::ClipToBox(const Aabb& box, double* t_min, double* t_max) const {
+  double t0 = 0.0;
+  double t1 = 1.0;
+  const Vec3 d = b - a;
+  const double origin[3] = {a.x, a.y, a.z};
+  const double dir[3] = {d.x, d.y, d.z};
+  const double lo[3] = {box.min().x, box.min().y, box.min().z};
+  const double hi[3] = {box.max().x, box.max().y, box.max().z};
+
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::abs(dir[axis]) < 1e-15) {
+      // Parallel to the slab: reject if the origin is outside.
+      if (origin[axis] < lo[axis] || origin[axis] > hi[axis]) return false;
+      continue;
+    }
+    double near = (lo[axis] - origin[axis]) / dir[axis];
+    double far = (hi[axis] - origin[axis]) / dir[axis];
+    if (near > far) std::swap(near, far);
+    t0 = std::max(t0, near);
+    t1 = std::min(t1, far);
+    if (t0 > t1) return false;
+  }
+  if (t_min != nullptr) *t_min = t0;
+  if (t_max != nullptr) *t_max = t1;
+  return true;
+}
+
+bool Segment::Intersects(const Aabb& box) const {
+  return ClipToBox(box, nullptr, nullptr);
+}
+
+}  // namespace scout

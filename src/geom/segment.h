@@ -1,0 +1,64 @@
+#ifndef SCOUT_GEOM_SEGMENT_H_
+#define SCOUT_GEOM_SEGMENT_H_
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace scout {
+
+/// A 3-D line segment from `a` to `b`. This is the geometry
+/// simplification SCOUT uses for cylinders (paper §4.2): a cylinder is
+/// reduced to its axis segment for grid hashing and graph building.
+struct Segment {
+  Vec3 a;
+  Vec3 b;
+
+  Segment() = default;
+  Segment(const Vec3& a_in, const Vec3& b_in) : a(a_in), b(b_in) {}
+
+  double Length() const { return a.DistanceTo(b); }
+  double LengthSquared() const { return a.DistanceSquaredTo(b); }
+
+  Vec3 Midpoint() const { return (a + b) * 0.5; }
+
+  /// Unit direction from a to b (zero vector for degenerate segments).
+  Vec3 Direction() const { return (b - a).Normalized(); }
+
+  /// Point at parameter t in [0, 1]: a + t * (b - a).
+  Vec3 PointAt(double t) const { return Lerp(a, b, t); }
+
+  Aabb Bounds() const { return Aabb::FromPoints(a, b); }
+
+  /// Parameter t in [0, 1] of the point on the segment closest to `p`.
+  double ClosestParameterTo(const Vec3& p) const;
+
+  /// Point on the segment closest to `p`.
+  Vec3 ClosestPointTo(const Vec3& p) const {
+    return PointAt(ClosestParameterTo(p));
+  }
+
+  double DistanceTo(const Vec3& p) const {
+    return ClosestPointTo(p).DistanceTo(p);
+  }
+  double DistanceSquaredTo(const Vec3& p) const {
+    return ClosestPointTo(p).DistanceSquaredTo(p);
+  }
+
+  /// Minimum distance between two segments (robust for parallel and
+  /// degenerate cases). This underlies both graph construction by
+  /// proximity and the synapse-placement (model building) use case.
+  double DistanceTo(const Segment& other) const;
+  double DistanceSquaredTo(const Segment& other) const;
+
+  /// True if the segment intersects the box (clips the parametric line
+  /// against the slabs).
+  bool Intersects(const Aabb& box) const;
+
+  /// Clips the segment to the box. Returns false if no part is inside;
+  /// otherwise sets [t_min, t_max] to the parametric overlap interval.
+  bool ClipToBox(const Aabb& box, double* t_min, double* t_max) const;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_GEOM_SEGMENT_H_

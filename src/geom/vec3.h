@@ -1,0 +1,98 @@
+#ifndef SCOUT_GEOM_VEC3_H_
+#define SCOUT_GEOM_VEC3_H_
+
+#include <cmath>
+#include <string>
+
+namespace scout {
+
+/// Three-dimensional vector / point with double precision. The library
+/// works in micrometers (µm), matching the paper's datasets.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_in, double y_in, double z_in)
+      : x(x_in), y(y_in), z(z_in) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return Vec3(x + o.x, y + o.y, z + o.z);
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return Vec3(x - o.x, y - o.y, z - o.z);
+  }
+  constexpr Vec3 operator*(double s) const { return Vec3(x * s, y * s, z * s); }
+  constexpr Vec3 operator/(double s) const { return Vec3(x / s, y / s, z / s); }
+  constexpr Vec3 operator-() const { return Vec3(-x, -y, -z); }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return Vec3(y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x);
+  }
+
+  constexpr double NormSquared() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(NormSquared()); }
+
+  /// Unit vector in the same direction; returns (0,0,0) for the zero
+  /// vector rather than dividing by zero.
+  Vec3 Normalized() const {
+    const double n = Norm();
+    if (n == 0.0) return Vec3();
+    return *this / n;
+  }
+
+  double DistanceTo(const Vec3& o) const { return (*this - o).Norm(); }
+  constexpr double DistanceSquaredTo(const Vec3& o) const {
+    return (*this - o).NormSquared();
+  }
+
+  /// Component-wise minimum / maximum.
+  static constexpr Vec3 Min(const Vec3& a, const Vec3& b) {
+    return Vec3(a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+                a.z < b.z ? a.z : b.z);
+  }
+  static constexpr Vec3 Max(const Vec3& a, const Vec3& b) {
+    return Vec3(a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+                a.z > b.z ? a.z : b.z);
+  }
+
+  std::string ToString() const;
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Linear interpolation: a + t * (b - a).
+inline constexpr Vec3 Lerp(const Vec3& a, const Vec3& b, double t) {
+  return a + (b - a) * t;
+}
+
+}  // namespace scout
+
+#endif  // SCOUT_GEOM_VEC3_H_

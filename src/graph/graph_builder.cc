@@ -1,0 +1,109 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "geom/grid.h"
+
+namespace scout {
+
+namespace {
+
+// Adds all inputs as vertices; returns the count.
+VertexId AddVertices(std::span<const GraphInput> inputs, SpatialGraph* graph) {
+  for (const GraphInput& in : inputs) {
+    GraphVertex v;
+    v.object_id = in.object->id;
+    v.page_id = in.page;
+    v.line = in.object->geom.AsLine();
+    graph->AddVertex(v);
+  }
+  return static_cast<VertexId>(inputs.size());
+}
+
+}  // namespace
+
+GraphBuildStats BuildGraphGridHash(std::span<const GraphInput> inputs,
+                                   const Aabb& bounds, int64_t total_cells,
+                                   SpatialGraph* graph) {
+  GraphBuildStats stats;
+  if (inputs.empty() || bounds.IsEmpty()) return stats;
+  AddVertices(inputs, graph);
+
+  const UniformGrid grid = UniformGrid::WithTotalCells(bounds, total_cells);
+
+  // Map cell -> vertices that touch it. A hash map keeps memory
+  // proportional to occupied cells, not total cells.
+  std::unordered_map<int64_t, std::vector<VertexId>> buckets;
+  buckets.reserve(inputs.size() * 2);
+  std::vector<int64_t> cells;
+  for (VertexId v = 0; v < inputs.size(); ++v) {
+    cells.clear();
+    grid.CellsAlongSegment(graph->vertex(v).line, &cells);
+    ++stats.objects_hashed;
+    for (int64_t cell : cells) {
+      buckets[cell].push_back(v);
+      ++stats.cell_inserts;
+    }
+  }
+
+  // Objects mapped to the same cell are connected pairwise (Figure 4).
+  for (auto& [cell, members] : buckets) {
+    (void)cell;
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        ++stats.pair_comparisons;
+        graph->AddEdge(members[i], members[j]);
+        ++stats.edges_created;
+      }
+    }
+  }
+  graph->DedupEdges();
+  return stats;
+}
+
+GraphBuildStats BuildGraphBruteForce(std::span<const GraphInput> inputs,
+                                     double epsilon, SpatialGraph* graph) {
+  GraphBuildStats stats;
+  AddVertices(inputs, graph);
+  const double eps_sq = epsilon * epsilon;
+  for (VertexId i = 0; i < inputs.size(); ++i) {
+    for (VertexId j = i + 1; j < inputs.size(); ++j) {
+      ++stats.pair_comparisons;
+      if (graph->vertex(i).line.DistanceSquaredTo(graph->vertex(j).line) <=
+          eps_sq) {
+        graph->AddEdge(i, j);
+        ++stats.edges_created;
+      }
+    }
+  }
+  graph->DedupEdges();
+  return stats;
+}
+
+GraphBuildStats BuildGraphExplicit(
+    std::span<const GraphInput> inputs,
+    std::span<const std::pair<ObjectId, ObjectId>> adjacency,
+    SpatialGraph* graph) {
+  GraphBuildStats stats;
+  AddVertices(inputs, graph);
+  std::unordered_map<ObjectId, VertexId> by_object;
+  by_object.reserve(inputs.size() * 2);
+  for (VertexId v = 0; v < inputs.size(); ++v) {
+    by_object[graph->vertex(v).object_id] = v;
+  }
+  for (const auto& [a, b] : adjacency) {
+    ++stats.pair_comparisons;
+    auto ia = by_object.find(a);
+    auto ib = by_object.find(b);
+    if (ia == by_object.end() || ib == by_object.end()) continue;
+    graph->AddEdge(ia->second, ib->second);
+    ++stats.edges_created;
+  }
+  graph->DedupEdges();
+  return stats;
+}
+
+}  // namespace scout

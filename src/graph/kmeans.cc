@@ -1,0 +1,77 @@
+#include "graph/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace scout {
+
+KMeansResult KMeans(const std::vector<Vec3>& points, uint32_t k, Rng* rng,
+                    uint32_t max_iterations) {
+  KMeansResult result;
+  const size_t n = points.size();
+  if (n == 0 || k == 0) return result;
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(n));
+
+  // k-means++ seeding: first center uniform, then proportional to the
+  // squared distance to the nearest chosen center.
+  result.centers.push_back(points[rng->NextBounded(n)]);
+  std::vector<double> dist_sq(n, std::numeric_limits<double>::max());
+  while (result.centers.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      dist_sq[i] = std::min(
+          dist_sq[i], points[i].DistanceSquaredTo(result.centers.back()));
+      total += dist_sq[i];
+    }
+    if (total <= 0.0) break;  // All remaining points coincide with centers.
+    double target = rng->NextDouble() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      target -= dist_sq[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centers.push_back(points[chosen]);
+  }
+
+  const uint32_t actual_k = static_cast<uint32_t>(result.centers.size());
+  result.assignment.assign(n, 0);
+
+  for (uint32_t iter = 0; iter < max_iterations; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (uint32_t c = 0; c < actual_k; ++c) {
+        const double d = points[i].DistanceSquaredTo(result.centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<Vec3> sums(actual_k);
+    std::vector<uint32_t> counts(actual_k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      sums[result.assignment[i]] += points[i];
+      ++counts[result.assignment[i]];
+    }
+    for (uint32_t c = 0; c < actual_k; ++c) {
+      if (counts[c] > 0) {
+        result.centers[c] = sums[c] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace scout

@@ -1,0 +1,28 @@
+#ifndef SCOUT_GRAPH_KMEANS_H_
+#define SCOUT_GRAPH_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/vec3.h"
+
+namespace scout {
+
+/// Result of a k-means clustering run.
+struct KMeansResult {
+  std::vector<Vec3> centers;          ///< k (or fewer) cluster centers.
+  std::vector<uint32_t> assignment;   ///< Cluster of every input point.
+  uint32_t iterations = 0;            ///< Lloyd iterations executed.
+};
+
+/// Lloyd's k-means over 3-D points, seeded with k-means++ style sampling.
+/// SCOUT uses this to cap the number of broad-prefetch locations when the
+/// candidate set is large (paper §5.2.2: "we use a k-means approach to
+/// find d clusters"). Deterministic given the Rng state.
+KMeansResult KMeans(const std::vector<Vec3>& points, uint32_t k, Rng* rng,
+                    uint32_t max_iterations = 20);
+
+}  // namespace scout
+
+#endif  // SCOUT_GRAPH_KMEANS_H_

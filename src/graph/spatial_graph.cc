@@ -1,0 +1,58 @@
+#include "graph/spatial_graph.h"
+
+#include <algorithm>
+
+namespace scout {
+
+void SpatialGraph::DedupEdges() {
+  size_t directed = 0;
+  for (auto& list : adjacency_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    directed += list.size();
+  }
+  num_edges_ = directed / 2;
+}
+
+size_t SpatialGraph::MemoryBytes() const {
+  size_t bytes = vertices_.size() * sizeof(GraphVertex);
+  bytes += adjacency_.size() * sizeof(std::vector<VertexId>);
+  for (const auto& list : adjacency_) {
+    bytes += list.capacity() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
+void SpatialGraph::Clear() {
+  vertices_.clear();
+  adjacency_.clear();
+  num_edges_ = 0;
+}
+
+std::vector<uint32_t> LabelComponents(const SpatialGraph& graph,
+                                      uint32_t* num_components) {
+  const size_t n = graph.NumVertices();
+  std::vector<uint32_t> label(n, 0xffffffffu);
+  uint32_t next = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (label[start] != 0xffffffffu) continue;
+    const uint32_t comp = next++;
+    stack.push_back(start);
+    label[start] = comp;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : graph.neighbors(v)) {
+        if (label[u] == 0xffffffffu) {
+          label[u] = comp;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next;
+  return label;
+}
+
+}  // namespace scout

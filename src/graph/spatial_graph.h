@@ -1,0 +1,82 @@
+#ifndef SCOUT_GRAPH_SPATIAL_GRAPH_H_
+#define SCOUT_GRAPH_SPATIAL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/segment.h"
+#include "storage/object.h"
+#include "storage/page.h"
+
+namespace scout {
+
+/// Dense local vertex index within a SpatialGraph.
+using VertexId = uint32_t;
+
+inline constexpr VertexId kInvalidVertexId = 0xffffffffu;
+
+/// One vertex of the approximate structure graph: a spatial object
+/// reduced to its line-segment simplification (paper §4.2, Figure 4).
+struct GraphVertex {
+  ObjectId object_id = 0;
+  PageId page_id = kInvalidPageId;
+  Segment line;
+};
+
+/// The approximate graph SCOUT builds from a query result: vertices are
+/// objects, edges connect objects that hashed to a common grid cell (or
+/// that are explicitly adjacent, for mesh datasets). Stored as a compact
+/// adjacency list; memory usage is part of the paper's evaluation
+/// (§8.2: ~24% of result size for SCOUT, ~6% for SCOUT-OPT).
+class SpatialGraph {
+ public:
+  SpatialGraph() = default;
+
+  /// Adds a vertex and returns its dense id.
+  VertexId AddVertex(const GraphVertex& v) {
+    vertices_.push_back(v);
+    adjacency_.emplace_back();
+    return static_cast<VertexId>(vertices_.size() - 1);
+  }
+
+  /// Adds an undirected edge. Duplicate edges may be inserted during grid
+  /// hashing; call DedupEdges() once after construction.
+  void AddEdge(VertexId a, VertexId b) {
+    if (a == b) return;
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    num_edges_ += 1;
+  }
+
+  /// Sorts adjacency lists and removes duplicate edges.
+  void DedupEdges();
+
+  size_t NumVertices() const { return vertices_.size(); }
+  /// Number of undirected edges (after DedupEdges this is exact).
+  size_t NumEdges() const { return num_edges_; }
+
+  const GraphVertex& vertex(VertexId v) const { return vertices_[v]; }
+  const std::vector<VertexId>& neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  /// Approximate heap footprint of the adjacency structure in bytes
+  /// (vertices + edge endpoints), for the memory-overhead experiment.
+  size_t MemoryBytes() const;
+
+  void Clear();
+
+ private:
+  std::vector<GraphVertex> vertices_;
+  std::vector<std::vector<VertexId>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+/// Connected-component labeling. Returns the component id of every vertex
+/// (ids are dense, in [0, *num_components)).
+std::vector<uint32_t> LabelComponents(const SpatialGraph& graph,
+                                      uint32_t* num_components);
+
+}  // namespace scout
+
+#endif  // SCOUT_GRAPH_SPATIAL_GRAPH_H_

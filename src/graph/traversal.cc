@@ -1,0 +1,105 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+
+namespace scout {
+
+bool ComputeBoundaryCrossing(const GraphVertex& v, const Region& region,
+                             ExitPoint* exit) {
+  const bool a_in = region.Contains(v.line.a);
+  const bool b_in = region.Contains(v.line.b);
+  if (a_in == b_in) return false;
+  const Vec3& inside = a_in ? v.line.a : v.line.b;
+  const Vec3& outside = a_in ? v.line.b : v.line.a;
+  // Bisect for the boundary crossing (works for box and frustum alike,
+  // and the segments are short so a handful of iterations suffices).
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int it = 0; it < 16; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (region.Contains(Lerp(inside, outside, mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  exit->position = Lerp(inside, outside, hi);
+  exit->direction = (outside - inside).Normalized();
+  exit->vertex = kInvalidVertexId;
+  return true;
+}
+
+TraversalStats FindExits(const SpatialGraph& graph,
+                         const std::vector<uint32_t>& component_of,
+                         const Region& region,
+                         const std::vector<VertexId>& start_vertices,
+                         std::vector<ExitPoint>* exits) {
+  TraversalStats stats;
+  const size_t n = graph.NumVertices();
+  if (n == 0) return stats;
+
+  std::vector<char> visited(n, 0);
+  std::vector<VertexId> stack;
+  if (start_vertices.empty()) {
+    stack.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      visited[v] = 1;
+      stack.push_back(v);
+    }
+  } else {
+    // Seeds may contain duplicates (a vertex can match several predicted
+    // entry points); push each vertex exactly once to keep the DFS linear.
+    for (VertexId v : start_vertices) {
+      if (!visited[v]) {
+        visited[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    ++stats.vertices_visited;
+
+    ExitPoint exit;
+    if (ComputeBoundaryCrossing(graph.vertex(v), region, &exit)) {
+      exit.component = component_of[v];
+      exit.vertex = v;
+      exits->push_back(exit);
+    }
+    for (VertexId u : graph.neighbors(v)) {
+      ++stats.edges_traversed;
+      if (!visited[u]) {
+        visited[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  return stats;
+}
+
+void EnteringVertices(const SpatialGraph& graph, const Region& region,
+                      const Aabb& source_bounds, double margin,
+                      std::vector<VertexId>* out) {
+  const Aabb near_source = source_bounds.Expanded(margin);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    ExitPoint crossing;
+    if (!ComputeBoundaryCrossing(graph.vertex(v), region, &crossing)) {
+      continue;
+    }
+    if (near_source.Contains(crossing.position)) out->push_back(v);
+  }
+}
+
+void VerticesNearPoint(const SpatialGraph& graph, const Vec3& point,
+                       double radius, std::vector<VertexId>* out) {
+  const double r_sq = radius * radius;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (graph.vertex(v).line.DistanceSquaredTo(point) <= r_sq) {
+      out->push_back(v);
+    }
+  }
+}
+
+}  // namespace scout

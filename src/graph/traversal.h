@@ -1,0 +1,70 @@
+#ifndef SCOUT_GRAPH_TRAVERSAL_H_
+#define SCOUT_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/region.h"
+#include "graph/spatial_graph.h"
+
+namespace scout {
+
+/// A location where a structure in the query result leaves the query
+/// region (paper §4.4): the point on the region boundary plus the outward
+/// direction of the structure there. Exit points are what SCOUT
+/// extrapolates to predict the next query location.
+struct ExitPoint {
+  Vec3 position;      ///< Point on (or just outside) the region boundary.
+  Vec3 direction;     ///< Unit outward direction of the structure.
+  uint32_t component = 0;  ///< Component (structure) id within the graph.
+  VertexId vertex = kInvalidVertexId;  ///< The crossing vertex.
+};
+
+/// Work counters of a traversal, for cost accounting (Fig. 14/16).
+struct TraversalStats {
+  uint64_t vertices_visited = 0;
+  uint64_t edges_traversed = 0;
+
+  TraversalStats& operator+=(const TraversalStats& o) {
+    vertices_visited += o.vertices_visited;
+    edges_traversed += o.edges_traversed;
+    return *this;
+  }
+};
+
+/// Depth-first traversal from `start_vertices` that finds every location
+/// where the reachable subgraph exits `region`. A vertex produces an exit
+/// when its line segment crosses the region boundary (one endpoint
+/// inside, one outside — or clipped in the middle). Each visited vertex
+/// and edge is counted for cost accounting.
+///
+/// If `start_vertices` is empty, the traversal starts from every vertex
+/// (all structures are candidates — the reset case of §4.3).
+TraversalStats FindExits(const SpatialGraph& graph,
+                         const std::vector<uint32_t>& component_of,
+                         const Region& region,
+                         const std::vector<VertexId>& start_vertices,
+                         std::vector<ExitPoint>* exits);
+
+/// Vertices whose segment comes within `radius` of `point`. Used to match
+/// predicted entry locations against the new query's structures
+/// (iterative candidate pruning, §4.3).
+void VerticesNearPoint(const SpatialGraph& graph, const Vec3& point,
+                       double radius, std::vector<VertexId>* out);
+
+/// If the vertex's segment crosses the boundary of `region`, fills `exit`
+/// with the crossing point and the outward direction and returns true.
+bool ComputeBoundaryCrossing(const GraphVertex& v, const Region& region,
+                             ExitPoint* exit);
+
+/// Vertices whose segments cross the boundary of `region` at a point
+/// within `margin` of `source_bounds` — the structures *entering* the
+/// query from the side of the previous query. Used to rebuild the
+/// candidate set when prediction matching fails (§4.3's enter-set).
+void EnteringVertices(const SpatialGraph& graph, const Region& region,
+                      const Aabb& source_bounds, double margin,
+                      std::vector<VertexId>* out);
+
+}  // namespace scout
+
+#endif  // SCOUT_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,122 @@
+#include "index/box_rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace scout {
+
+void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
+                        std::vector<uint32_t> payloads) {
+  assert(boxes.size() == payloads.size());
+  nodes_.clear();
+  entry_boxes_ = std::move(boxes);
+  entry_payloads_ = std::move(payloads);
+  leaf_count_ = entry_boxes_.size();
+  if (leaf_count_ == 0) return;
+
+  // Level 0: leaf nodes covering runs of kFanout entries.
+  std::vector<uint32_t> level;
+  for (size_t start = 0; start < leaf_count_; start += kFanout) {
+    const size_t end = std::min(start + kFanout, leaf_count_);
+    Node node;
+    node.is_leaf = true;
+    node.first_child = static_cast<uint32_t>(start);
+    node.count = static_cast<uint32_t>(end - start);
+    for (size_t i = start; i < end; ++i) node.bounds.Extend(entry_boxes_[i]);
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(node);
+  }
+  // Build upper levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t start = 0; start < level.size(); start += kFanout) {
+      const size_t end = std::min(start + kFanout, level.size());
+      Node node;
+      node.is_leaf = false;
+      node.first_child = level[start];
+      node.count = static_cast<uint32_t>(end - start);
+      for (size_t i = start; i < end; ++i) {
+        node.bounds.Extend(nodes_[level[i]].bounds);
+      }
+      next.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(node);
+    }
+    level = std::move(next);
+  }
+  root_ = level[0];
+}
+
+template <typename Visitor>
+void BoxRTree::Visit(const Visitor& visit_entry, const Region* region,
+                     const Aabb* box) const {
+  if (leaf_count_ == 0) return;
+  auto overlaps = [&](const Aabb& b) {
+    return region != nullptr ? region->Intersects(b) : box->Intersects(b);
+  };
+  std::vector<uint32_t> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!overlaps(node.bounds)) continue;
+    if (node.is_leaf) {
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const uint32_t entry = node.first_child + i;
+        if (overlaps(entry_boxes_[entry])) {
+          visit_entry(entry_payloads_[entry]);
+        }
+      }
+    } else {
+      // Children of an internal node are contiguous node indices.
+      for (uint32_t i = 0; i < node.count; ++i) {
+        stack.push_back(node.first_child + i);
+      }
+    }
+  }
+}
+
+void BoxRTree::Query(const Region& region, std::vector<uint32_t>* out) const {
+  Visit([&](uint32_t payload) { out->push_back(payload); }, &region, nullptr);
+}
+
+void BoxRTree::Query(const Aabb& box, std::vector<uint32_t>* out) const {
+  Visit([&](uint32_t payload) { out->push_back(payload); }, nullptr, &box);
+}
+
+bool BoxRTree::Nearest(const Vec3& p, uint32_t* payload) const {
+  if (leaf_count_ == 0) return false;
+  // Best-first search over node distances.
+  struct Item {
+    double dist;
+    uint32_t index;
+    bool is_entry;
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.push({nodes_[root_].bounds.DistanceSquaredTo(p), root_, false});
+  while (!heap.empty()) {
+    const Item item = heap.top();
+    heap.pop();
+    if (item.is_entry) {
+      *payload = entry_payloads_[item.index];
+      return true;
+    }
+    const Node& node = nodes_[item.index];
+    if (node.is_leaf) {
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const uint32_t entry = node.first_child + i;
+        heap.push({entry_boxes_[entry].DistanceSquaredTo(p), entry, true});
+      }
+    } else {
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const uint32_t child = node.first_child + i;
+        heap.push({nodes_[child].bounds.DistanceSquaredTo(p), child, false});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace scout

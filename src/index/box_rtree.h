@@ -1,0 +1,65 @@
+#ifndef SCOUT_INDEX_BOX_RTREE_H_
+#define SCOUT_INDEX_BOX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/region.h"
+
+namespace scout {
+
+/// An in-memory R-tree over a fixed set of boxes with uint32 payloads,
+/// bulk-loaded bottom-up. Serves as (a) the directory of the STR R-tree
+/// index (payload = leaf PageId) and (b) the page directory of the FLAT
+/// index. Entries are packed in the order given, so callers pre-sort
+/// entries with StrOrder / Hilbert order for good tiles.
+class BoxRTree {
+ public:
+  static constexpr size_t kFanout = 64;
+
+  BoxRTree() = default;
+
+  /// Bulk loads from (box, payload) entries, packed in the given order.
+  void BulkLoad(std::vector<Aabb> boxes, std::vector<uint32_t> payloads);
+
+  bool empty() const { return leaf_count_ == 0; }
+  size_t NumEntries() const { return leaf_count_; }
+
+  /// Appends payloads of all entries whose box intersects the region.
+  void Query(const Region& region, std::vector<uint32_t>* out) const;
+
+  /// Appends payloads of all entries whose box intersects `box`.
+  void Query(const Aabb& box, std::vector<uint32_t>* out) const;
+
+  /// Payload of the entry whose box is nearest to `p` (by box distance;
+  /// ties broken by payload order). Returns false if the tree is empty.
+  bool Nearest(const Vec3& p, uint32_t* payload) const;
+
+  /// Number of tree nodes (for memory accounting in benches).
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Aabb bounds;
+    // Children are contiguous: [first_child, first_child + count) indices
+    // into nodes_ (internal) or into entry arrays (leaf node).
+    uint32_t first_child = 0;
+    uint32_t count = 0;
+    bool is_leaf = false;
+  };
+
+  template <typename Visitor>
+  void Visit(const Visitor& visit_entry, const Region* region,
+             const Aabb* box) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Aabb> entry_boxes_;
+  std::vector<uint32_t> entry_payloads_;
+  size_t leaf_count_ = 0;
+  uint32_t root_ = 0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_INDEX_BOX_RTREE_H_

@@ -1,0 +1,136 @@
+#include "index/flat_index.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+
+#include "geom/hilbert.h"
+
+namespace scout {
+
+StatusOr<std::unique_ptr<FlatIndex>> FlatIndex::Build(
+    std::vector<SpatialObject> objects, const FlatIndexConfig& config) {
+  auto index = std::unique_ptr<FlatIndex>(new FlatIndex());
+
+  Aabb dataset_bounds;
+  for (const SpatialObject& obj : objects) dataset_bounds.Extend(obj.Bounds());
+
+  // Order objects along the Hilbert curve of their centroids.
+  std::vector<size_t> order(objects.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<uint64_t> keys(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    keys[i] = HilbertIndexOfPoint(objects[i].Centroid(), dataset_bounds,
+                                  config.hilbert_bits);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return objects[a].id < objects[b].id;
+  });
+
+  std::vector<SpatialObject> page_objects;
+  page_objects.reserve(kPageCapacity);
+  for (size_t i = 0; i < order.size(); ++i) {
+    page_objects.push_back(std::move(objects[order[i]]));
+    if (page_objects.size() == kPageCapacity || i + 1 == order.size()) {
+      StatusOr<PageId> page = index->store_.AppendPage(std::move(page_objects));
+      if (!page.ok()) return page.status();
+      page_objects.clear();
+      page_objects.reserve(kPageCapacity);
+    }
+  }
+
+  std::vector<Aabb> boxes;
+  std::vector<uint32_t> payloads;
+  boxes.reserve(index->store_.NumPages());
+  payloads.reserve(index->store_.NumPages());
+  for (const Page& page : index->store_.pages()) {
+    boxes.push_back(page.bounds);
+    payloads.push_back(page.id);
+  }
+  index->directory_.BulkLoad(std::move(boxes), std::move(payloads));
+  index->BuildNeighbors(config.neighbor_margin);
+  return index;
+}
+
+void FlatIndex::BuildNeighbors(double margin) {
+  const size_t n = store_.NumPages();
+  neighbors_.assign(n, {});
+  std::vector<uint32_t> hits;
+  for (PageId p = 0; p < n; ++p) {
+    hits.clear();
+    directory_.Query(store_.page(p).bounds.Expanded(margin), &hits);
+    for (uint32_t q : hits) {
+      if (q != p) neighbors_[p].push_back(q);
+    }
+    std::sort(neighbors_[p].begin(), neighbors_[p].end());
+  }
+}
+
+void FlatIndex::QueryPages(const Region& region,
+                           std::vector<PageId>* out) const {
+  directory_.Query(region, out);
+}
+
+PageId FlatIndex::NearestPage(const Vec3& p) const {
+  uint32_t payload = kInvalidPageId;
+  if (!directory_.Nearest(p, &payload)) return kInvalidPageId;
+  return payload;
+}
+
+void FlatIndex::QueryPagesOrdered(const Region& region, const Vec3& start,
+                                  std::vector<PageId>* out) const {
+  std::vector<PageId> result;
+  QueryPages(region, &result);
+  if (result.empty()) return;
+
+  std::unordered_set<PageId> remaining(result.begin(), result.end());
+
+  // Seed: the result page nearest to `start`.
+  PageId seed = result[0];
+  double best = store_.page(seed).bounds.DistanceSquaredTo(start);
+  for (PageId p : result) {
+    const double d = store_.page(p).bounds.DistanceSquaredTo(start);
+    if (d < best) {
+      best = d;
+      seed = p;
+    }
+  }
+
+  // BFS crawl through neighborhood links restricted to result pages.
+  std::queue<PageId> frontier;
+  frontier.push(seed);
+  remaining.erase(seed);
+  while (!frontier.empty()) {
+    const PageId p = frontier.front();
+    frontier.pop();
+    out->push_back(p);
+    for (PageId q : neighbors_[p]) {
+      auto it = remaining.find(q);
+      if (it != remaining.end()) {
+        remaining.erase(it);
+        frontier.push(q);
+      }
+    }
+  }
+
+  // Disconnected leftovers: nearest-first.
+  std::vector<PageId> leftovers(remaining.begin(), remaining.end());
+  std::sort(leftovers.begin(), leftovers.end(), [&](PageId a, PageId b) {
+    const double da = store_.page(a).bounds.DistanceSquaredTo(start);
+    const double db = store_.page(b).bounds.DistanceSquaredTo(start);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  out->insert(out->end(), leftovers.begin(), leftovers.end());
+}
+
+double FlatIndex::MeanNeighborCount() const {
+  if (neighbors_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& list : neighbors_) total += list.size();
+  return static_cast<double>(total) / static_cast<double>(neighbors_.size());
+}
+
+}  // namespace scout

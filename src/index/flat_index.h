@@ -1,0 +1,71 @@
+#ifndef SCOUT_INDEX_FLAT_INDEX_H_
+#define SCOUT_INDEX_FLAT_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/box_rtree.h"
+#include "index/spatial_index.h"
+#include "storage/object.h"
+
+namespace scout {
+
+/// Configuration of the FLAT-style index build.
+struct FlatIndexConfig {
+  /// Hilbert curve resolution (bits per dimension) used to order objects
+  /// into pages with strong spatial locality.
+  int hilbert_bits = 16;
+  /// Two pages are neighbors if their bounds expanded by this margin (µm)
+  /// intersect.
+  double neighbor_margin = 1.0;
+};
+
+/// FLAT-style index (Tauheed et al. [27]): pages laid out in Hilbert
+/// order with precomputed page-neighborhood links. This provides the two
+/// capabilities SCOUT-OPT exploits (paper §6): retrieval of result pages
+/// in a controlled spatial order (seed + crawl) and crawling *outside* a
+/// query region along a structure (gap traversal).
+///
+/// Substitution note (DESIGN.md §2): FLAT itself is not open source; this
+/// reimplementation reproduces the seed-and-crawl query execution and the
+/// neighborhood metadata the paper describes.
+class FlatIndex : public SpatialIndex {
+ public:
+  static StatusOr<std::unique_ptr<FlatIndex>> Build(
+      std::vector<SpatialObject> objects, const FlatIndexConfig& config = {});
+
+  std::string_view name() const override { return "flat"; }
+  const PageStore& store() const override { return store_; }
+  void QueryPages(const Region& region,
+                  std::vector<PageId>* out) const override;
+  PageId NearestPage(const Vec3& p) const override;
+
+  bool SupportsNeighborhood() const override { return true; }
+  const std::vector<PageId>& PageNeighbors(PageId page) const override {
+    return neighbors_[page];
+  }
+
+  /// Seed-and-crawl ordered retrieval: result pages are emitted in BFS
+  /// order over the neighborhood links starting from the page nearest to
+  /// `start`; result pages unreachable through in-region links are
+  /// appended afterwards (sorted by distance).
+  void QueryPagesOrdered(const Region& region, const Vec3& start,
+                         std::vector<PageId>* out) const override;
+
+  /// Average number of neighbors per page (diagnostics / tests).
+  double MeanNeighborCount() const;
+
+ private:
+  FlatIndex() = default;
+
+  void BuildNeighbors(double margin);
+
+  PageStore store_;
+  BoxRTree directory_;
+  std::vector<std::vector<PageId>> neighbors_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_INDEX_FLAT_INDEX_H_

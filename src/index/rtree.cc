@@ -1,0 +1,55 @@
+#include "index/rtree.h"
+
+#include <utility>
+
+#include "index/str_pack.h"
+
+namespace scout {
+
+StatusOr<std::unique_ptr<RTreeIndex>> RTreeIndex::Build(
+    std::vector<SpatialObject> objects) {
+  auto index = std::unique_ptr<RTreeIndex>(new RTreeIndex());
+
+  std::vector<Vec3> centroids;
+  centroids.reserve(objects.size());
+  for (const SpatialObject& obj : objects) {
+    centroids.push_back(obj.Centroid());
+  }
+  const std::vector<size_t> order = StrOrder(centroids, kPageCapacity);
+
+  std::vector<SpatialObject> page_objects;
+  page_objects.reserve(kPageCapacity);
+  for (size_t i = 0; i < order.size(); ++i) {
+    page_objects.push_back(std::move(objects[order[i]]));
+    if (page_objects.size() == kPageCapacity || i + 1 == order.size()) {
+      StatusOr<PageId> page = index->store_.AppendPage(std::move(page_objects));
+      if (!page.ok()) return page.status();
+      page_objects.clear();
+      page_objects.reserve(kPageCapacity);
+    }
+  }
+
+  std::vector<Aabb> boxes;
+  std::vector<uint32_t> payloads;
+  boxes.reserve(index->store_.NumPages());
+  payloads.reserve(index->store_.NumPages());
+  for (const Page& page : index->store_.pages()) {
+    boxes.push_back(page.bounds);
+    payloads.push_back(page.id);
+  }
+  index->directory_.BulkLoad(std::move(boxes), std::move(payloads));
+  return index;
+}
+
+void RTreeIndex::QueryPages(const Region& region,
+                            std::vector<PageId>* out) const {
+  directory_.Query(region, out);
+}
+
+PageId RTreeIndex::NearestPage(const Vec3& p) const {
+  uint32_t payload = kInvalidPageId;
+  if (!directory_.Nearest(p, &payload)) return kInvalidPageId;
+  return payload;
+}
+
+}  // namespace scout

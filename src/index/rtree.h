@@ -1,0 +1,40 @@
+#ifndef SCOUT_INDEX_RTREE_H_
+#define SCOUT_INDEX_RTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/box_rtree.h"
+#include "index/spatial_index.h"
+#include "storage/object.h"
+
+namespace scout {
+
+/// STR bulk-loaded R-tree (Leutenegger et al. [14]) — the index SCOUT is
+/// coupled with in the paper's experiments. Objects are packed into leaf
+/// disk pages in Sort-Tile-Recursive order (fill factor 100%, 87 objects
+/// per 4 KB page); an in-memory directory of page MBRs answers range
+/// queries with the page ids to read.
+class RTreeIndex : public SpatialIndex {
+ public:
+  /// Builds the index (and its page layout) over `objects`.
+  static StatusOr<std::unique_ptr<RTreeIndex>> Build(
+      std::vector<SpatialObject> objects);
+
+  std::string_view name() const override { return "rtree-str"; }
+  const PageStore& store() const override { return store_; }
+  void QueryPages(const Region& region,
+                  std::vector<PageId>* out) const override;
+  PageId NearestPage(const Vec3& p) const override;
+
+ private:
+  RTreeIndex() = default;
+
+  PageStore store_;
+  BoxRTree directory_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_INDEX_RTREE_H_

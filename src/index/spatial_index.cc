@@ -1,0 +1,26 @@
+#include "index/spatial_index.h"
+
+#include <algorithm>
+
+namespace scout {
+
+const std::vector<PageId>& SpatialIndex::PageNeighbors(PageId page) const {
+  (void)page;
+  static const std::vector<PageId>* const kEmpty = new std::vector<PageId>();
+  return *kEmpty;
+}
+
+void SpatialIndex::QueryPagesOrdered(const Region& region, const Vec3& start,
+                                     std::vector<PageId>* out) const {
+  const size_t begin = out->size();
+  QueryPages(region, out);
+  const PageStore& pages = store();
+  std::sort(out->begin() + begin, out->end(), [&](PageId a, PageId b) {
+    const double da = pages.page(a).bounds.DistanceSquaredTo(start);
+    const double db = pages.page(b).bounds.DistanceSquaredTo(start);
+    if (da != db) return da < db;
+    return a < b;
+  });
+}
+
+}  // namespace scout

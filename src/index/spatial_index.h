@@ -1,0 +1,57 @@
+#ifndef SCOUT_INDEX_SPATIAL_INDEX_H_
+#define SCOUT_INDEX_SPATIAL_INDEX_H_
+
+#include <string_view>
+#include <vector>
+
+#include "geom/region.h"
+#include "storage/page_store.h"
+
+namespace scout {
+
+/// Interface of a disk-based spatial index. An index owns the physical
+/// page layout of the dataset (its PageStore) and answers range queries
+/// at page granularity: the engine then reads those pages (cache or
+/// simulated disk) and filters objects against the region.
+///
+/// SCOUT "can be used with any spatial index as long as it can execute
+/// spatial range queries" (paper §4); SCOUT-OPT additionally requires the
+/// neighborhood capability below (paper §6, FLAT / DLS).
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// The physical page layout this index created.
+  virtual const PageStore& store() const = 0;
+
+  /// Appends the ids of all pages whose bounds intersect `region`.
+  /// Deterministic order (index-specific).
+  virtual void QueryPages(const Region& region,
+                          std::vector<PageId>* out) const = 0;
+
+  /// True if the index maintains page-neighborhood information and can
+  /// retrieve result pages in a controlled spatial order (paper §6.1).
+  virtual bool SupportsNeighborhood() const { return false; }
+
+  /// Pages physically adjacent in space to `page` (only if
+  /// SupportsNeighborhood()). Default implementation returns an empty
+  /// list.
+  virtual const std::vector<PageId>& PageNeighbors(PageId page) const;
+
+  /// Appends result pages ordered so that pages close to `start` come
+  /// first. The default implementation queries and sorts by distance of
+  /// the page bounds to `start`; neighborhood indexes override this with
+  /// a seed-and-crawl traversal.
+  virtual void QueryPagesOrdered(const Region& region, const Vec3& start,
+                                 std::vector<PageId>* out) const;
+
+  /// Id of the page whose bounds are nearest to `p`, or kInvalidPageId if
+  /// the index is empty. Used to seed crawls.
+  virtual PageId NearestPage(const Vec3& p) const = 0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_INDEX_SPATIAL_INDEX_H_

@@ -1,0 +1,48 @@
+#include "index/str_pack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scout {
+
+std::vector<size_t> StrOrder(const std::vector<Vec3>& points,
+                             size_t capacity) {
+  const size_t n = points.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (n == 0 || capacity == 0) return order;
+
+  const size_t num_leaves = (n + capacity - 1) / capacity;
+  // Number of x-slabs: ceil(P^(1/3)); each slab is split into
+  // ceil((P/sx)^(1/2)) y-runs; runs are packed along z.
+  const size_t sx = static_cast<size_t>(
+      std::ceil(std::cbrt(static_cast<double>(num_leaves))));
+  const size_t leaves_per_slab = (num_leaves + sx - 1) / sx;
+  const size_t sy = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaves_per_slab))));
+  const size_t slab_size = leaves_per_slab * capacity;
+  const size_t run_size =
+      ((leaves_per_slab + sy - 1) / sy) * capacity;
+
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return points[a].x < points[b].x;
+  });
+
+  for (size_t slab_start = 0; slab_start < n; slab_start += slab_size) {
+    const size_t slab_end = std::min(slab_start + slab_size, n);
+    std::sort(order.begin() + slab_start, order.begin() + slab_end,
+              [&](size_t a, size_t b) { return points[a].y < points[b].y; });
+    for (size_t run_start = slab_start; run_start < slab_end;
+         run_start += run_size) {
+      const size_t run_end = std::min(run_start + run_size, slab_end);
+      std::sort(order.begin() + run_start, order.begin() + run_end,
+                [&](size_t a, size_t b) {
+                  return points[a].z < points[b].z;
+                });
+    }
+  }
+  return order;
+}
+
+}  // namespace scout

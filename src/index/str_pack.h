@@ -1,0 +1,22 @@
+#ifndef SCOUT_INDEX_STR_PACK_H_
+#define SCOUT_INDEX_STR_PACK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec3.h"
+
+namespace scout {
+
+/// Sort-Tile-Recursive packing order (Leutenegger et al., ICDE 1997 —
+/// the paper's baseline index is an "R-Tree (STR Bulkloaded)").
+///
+/// Returns a permutation of [0, points.size()) such that consecutive runs
+/// of `capacity` indices form spatially compact tiles: the points are
+/// sorted into x-slabs, each slab into y-runs, each run by z.
+std::vector<size_t> StrOrder(const std::vector<Vec3>& points,
+                             size_t capacity);
+
+}  // namespace scout
+
+#endif  // SCOUT_INDEX_STR_PACK_H_

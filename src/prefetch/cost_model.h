@@ -1,0 +1,46 @@
+#ifndef SCOUT_PREFETCH_COST_MODEL_H_
+#define SCOUT_PREFETCH_COST_MODEL_H_
+
+#include "common/sim_clock.h"
+#include "graph/graph_builder.h"
+#include "graph/traversal.h"
+
+namespace scout {
+
+/// Converts algorithmic work counters into simulated CPU time. Keeping
+/// prediction cost on the simulated clock (instead of wall-clock) makes
+/// experiments deterministic; the unit costs below are calibrated so that
+/// graph building is ~15% and prediction <= ~6% of query response time at
+/// the paper's default density (Figure 14).
+struct CostModel {
+  double hash_object_us = 5.0;      ///< Per object mapped to grid cells.
+  double cell_insert_us = 0.6;      ///< Per (object, cell) insertion.
+  double edge_create_us = 0.8;      ///< Per created edge (pre-dedup).
+  double visit_vertex_us = 1.0;     ///< Per vertex visited in traversal.
+  double traverse_edge_us = 0.4;    ///< Per edge relaxed in traversal.
+  double kmeans_point_iter_us = 0.1;  ///< Per point per Lloyd iteration.
+  double base_us = 5.0;             ///< Fixed bookkeeping per query.
+
+  SimMicros GraphBuildCost(const GraphBuildStats& s) const {
+    const double us = static_cast<double>(s.objects_hashed) * hash_object_us +
+                      static_cast<double>(s.cell_inserts) * cell_insert_us +
+                      static_cast<double>(s.edges_created) * edge_create_us;
+    return static_cast<SimMicros>(us);
+  }
+
+  SimMicros TraversalCost(const TraversalStats& s) const {
+    const double us =
+        static_cast<double>(s.vertices_visited) * visit_vertex_us +
+        static_cast<double>(s.edges_traversed) * traverse_edge_us;
+    return static_cast<SimMicros>(us);
+  }
+
+  SimMicros KMeansCost(size_t points, uint32_t iterations) const {
+    return static_cast<SimMicros>(static_cast<double>(points) * iterations *
+                                  kmeans_point_iter_us);
+  }
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_PREFETCH_COST_MODEL_H_

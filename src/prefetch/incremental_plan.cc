@@ -1,0 +1,63 @@
+#include "prefetch/incremental_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scout {
+
+void IncrementalPlan::Reset(std::vector<PrefetchAxis> axes,
+                            const Region& base, uint32_t max_steps) {
+  axes_ = std::move(axes);
+  base_ = base;
+  base_volume_ = base.Volume();
+  max_steps_ = max_steps;
+  next_axis_ = 0;
+  states_.clear();
+  states_.reserve(axes_.size());
+  for (const PrefetchAxis& axis : axes_) {
+    AxisState state;
+    state.axis = axis;
+    state.distance = axis.start_offset;
+    states_.push_back(state);
+  }
+}
+
+bool IncrementalPlan::Exhausted() const {
+  for (const AxisState& s : states_) {
+    if (s.step < max_steps_) return false;
+  }
+  return true;
+}
+
+std::optional<Region> IncrementalPlan::Next() {
+  if (states_.empty() || base_volume_ <= 0.0) return std::nullopt;
+  // Round-robin over axes with steps remaining.
+  for (size_t tried = 0; tried < states_.size(); ++tried) {
+    AxisState& s = states_[next_axis_];
+    next_axis_ = (next_axis_ + 1) % states_.size();
+    if (s.step >= max_steps_) continue;
+
+    // Volume schedule: start at 40% of the (weighted) query volume and
+    // grow to 120%, so early prefetches stay near the exit location and
+    // later ones cover prediction slack (paper §5.1).
+    const double growth = std::min(0.4 + 0.2 * s.step, 1.2);
+    const double volume = base_volume_ * s.axis.weight * growth;
+    const double side = std::cbrt(volume);
+
+    // Center the region so that it starts at the current axis distance,
+    // then advance by 70% of its side (adjacent regions overlap slightly,
+    // already-cached pages cost nothing to re-request).
+    const Vec3 center =
+        s.axis.origin + s.axis.direction * (s.distance + 0.5 * side);
+    s.distance += 0.7 * side;
+    ++s.step;
+
+    Region region = base_.is_frustum()
+                        ? Region::FrustumAt(center, s.axis.direction, volume)
+                        : Region::CubeAt(center, volume);
+    return region;
+  }
+  return std::nullopt;
+}
+
+}  // namespace scout

@@ -1,0 +1,62 @@
+#ifndef SCOUT_PREFETCH_INCREMENTAL_PLAN_H_
+#define SCOUT_PREFETCH_INCREMENTAL_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/region.h"
+
+namespace scout {
+
+/// One extrapolation axis to prefetch along: starting at `origin`
+/// (normally a structure exit location E), advancing in `direction`.
+/// `start_offset` skips an initial stretch (the estimated gap distance),
+/// and `weight` is the fraction of the per-step volume dedicated to this
+/// axis (broad prefetching splits the budget across axes, §5.2.2).
+struct PrefetchAxis {
+  Vec3 origin;
+  Vec3 direction;
+  double start_offset = 0.0;
+  double weight = 1.0;
+};
+
+/// Generates the incremental prefetch queries p1, p2, ... of paper §5.1 /
+/// Figure 6: small regions first, close to the exit location, each
+/// subsequent region bigger and shifted further along the extrapolated
+/// axis. Multiple axes are served round-robin (broad prefetching,
+/// Figure 7b); a single axis implements deep prefetching (Figure 7a).
+class IncrementalPlan {
+ public:
+  IncrementalPlan() = default;
+
+  /// Installs a new plan. `base` is the current query region (the
+  /// prefetch regions reuse its shape and volume) and `max_steps` bounds
+  /// the number of regions emitted per axis.
+  void Reset(std::vector<PrefetchAxis> axes, const Region& base,
+             uint32_t max_steps);
+
+  /// Next prefetch region, or nullopt when the plan is exhausted.
+  std::optional<Region> Next();
+
+  bool Exhausted() const;
+  size_t NumAxes() const { return axes_.size(); }
+
+ private:
+  struct AxisState {
+    PrefetchAxis axis;
+    uint32_t step = 0;
+    double distance = 0.0;  // Advance along the axis so far.
+  };
+
+  std::vector<AxisState> states_;
+  std::vector<PrefetchAxis> axes_;
+  Region base_;
+  double base_volume_ = 0.0;
+  uint32_t max_steps_ = 0;
+  size_t next_axis_ = 0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_PREFETCH_INCREMENTAL_PLAN_H_

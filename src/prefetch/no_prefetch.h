@@ -1,0 +1,24 @@
+#ifndef SCOUT_PREFETCH_NO_PREFETCH_H_
+#define SCOUT_PREFETCH_NO_PREFETCH_H_
+
+#include "prefetch/prefetcher.h"
+
+namespace scout {
+
+/// The do-nothing policy: every query pays full residual I/O. This is the
+/// paper's speedup baseline ("compared to not using prefetching at all",
+/// Figure 11b).
+class NoPrefetcher : public Prefetcher {
+ public:
+  std::string_view name() const override { return "none"; }
+  void BeginSequence() override {}
+  SimMicros Observe(const QueryResultView& result) override {
+    (void)result;
+    return 0;
+  }
+  void RunPrefetch(PrefetchIo* io) override { (void)io; }
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_PREFETCH_NO_PREFETCH_H_

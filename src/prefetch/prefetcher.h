@@ -1,0 +1,102 @@
+#ifndef SCOUT_PREFETCH_PREFETCHER_H_
+#define SCOUT_PREFETCH_PREFETCHER_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "geom/region.h"
+#include "graph/graph_builder.h"
+#include "storage/page.h"
+
+namespace scout {
+
+/// What a prefetcher sees of a finished query: the region, the result
+/// objects (with the page each lives on) and the result pages in
+/// retrieval order. Note there is deliberately no access to ground-truth
+/// structure ids — prefetchers must infer structure from geometry.
+struct QueryResultView {
+  const Region* region = nullptr;
+  std::span<const GraphInput> objects;
+  std::span<const PageId> pages;
+};
+
+/// I/O service handed to the prefetcher during the prefetch window. All
+/// reads charge simulated disk time against the window budget; FetchPage
+/// returns false exactly when the window closes (the user issued the next
+/// query), implementing the paper's incremental prefetching contract
+/// (§5.1: prefetching "stops once the user issues the next range query").
+class PrefetchIo {
+ public:
+  virtual ~PrefetchIo() = default;
+
+  /// Ids of pages whose bounds intersect `region` (via the index; no I/O
+  /// is charged for directory lookups, which are memory-resident).
+  virtual void QueryPages(const Region& region,
+                          std::vector<PageId>* out) = 0;
+
+  /// True if the page is already in the prefetch cache.
+  virtual bool IsCached(PageId page) const = 0;
+
+  /// Reads the page into the prefetch cache, charging its disk cost to
+  /// the window. Returns false iff the window budget is exhausted (the
+  /// page is then NOT fetched). Already-cached pages cost nothing.
+  virtual bool FetchPage(PageId page) = 0;
+
+  /// True while window budget remains.
+  virtual bool WindowOpen() const = 0;
+};
+
+/// Diagnostics of the last Observe() call, filled in by content-aware
+/// prefetchers for the paper's cost experiments (Figures 14-16).
+struct ObserveBreakdown {
+  SimMicros graph_build_us = 0;   ///< Simulated graph-construction time.
+  SimMicros prediction_us = 0;    ///< Simulated traversal/prediction time.
+  int64_t wall_graph_build_us = 0;  ///< Measured wall-clock build time.
+  int64_t wall_prediction_us = 0;   ///< Measured wall-clock predict time.
+  size_t result_objects = 0;
+  size_t graph_vertices = 0;
+  size_t graph_edges = 0;
+  size_t graph_memory_bytes = 0;
+  size_t num_candidates = 0;  ///< Candidate structures after pruning.
+  size_t num_exits = 0;       ///< Exit locations found.
+  bool was_reset = 0;         ///< Candidate set was reset this query.
+};
+
+/// Interface of all prefetching policies. Lifecycle per query sequence:
+///   BeginSequence();
+///   for each query q:  (engine executes q, then)
+///     cost = Observe(result of q);          // prediction computation
+///     RunPrefetch(io);                      // until window closes
+///
+/// Observe returns the simulated CPU cost of prediction, which the engine
+/// charges against the prefetch window (Figure 2's "Prediction
+/// Computation" slice).
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Resets all sequence state (new sequence, cold cache).
+  virtual void BeginSequence() = 0;
+
+  /// Digests the result of the query that just executed.
+  virtual SimMicros Observe(const QueryResultView& result) = 0;
+
+  /// Issues prefetch I/O until the plan is exhausted or the window
+  /// closes.
+  virtual void RunPrefetch(PrefetchIo* io) = 0;
+
+  /// Diagnostics of the last Observe (zeros for baselines).
+  virtual const ObserveBreakdown& last_observe() const {
+    static const ObserveBreakdown kEmpty{};
+    return kEmpty;
+  }
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_PREFETCH_PREFETCHER_H_

@@ -1,0 +1,177 @@
+#include "prefetch/scout_opt_prefetcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace scout {
+
+ScoutOptPrefetcher::ScoutOptPrefetcher(const ScoutConfig& config,
+                                       const SpatialIndex* index,
+                                       const ScoutOptConfig& opt)
+    : ScoutPrefetcher(config), index_(index), opt_(opt) {}
+
+void ScoutOptPrefetcher::BeginSequence() {
+  ScoutPrefetcher::BeginSequence();
+  gap_pages_fetched_ = 0;
+}
+
+GraphBuildStats ScoutOptPrefetcher::BuildResultGraph(
+    const QueryResultView& result, SpatialGraph* graph) {
+  if (predictions_.empty() || index_ == nullptr ||
+      !index_->SupportsNeighborhood() ||
+      config_.explicit_adjacency != nullptr) {
+    return ScoutPrefetcher::BuildResultGraph(result, graph);
+  }
+
+  // Sparse construction (§6.2): start from the result pages nearest to
+  // the predicted entry locations and crawl page-neighborhood links
+  // within the result set. Only objects on reached pages enter the graph
+  // — the pages irrelevant for prediction are skipped entirely.
+  std::unordered_set<PageId> result_pages(result.pages.begin(),
+                                          result.pages.end());
+  const PageStore& store = index_->store();
+
+  std::unordered_set<PageId> reached;
+  std::queue<PageId> frontier;
+  for (const PredictedEntry& entry : predictions_) {
+    PageId best = kInvalidPageId;
+    double best_d = std::numeric_limits<double>::max();
+    for (PageId p : result.pages) {
+      const double d = store.page(p).bounds.DistanceSquaredTo(entry.point);
+      if (d < best_d) {
+        best_d = d;
+        best = p;
+      }
+    }
+    if (best != kInvalidPageId && reached.insert(best).second) {
+      frontier.push(best);
+    }
+  }
+  if (reached.empty()) {
+    return ScoutPrefetcher::BuildResultGraph(result, graph);
+  }
+  while (!frontier.empty()) {
+    const PageId p = frontier.front();
+    frontier.pop();
+    for (PageId q : index_->PageNeighbors(p)) {
+      if (result_pages.contains(q) && reached.insert(q).second) {
+        frontier.push(q);
+      }
+    }
+  }
+
+  std::vector<GraphInput> sparse_inputs;
+  sparse_inputs.reserve(result.objects.size());
+  for (const GraphInput& in : result.objects) {
+    if (reached.contains(in.page)) sparse_inputs.push_back(in);
+  }
+  if (sparse_inputs.empty()) {
+    return ScoutPrefetcher::BuildResultGraph(result, graph);
+  }
+  return BuildGraphGridHash(sparse_inputs, result.region->Bounds(),
+                            config_.grid_cells, graph);
+}
+
+void ScoutOptPrefetcher::RefineAxes(PrefetchIo* io) {
+  if (index_ == nullptr || !index_->SupportsNeighborhood()) return;
+  if (pending_axes_.empty() || !has_last_region_) return;
+  const double extent = RegionExtent(last_region_);
+  if (gap_estimate_ <= opt_.gap_threshold_factor * extent) return;
+
+  // Gap traversal (§6.3): follow the candidate structure through the gap
+  // by crawling page-neighborhood links, under an I/O budget of a
+  // fraction of the last result's pages.
+  int64_t budget = std::max<int64_t>(
+      opt_.min_gap_budget_pages,
+      static_cast<int64_t>(opt_.gap_io_budget_fraction *
+                           static_cast<double>(last_result_pages_)));
+  const double corridor = opt_.corridor_factor * extent;
+
+  // How close an object endpoint must be to the tracked position to count
+  // as the continuation of the structure (consecutive fiber segments
+  // share endpoints, so this can be tight).
+  const double continuity = std::max(0.08 * extent, 1.0);
+
+  for (PrefetchAxis& axis : pending_axes_) {
+    if (budget <= 0 || !io->WindowOpen()) break;
+
+    Vec3 pos = axis.origin;
+    Vec3 dir = axis.direction;
+    double progress = 0.0;
+    std::vector<const SpatialObject*> pool;
+    std::unordered_set<PageId> visited;
+    PageId current =
+        index_->NearestPage(pos + dir * (0.05 * extent));
+
+    while (budget > 0 && current != kInvalidPageId &&
+           visited.insert(current).second) {
+      // Only pages that actually cost I/O count against the gap budget.
+      const bool was_cached = io->IsCached(current);
+      if (!io->FetchPage(current)) return;  // Window closed mid-crawl.
+      if (!was_cached) {
+        --budget;
+        ++gap_pages_fetched_;
+      }
+      for (const SpatialObject& obj :
+           index_->store().page(current).objects) {
+        pool.push_back(&obj);
+      }
+
+      // Walk the structure chain through the pooled objects: repeatedly
+      // hop to the object whose endpoint touches the tracked position
+      // and extends it forward.
+      bool advanced = true;
+      while (advanced) {
+        advanced = false;
+        for (const SpatialObject* obj : pool) {
+          const Segment& line = obj->geom.AsLine();
+          const double da = line.a.DistanceTo(pos);
+          const double db = line.b.DistanceTo(pos);
+          if (std::min(da, db) > continuity) continue;
+          const Vec3& far_end = da < db ? line.b : line.a;
+          const Vec3 v = far_end - axis.origin;
+          const double proj = v.Dot(axis.direction);
+          const double perp = (v - axis.direction * proj).Norm();
+          if (perp > corridor) continue;
+          if (proj > progress + 1e-6) {
+            dir = (far_end - pos).Normalized();
+            pos = far_end;
+            progress = proj;
+            advanced = true;
+          }
+        }
+      }
+      if (progress >= gap_estimate_) break;  // Gap bridged.
+
+      // Continue crawling toward the tracked position: the unvisited
+      // neighbor page nearest to just ahead of it.
+      const Vec3 probe = pos + dir * (0.05 * extent);
+      PageId next = kInvalidPageId;
+      double best_d = std::numeric_limits<double>::max();
+      for (PageId q : index_->PageNeighbors(current)) {
+        if (visited.contains(q)) continue;
+        const double d =
+            index_->store().page(q).bounds.DistanceSquaredTo(probe);
+        if (d < best_d) {
+          best_d = d;
+          next = q;
+        }
+      }
+      current = next;
+    }
+
+    if (progress > 0.0) {
+      // Re-anchor the axis at the furthest confirmed structure position;
+      // only the remaining (unconfirmed) part of the gap is skipped
+      // blindly.
+      axis.origin = pos;
+      axis.direction = dir;
+      axis.start_offset = std::max(0.0, gap_estimate_ - progress);
+    }
+  }
+}
+
+}  // namespace scout

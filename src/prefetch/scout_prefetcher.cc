@@ -1,0 +1,291 @@
+#include "prefetch/scout_prefetcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "graph/kmeans.h"
+
+namespace scout {
+
+ScoutPrefetcher::ScoutPrefetcher(const ScoutConfig& config)
+    : config_(config), rng_(config.rng_seed) {}
+
+void ScoutPrefetcher::BeginSequence() {
+  predictions_.clear();
+  pending_axes_.clear();
+  plan_ = IncrementalPlan();
+  has_last_region_ = false;
+  has_prev_center_ = false;
+  has_prev_region_ = false;
+  has_movement_ = false;
+  gap_estimate_ = 0.0;
+  last_result_pages_ = 0;
+  breakdown_ = ObserveBreakdown{};
+  last_exits_.clear();
+  rng_.Seed(config_.rng_seed);
+}
+
+double ScoutPrefetcher::RegionExtent(const Region& region) {
+  if (region.is_frustum()) {
+    return region.frustum().far_distance() -
+           region.frustum().near_distance();
+  }
+  return std::cbrt(std::max(region.Volume(), 0.0));
+}
+
+GraphBuildStats ScoutPrefetcher::BuildResultGraph(
+    const QueryResultView& result, SpatialGraph* graph) {
+  if (config_.explicit_adjacency != nullptr) {
+    // Mesh dataset: the graph is explicit — connect result objects that
+    // the dataset lists as adjacent (paper §4.2, polygon-mesh case).
+    GraphBuildStats stats;
+    std::unordered_map<ObjectId, VertexId> by_object;
+    by_object.reserve(result.objects.size() * 2);
+    for (const GraphInput& in : result.objects) {
+      GraphVertex v;
+      v.object_id = in.object->id;
+      v.page_id = in.page;
+      v.line = in.object->geom.AsLine();
+      by_object[in.object->id] = graph->AddVertex(v);
+    }
+    const AdjacencyMap& adj = *config_.explicit_adjacency;
+    for (const GraphInput& in : result.objects) {
+      auto it = adj.find(in.object->id);
+      if (it == adj.end()) continue;
+      const VertexId v = by_object[in.object->id];
+      for (ObjectId nb : it->second) {
+        ++stats.pair_comparisons;
+        auto jt = by_object.find(nb);
+        if (jt == by_object.end()) continue;
+        graph->AddEdge(v, jt->second);
+        ++stats.edges_created;
+      }
+      ++stats.objects_hashed;
+    }
+    graph->DedupEdges();
+    return stats;
+  }
+  if (config_.use_brute_force_graph) {
+    return BuildGraphBruteForce(result.objects, config_.brute_force_epsilon,
+                                graph);
+  }
+  return BuildGraphGridHash(result.objects, result.region->Bounds(),
+                            config_.grid_cells, graph);
+}
+
+SimMicros ScoutPrefetcher::Observe(const QueryResultView& result) {
+  Stopwatch wall;
+  breakdown_ = ObserveBreakdown{};
+  breakdown_.result_objects = result.objects.size();
+
+  last_region_ = *result.region;
+  has_last_region_ = true;
+  last_result_pages_ = result.pages.size();
+  const Vec3 center = result.region->Center();
+  const double extent = RegionExtent(last_region_);
+
+  if (has_prev_center_) {
+    const Vec3 move = center - prev_center_;
+    const double travel = move.Norm();
+    if (travel > 1e-9) {
+      movement_dir_ = move / travel;
+      has_movement_ = true;
+    }
+    // Gap between query boundaries: centers are `extent + gap` apart for
+    // adjacent-shape sequences; the same spacing is assumed next (§5.3).
+    gap_estimate_ = std::max(0.0, travel - extent);
+  } else {
+    gap_estimate_ = 0.0;
+  }
+
+  // --- Graph construction (interleaved with retrieval in the paper;
+  // charged against the prefetch window here). ---
+  SpatialGraph graph;
+  const GraphBuildStats build_stats = BuildResultGraph(result, &graph);
+  const SimMicros build_us = config_.costs.GraphBuildCost(build_stats);
+  breakdown_.wall_graph_build_us = wall.ElapsedMicros();
+  breakdown_.graph_build_us = build_us;
+  breakdown_.graph_vertices = graph.NumVertices();
+  breakdown_.graph_edges = graph.NumEdges();
+  breakdown_.graph_memory_bytes = graph.MemoryBytes();
+
+  Stopwatch predict_wall;
+
+  uint32_t num_components = 0;
+  const std::vector<uint32_t> component_of =
+      LabelComponents(graph, &num_components);
+
+  // --- Iterative candidate pruning (§4.3): structures entering this
+  // query near a predicted entry location stay candidates. ---
+  std::vector<VertexId> seeds;
+  const double match_radius = extent * config_.match_radius_factor;
+  if (!predictions_.empty()) {
+    for (const PredictedEntry& entry : predictions_) {
+      VerticesNearPoint(graph, entry.point, match_radius, &seeds);
+    }
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  }
+  if (seeds.empty() && has_prev_region_) {
+    // Prediction matching failed — rebuild the candidate set from the
+    // structures *entering* this query on the previous query's side
+    // (the enter-set of §4.3), which is far tighter than "everything".
+    EnteringVertices(graph, last_region_, prev_region_bounds_,
+                     0.3 * extent, &seeds);
+  }
+  const bool reset = seeds.empty();
+  breakdown_.was_reset = reset;
+  if (reset) seeds.clear();
+
+  // Candidate count = distinct components among the seeds (or all).
+  if (reset) {
+    breakdown_.num_candidates = num_components;
+  } else {
+    std::unordered_set<uint32_t> comps;
+    for (VertexId v : seeds) comps.insert(component_of[v]);
+    breakdown_.num_candidates = comps.size();
+  }
+
+  // --- Walk candidate structures to their exit locations (§4.4). ---
+  std::vector<ExitPoint> exits;
+  const TraversalStats traversal =
+      FindExits(graph, component_of, last_region_, seeds, &exits);
+  SimMicros predict_us =
+      config_.costs.TraversalCost(traversal) +
+      static_cast<SimMicros>(config_.costs.base_us);
+
+  // Drop exits pointing back toward where we came from; if that empties
+  // the set (e.g. a U-turning structure) keep the unfiltered exits.
+  if (has_movement_ && !exits.empty()) {
+    std::vector<ExitPoint> forward;
+    for (const ExitPoint& e : exits) {
+      if (e.direction.Dot(movement_dir_) >= 0.25) forward.push_back(e);
+    }
+    if (!forward.empty()) exits.swap(forward);
+  }
+
+  // Merge exits at (nearly) the same boundary location: a tortuous
+  // structure weaving across the boundary produces several crossings of
+  // the same physical exit, which must not each claim prefetch budget.
+  if (exits.size() > 1) {
+    const double merge_radius = 0.12 * extent;
+    std::vector<ExitPoint> merged;
+    std::vector<uint32_t> counts;
+    for (const ExitPoint& e : exits) {
+      bool absorbed = false;
+      for (size_t m = 0; m < merged.size(); ++m) {
+        if (merged[m].position.DistanceTo(e.position) <= merge_radius) {
+          merged[m].position =
+              (merged[m].position * counts[m] + e.position) /
+              static_cast<double>(counts[m] + 1);
+          merged[m].direction += e.direction;
+          ++counts[m];
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) {
+        merged.push_back(e);
+        counts.push_back(1);
+      }
+    }
+    for (ExitPoint& m : merged) m.direction = m.direction.Normalized();
+    exits.swap(merged);
+  }
+  breakdown_.num_exits = exits.size();
+  last_exits_ = exits;
+
+  // --- Choose prefetch locations (§5.2). ---
+  std::vector<const ExitPoint*> selected;
+  if (!exits.empty()) {
+    if (exits.size() > config_.max_prefetch_locations) {
+      // Cluster exit locations and pick one exit per cluster (§5.2.2).
+      std::vector<Vec3> points;
+      points.reserve(exits.size());
+      for (const ExitPoint& e : exits) points.push_back(e.position);
+      const KMeansResult clusters =
+          KMeans(points, config_.max_prefetch_locations, &rng_);
+      predict_us +=
+          config_.costs.KMeansCost(points.size(), clusters.iterations);
+      std::vector<std::vector<size_t>> members(clusters.centers.size());
+      for (size_t i = 0; i < exits.size(); ++i) {
+        members[clusters.assignment[i]].push_back(i);
+      }
+      for (const auto& cluster : members) {
+        if (cluster.empty()) continue;
+        const size_t pick = cluster[rng_.NextBounded(cluster.size())];
+        selected.push_back(&exits[pick]);
+      }
+    } else {
+      for (const ExitPoint& e : exits) selected.push_back(&e);
+    }
+    if (config_.strategy == ScoutConfig::Strategy::kDeep &&
+        selected.size() > 1) {
+      const size_t pick = rng_.NextBounded(selected.size());
+      const ExitPoint* chosen = selected[pick];
+      selected.clear();
+      selected.push_back(chosen);
+    }
+  }
+
+  pending_axes_.clear();
+  if (!selected.empty()) {
+    const double weight = 1.0 / static_cast<double>(selected.size());
+    for (const ExitPoint* e : selected) {
+      PrefetchAxis axis;
+      axis.origin = e->position;
+      axis.direction = e->direction;
+      axis.start_offset = gap_estimate_;
+      axis.weight = weight;
+      pending_axes_.push_back(axis);
+    }
+  } else if (has_movement_) {
+    // Backup: no structure exits found (e.g. all objects fully inside the
+    // region) — fall back to straight-line extrapolation of the centers.
+    PrefetchAxis axis;
+    axis.direction = movement_dir_;
+    axis.origin = center + movement_dir_ * (0.5 * extent);
+    axis.start_offset = gap_estimate_;
+    axis.weight = 1.0;
+    pending_axes_.push_back(axis);
+  }
+
+  // --- Predicted entry locations for the next pruning round: linear
+  // extrapolation of every exit across the estimated gap. ---
+  predictions_.clear();
+  for (const ExitPoint& e : exits) {
+    if (predictions_.size() >= config_.max_predictions) break;
+    predictions_.push_back(
+        PredictedEntry{e.position + e.direction * gap_estimate_,
+                       e.direction});
+  }
+
+  prev_center_ = center;
+  has_prev_center_ = true;
+  prev_region_bounds_ = last_region_.Bounds();
+  has_prev_region_ = true;
+
+  breakdown_.prediction_us = predict_us;
+  breakdown_.wall_prediction_us = predict_wall.ElapsedMicros();
+  return build_us + predict_us;
+}
+
+void ScoutPrefetcher::RunPrefetch(PrefetchIo* io) {
+  if (!has_last_region_) return;
+  RefineAxes(io);
+  plan_.Reset(pending_axes_, last_region_, config_.max_steps_per_axis);
+  std::vector<PageId> pages;
+  while (io->WindowOpen()) {
+    const std::optional<Region> region = plan_.Next();
+    if (!region.has_value()) return;
+    pages.clear();
+    io->QueryPages(*region, &pages);
+    for (PageId page : pages) {
+      if (!io->FetchPage(page)) return;
+    }
+  }
+}
+
+}  // namespace scout

@@ -1,0 +1,128 @@
+#ifndef SCOUT_PREFETCH_SCOUT_PREFETCHER_H_
+#define SCOUT_PREFETCH_SCOUT_PREFETCHER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/spatial_graph.h"
+#include "graph/traversal.h"
+#include "prefetch/cost_model.h"
+#include "prefetch/incremental_plan.h"
+#include "prefetch/prefetcher.h"
+
+namespace scout {
+
+/// Configuration of the SCOUT prefetcher.
+struct ScoutConfig {
+  /// Target number of grid cells for the per-query graph (the resolution
+  /// knob of Figure 13e; default matches the paper's finest setting).
+  int64_t grid_cells = 32768;
+
+  /// Candidate matching radius as a fraction of the query extent: a
+  /// structure "enters" the new query if it passes within this distance
+  /// of a predicted entry location (iterative candidate pruning, §4.3).
+  /// Must stay on the order of the extrapolation slop — making it large
+  /// matches unrelated structures and defeats pruning.
+  double match_radius_factor = 0.18;
+
+  /// Upper bound on predicted entry locations carried to the next query
+  /// (guards against degenerate exit explosions in pathological graphs).
+  size_t max_predictions = 64;
+
+  /// Multiple-candidate strategy (§5.2): broad splits the prefetch budget
+  /// across all predicted locations; deep gambles everything on one
+  /// randomly chosen candidate.
+  enum class Strategy { kBroad, kDeep };
+  Strategy strategy = Strategy::kBroad;
+
+  /// Cap `d` on the number of prefetch locations; when more candidate
+  /// structures exit the query, their exits are clustered with k-means
+  /// and one exit per cluster is used (§5.2.2).
+  uint32_t max_prefetch_locations = 6;
+
+  /// Incremental prefetch regions emitted per axis before giving up.
+  uint32_t max_steps_per_axis = 12;
+
+  /// Seed for the deep-strategy random pick and k-means.
+  uint64_t rng_seed = 42;
+
+  /// Optional explicit mesh adjacency (lung airway case). Not owned.
+  const AdjacencyMap* explicit_adjacency = nullptr;
+
+  /// Ablation: use the O(n^2) brute-force graph instead of grid hashing.
+  bool use_brute_force_graph = false;
+  double brute_force_epsilon = 1.5;
+
+  CostModel costs;
+};
+
+/// SCOUT (paper §4-§5): a structure-aware prefetcher. Per query it
+/// reduces the result's spatial objects to an approximate graph (grid
+/// hashing), prunes the candidate set of structures the user may be
+/// following by matching structures that enter this query against the
+/// previous query's predicted exits, walks the candidate structures to
+/// their exit locations, and prefetches incrementally along the linearly
+/// extrapolated exits.
+class ScoutPrefetcher : public Prefetcher {
+ public:
+  explicit ScoutPrefetcher(const ScoutConfig& config);
+
+  std::string_view name() const override { return "scout"; }
+  void BeginSequence() override;
+  SimMicros Observe(const QueryResultView& result) override;
+  void RunPrefetch(PrefetchIo* io) override;
+  const ObserveBreakdown& last_observe() const override {
+    return breakdown_;
+  }
+
+  /// Exit locations found by the last Observe (for tests/examples).
+  const std::vector<ExitPoint>& last_exits() const { return last_exits_; }
+
+ protected:
+  /// Where the guiding structure is predicted to enter the next query.
+  struct PredictedEntry {
+    Vec3 point;
+    Vec3 direction;
+  };
+
+  /// Builds the result graph. Overridden by SCOUT-OPT with sparse
+  /// construction (§6.2).
+  virtual GraphBuildStats BuildResultGraph(const QueryResultView& result,
+                                           SpatialGraph* graph);
+
+  /// Hook run at the start of the prefetch window, before the incremental
+  /// plan is drained. SCOUT-OPT overrides this with gap traversal (§6.3),
+  /// which may fetch pages and refine `pending_axes_`.
+  virtual void RefineAxes(PrefetchIo* io) { (void)io; }
+
+  /// Characteristic linear extent of a region (cube side / frustum
+  /// depth), used for gap estimation and matching radii.
+  static double RegionExtent(const Region& region);
+
+  ScoutConfig config_;
+  Rng rng_;
+
+  // Sequence state.
+  std::vector<PredictedEntry> predictions_;
+  std::vector<PrefetchAxis> pending_axes_;
+  IncrementalPlan plan_;
+  Region last_region_;
+  bool has_last_region_ = false;
+  Vec3 prev_center_;
+  bool has_prev_center_ = false;
+  Aabb prev_region_bounds_;
+  bool has_prev_region_ = false;
+  Vec3 movement_dir_;
+  bool has_movement_ = false;
+  double gap_estimate_ = 0.0;
+  size_t last_result_pages_ = 0;
+
+  ObserveBreakdown breakdown_;
+  std::vector<ExitPoint> last_exits_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_PREFETCH_SCOUT_PREFETCHER_H_

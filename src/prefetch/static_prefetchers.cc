@@ -1,0 +1,109 @@
+#include "prefetch/static_prefetchers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/grid.h"
+#include "geom/hilbert.h"
+
+namespace scout {
+
+namespace {
+
+constexpr SimMicros kStaticPredictCostUs = 1;
+
+void DrainCells(const std::vector<Aabb>& cells, PrefetchIo* io) {
+  std::vector<PageId> pages;
+  for (const Aabb& cell : cells) {
+    if (!io->WindowOpen()) return;
+    pages.clear();
+    io->QueryPages(Region(cell), &pages);
+    for (PageId page : pages) {
+      if (!io->FetchPage(page)) return;
+    }
+  }
+}
+
+}  // namespace
+
+void HilbertPrefetcher::BeginSequence() { pending_cells_.clear(); }
+
+SimMicros HilbertPrefetcher::Observe(const QueryResultView& result) {
+  pending_cells_.clear();
+  const Vec3 center = result.region->Center();
+  const int bits = config_.grid_bits;
+  const uint64_t h =
+      HilbertIndexOfPoint(center, config_.dataset_bounds, bits);
+  const uint64_t max_index = 1ull << (3 * bits);
+
+  // Cells at Hilbert distance 1, 2, ... from the current cell, nearest
+  // distance first (alternating +/-).
+  const double cells_per_axis = static_cast<double>(1u << bits);
+  const Vec3 ext = config_.dataset_bounds.Extents();
+  const Vec3 cell_size = ext / cells_per_axis;
+  for (uint32_t k = 1; pending_cells_.size() < config_.max_cells; ++k) {
+    bool any = false;
+    for (int sign : {+1, -1}) {
+      const int64_t idx = static_cast<int64_t>(h) + sign * static_cast<int64_t>(k);
+      if (idx < 0 || idx >= static_cast<int64_t>(max_index)) continue;
+      const Vec3 cell_center = PointOfHilbertIndex(
+          static_cast<uint64_t>(idx), config_.dataset_bounds, bits);
+      pending_cells_.push_back(
+          Aabb::FromCenterHalfExtents(cell_center, cell_size * 0.5));
+      any = true;
+      if (pending_cells_.size() >= config_.max_cells) break;
+    }
+    if (!any) break;
+  }
+  return kStaticPredictCostUs;
+}
+
+void HilbertPrefetcher::RunPrefetch(PrefetchIo* io) {
+  DrainCells(pending_cells_, io);
+}
+
+void LayeredPrefetcher::BeginSequence() { pending_cells_.clear(); }
+
+SimMicros LayeredPrefetcher::Observe(const QueryResultView& result) {
+  pending_cells_.clear();
+  const Vec3 center = result.region->Center();
+  const int n = 1 << config_.grid_bits;
+  const UniformGrid grid(config_.dataset_bounds, n, n, n);
+  const CellCoords cur = grid.CellOf(center);
+
+  struct Candidate {
+    double dist_sq;
+    Aabb bounds;
+  };
+  std::vector<Candidate> candidates;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const CellCoords c{cur.x + dx, cur.y + dy, cur.z + dz};
+        if (c.x < 0 || c.x >= n || c.y < 0 || c.y >= n || c.z < 0 ||
+            c.z >= n) {
+          continue;
+        }
+        const Aabb bounds = grid.CellBounds(c);
+        candidates.push_back({bounds.Center().DistanceSquaredTo(center),
+                              bounds});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.dist_sq < b.dist_sq;
+            });
+  for (const Candidate& c : candidates) {
+    if (pending_cells_.size() >= config_.max_cells) break;
+    pending_cells_.push_back(c.bounds);
+  }
+  return kStaticPredictCostUs;
+}
+
+void LayeredPrefetcher::RunPrefetch(PrefetchIo* io) {
+  DrainCells(pending_cells_, io);
+}
+
+}  // namespace scout

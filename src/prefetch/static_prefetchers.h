@@ -1,0 +1,59 @@
+#ifndef SCOUT_PREFETCH_STATIC_PREFETCHERS_H_
+#define SCOUT_PREFETCH_STATIC_PREFETCHERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "prefetch/prefetcher.h"
+
+namespace scout {
+
+/// Configuration shared by the static (position-heuristic) prefetchers.
+struct StaticPrefetchConfig {
+  /// Bounds of the whole dataset (the static grid is laid over these).
+  Aabb dataset_bounds;
+  /// Grid resolution in bits per dimension: 2^bits cells per axis.
+  int grid_bits = 5;
+  /// How many cells to prefetch around the current one per window.
+  uint32_t max_cells = 16;
+};
+
+/// Hilbert-Prefetch [22] (paper §2.1): lays a grid over the dataset,
+/// assigns each cell its Hilbert value and prefetches the cells whose
+/// Hilbert values neighbor the current query's cell (value ±1, ±2, ...).
+class HilbertPrefetcher : public Prefetcher {
+ public:
+  explicit HilbertPrefetcher(const StaticPrefetchConfig& config)
+      : config_(config) {}
+
+  std::string_view name() const override { return "hilbert"; }
+  void BeginSequence() override;
+  SimMicros Observe(const QueryResultView& result) override;
+  void RunPrefetch(PrefetchIo* io) override;
+
+ private:
+  StaticPrefetchConfig config_;
+  std::vector<Aabb> pending_cells_;
+};
+
+/// Layered [31] (paper §2.1): segments space into a grid and prefetches
+/// all cells surrounding the current query's cell, nearest first.
+class LayeredPrefetcher : public Prefetcher {
+ public:
+  explicit LayeredPrefetcher(const StaticPrefetchConfig& config)
+      : config_(config) {}
+
+  std::string_view name() const override { return "layered"; }
+  void BeginSequence() override;
+  SimMicros Observe(const QueryResultView& result) override;
+  void RunPrefetch(PrefetchIo* io) override;
+
+ private:
+  StaticPrefetchConfig config_;
+  std::vector<Aabb> pending_cells_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_PREFETCH_STATIC_PREFETCHERS_H_

@@ -1,0 +1,135 @@
+#include "prefetch/trajectory_prefetcher.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scout {
+
+namespace {
+
+/// Simulated cost of a position-only prediction: negligible compared to
+/// graph-based prediction, but non-zero.
+constexpr SimMicros kTrajectoryPredictCostUs = 2;
+
+std::string FormatLambda(double lambda) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", lambda);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void TrajectoryPrefetcher::BeginSequence() {
+  history_.clear();
+  has_region_ = false;
+  plan_ = IncrementalPlan();
+}
+
+SimMicros TrajectoryPrefetcher::Observe(const QueryResultView& result) {
+  last_region_ = *result.region;
+  has_region_ = true;
+  history_.push_back(result.region->Center());
+  if (history_.size() > HistoryLimit()) {
+    history_.erase(history_.begin(),
+                   history_.end() - static_cast<long>(HistoryLimit()));
+  }
+
+  std::vector<PrefetchAxis> axes;
+  const std::optional<Vec3> predicted = PredictNextCenter(history_);
+  if (predicted.has_value()) {
+    const Vec3 current = history_.back();
+    Vec3 dir = (*predicted - current).Normalized();
+    if (dir == Vec3()) dir = Vec3(1, 0, 0);
+    // Anchor the axis so the first (smallest) prefetch region lands on
+    // the predicted center: origin is half the predicted travel back from
+    // the prediction.
+    PrefetchAxis axis;
+    axis.direction = dir;
+    const double travel = (*predicted - current).Norm();
+    axis.origin = current + dir * (travel * 0.5);
+    axis.start_offset = 0.0;
+    axis.weight = 1.0;
+    axes.push_back(axis);
+  }
+  plan_.Reset(std::move(axes), last_region_, /*max_steps=*/12);
+  return kTrajectoryPredictCostUs;
+}
+
+void TrajectoryPrefetcher::RunPrefetch(PrefetchIo* io) {
+  if (!has_region_) return;
+  std::vector<PageId> pages;
+  while (io->WindowOpen()) {
+    const std::optional<Region> region = plan_.Next();
+    if (!region.has_value()) return;
+    pages.clear();
+    io->QueryPages(*region, &pages);
+    for (PageId page : pages) {
+      if (!io->FetchPage(page)) return;
+    }
+  }
+}
+
+std::optional<Vec3> StraightLinePrefetcher::PredictNextCenter(
+    const std::vector<Vec3>& history) const {
+  const size_t n = history.size();
+  if (n < 2) return std::nullopt;
+  return history[n - 1] + (history[n - 1] - history[n - 2]);
+}
+
+PolynomialPrefetcher::PolynomialPrefetcher(int degree)
+    : degree_(degree), name_("polynomial-" + std::to_string(degree)) {}
+
+std::optional<Vec3> PolynomialPrefetcher::PredictNextCenter(
+    const std::vector<Vec3>& history) const {
+  const size_t needed = static_cast<size_t>(degree_) + 1;
+  if (history.size() < needed) {
+    // Degrade gracefully to straight-line while warming up.
+    if (history.size() >= 2) {
+      const size_t n = history.size();
+      return history[n - 1] + (history[n - 1] - history[n - 2]);
+    }
+    return std::nullopt;
+  }
+  // Interpolate through the last degree+1 points at t = 0..degree and
+  // evaluate at t = degree+1 using Lagrange basis polynomials per axis.
+  const size_t base = history.size() - needed;
+  const double t_eval = static_cast<double>(degree_) + 1.0;
+  Vec3 result;
+  for (size_t i = 0; i < needed; ++i) {
+    double basis = 1.0;
+    for (size_t j = 0; j < needed; ++j) {
+      if (i == j) continue;
+      basis *= (t_eval - static_cast<double>(j)) /
+               (static_cast<double>(i) - static_cast<double>(j));
+    }
+    result += history[base + i] * basis;
+  }
+  return result;
+}
+
+EwmaPrefetcher::EwmaPrefetcher(double lambda)
+    : lambda_(lambda),
+      name_("ewma-" + FormatLambda(lambda)) {}
+
+std::optional<Vec3> EwmaPrefetcher::PredictNextCenter(
+    const std::vector<Vec3>& history) const {
+  const size_t n = history.size();
+  if (n < 2) return std::nullopt;
+  // Weighted sum of movement vectors: most recent gets lambda, the one
+  // before (1-lambda)*lambda, etc. Normalize by the total weight so the
+  // prediction is a proper average of movements.
+  Vec3 weighted;
+  double total_weight = 0.0;
+  double weight = lambda_;
+  for (size_t k = n - 1; k >= 1; --k) {
+    const Vec3 move = history[k] - history[k - 1];
+    weighted += move * weight;
+    total_weight += weight;
+    weight *= (1.0 - lambda_);
+    if (weight < 1e-6) break;
+  }
+  if (total_weight <= 0.0) return std::nullopt;
+  return history[n - 1] + weighted / total_weight;
+}
+
+}  // namespace scout

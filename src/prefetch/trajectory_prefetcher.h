@@ -1,0 +1,92 @@
+#ifndef SCOUT_PREFETCH_TRAJECTORY_PREFETCHER_H_
+#define SCOUT_PREFETCH_TRAJECTORY_PREFETCHER_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "prefetch/incremental_plan.h"
+#include "prefetch/prefetcher.h"
+
+namespace scout {
+
+/// Common machinery of the trajectory-extrapolation baselines (paper
+/// §2.2): they observe only the *positions* of past queries, predict the
+/// next query center from them, and prefetch incrementally along the
+/// predicted movement axis. Subclasses implement PredictNextCenter().
+class TrajectoryPrefetcher : public Prefetcher {
+ public:
+  void BeginSequence() override;
+  SimMicros Observe(const QueryResultView& result) override;
+  void RunPrefetch(PrefetchIo* io) override;
+
+ protected:
+  /// Predicted center of the next query given `history` (oldest first),
+  /// or nullopt if not enough history yet.
+  virtual std::optional<Vec3> PredictNextCenter(
+      const std::vector<Vec3>& history) const = 0;
+
+  /// Number of past centers to retain.
+  virtual size_t HistoryLimit() const { return 8; }
+
+ private:
+  std::vector<Vec3> history_;
+  Region last_region_;
+  bool has_region_ = false;
+  IncrementalPlan plan_;
+};
+
+/// Straight Line Extrapolation [26]: next = last + (last - second_last).
+class StraightLinePrefetcher : public TrajectoryPrefetcher {
+ public:
+  std::string_view name() const override { return "straight-line"; }
+
+ protected:
+  std::optional<Vec3> PredictNextCenter(
+      const std::vector<Vec3>& history) const override;
+};
+
+/// Polynomial extrapolation [4, 5]: fits a degree-d polynomial per axis
+/// through the last d+1 centers (pure interpolation, as in the paper's
+/// motivation experiment) and evaluates it one step ahead.
+class PolynomialPrefetcher : public TrajectoryPrefetcher {
+ public:
+  explicit PolynomialPrefetcher(int degree);
+
+  std::string_view name() const override { return name_; }
+
+ protected:
+  std::optional<Vec3> PredictNextCenter(
+      const std::vector<Vec3>& history) const override;
+  size_t HistoryLimit() const override {
+    return static_cast<size_t>(degree_) + 1;
+  }
+
+ private:
+  int degree_;
+  std::string name_;
+};
+
+/// EWMA [7]: exponentially weighted moving average of the movement
+/// vectors; the last movement is weighted lambda, the one before
+/// (1-lambda)*lambda, and so on. Predicts next = last + v_ewma.
+class EwmaPrefetcher : public TrajectoryPrefetcher {
+ public:
+  explicit EwmaPrefetcher(double lambda);
+
+  std::string_view name() const override { return name_; }
+
+ protected:
+  std::optional<Vec3> PredictNextCenter(
+      const std::vector<Vec3>& history) const override;
+  size_t HistoryLimit() const override { return 16; }
+
+ private:
+  double lambda_;
+  std::string name_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_PREFETCH_TRAJECTORY_PREFETCHER_H_

@@ -1,0 +1,41 @@
+#include "storage/cache.h"
+
+namespace scout {
+
+bool PrefetchCache::Insert(PageId page) {
+  if (kPageBytes > capacity_bytes_) return false;
+  auto it = entries_.find(page);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  while (size_bytes() + kPageBytes > capacity_bytes_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(page);
+  entries_[page] = lru_.begin();
+  return true;
+}
+
+void PrefetchCache::Touch(PageId page) {
+  auto it = entries_.find(page);
+  if (it == entries_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void PrefetchCache::Erase(PageId page) {
+  auto it = entries_.find(page);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second);
+  entries_.erase(it);
+}
+
+void PrefetchCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace scout

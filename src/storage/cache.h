@@ -1,0 +1,62 @@
+#ifndef SCOUT_STORAGE_CACHE_H_
+#define SCOUT_STORAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page.h"
+
+namespace scout {
+
+/// Page-granular prefetch cache with LRU eviction and a byte capacity
+/// (the paper allows 4 GB of RAM for prefetched data, §7.1; benches use a
+/// scaled-down capacity). Pages inserted by the prefetcher are served to
+/// subsequent queries as cache hits; the cache-hit rate is the paper's
+/// primary accuracy metric.
+class PrefetchCache {
+ public:
+  explicit PrefetchCache(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  PrefetchCache(const PrefetchCache&) = delete;
+  PrefetchCache& operator=(const PrefetchCache&) = delete;
+
+  /// True if the page is currently cached (does not touch LRU order).
+  bool Contains(PageId page) const { return entries_.contains(page); }
+
+  /// Inserts a page (kPageBytes); evicts least-recently-used pages if the
+  /// capacity is exceeded. Inserting an existing page refreshes its LRU
+  /// position. Returns false if the page cannot fit at all.
+  bool Insert(PageId page);
+
+  /// Marks a page as recently used (call on every cache hit).
+  void Touch(PageId page);
+
+  /// Removes a single page if present.
+  void Erase(PageId page);
+
+  /// Drops everything (done between sequences, like the paper's cache
+  /// clearing between runs).
+  void Clear();
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t size_bytes() const {
+    return static_cast<uint64_t>(entries_.size()) * kPageBytes;
+  }
+  size_t NumPages() const { return entries_.size(); }
+  bool Full() const { return size_bytes() + kPageBytes > capacity_bytes_; }
+
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  uint64_t capacity_bytes_;
+  // LRU list: front = most recent. Map holds iterators into the list.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> entries_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_STORAGE_CACHE_H_

@@ -1,0 +1,35 @@
+#include "storage/disk_model.h"
+
+namespace scout {
+
+SimMicros DiskModel::ReadPage(PageId page) {
+  const SimMicros cost = PeekCost(page);
+  if (IsSequential(page)) {
+    ++sequential_reads_;
+  } else {
+    ++random_reads_;
+  }
+  ++pages_read_;
+  last_page_ = page;
+  has_position_ = true;
+  total_read_time_ += cost;
+  clock_->Advance(cost);
+  return cost;
+}
+
+SimMicros DiskModel::EstimateColdReadCost(size_t n) const {
+  if (n == 0) return 0;
+  return config_.random_read_us +
+         static_cast<SimMicros>(n - 1) * config_.sequential_read_us;
+}
+
+void DiskModel::Reset() {
+  has_position_ = false;
+  last_page_ = kInvalidPageId;
+  pages_read_ = 0;
+  random_reads_ = 0;
+  sequential_reads_ = 0;
+  total_read_time_ = 0;
+}
+
+}  // namespace scout

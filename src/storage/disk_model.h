@@ -1,0 +1,76 @@
+#ifndef SCOUT_STORAGE_DISK_MODEL_H_
+#define SCOUT_STORAGE_DISK_MODEL_H_
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+#include "storage/page.h"
+
+namespace scout {
+
+/// Cost parameters of the simulated disk. Defaults approximate the
+/// paper's 4-disk SAS stripe: ~5 ms average seek + rotational delay for a
+/// random 4 KB read, and high sequential bandwidth (~0.02 ms per 4 KB page
+/// at ~200 MB/s aggregate).
+struct DiskConfig {
+  /// Cost of a random page read (seek + rotation + transfer).
+  SimMicros random_read_us = 5000;
+  /// Cost of reading the physically next page (sequential transfer).
+  SimMicros sequential_read_us = 20;
+};
+
+/// Deterministic simulated disk. Reading page p right after page p-1
+/// costs a sequential transfer; any other read costs a full random
+/// access. All time is charged to a SimClock, making experiments exactly
+/// reproducible and hardware independent (substitution for the paper's
+/// SAS array; see DESIGN.md §2).
+class DiskModel {
+ public:
+  DiskModel(DiskConfig config, SimClock* clock)
+      : config_(config), clock_(clock) {}
+
+  /// Charges the simulated cost of reading `page` and advances the clock.
+  /// Returns the charged duration.
+  SimMicros ReadPage(PageId page);
+
+  /// Cost of reading `page` right now without performing the read.
+  SimMicros PeekCost(PageId page) const {
+    return IsSequential(page) ? config_.sequential_read_us
+                              : config_.random_read_us;
+  }
+
+  /// Cost of reading `n` pages cold, assuming the worst case of all-random
+  /// positioning is false and the typical mix: first page random, the
+  /// rest charged per their layout adjacency is unknowable ahead of time —
+  /// so this helper charges 1 random + (n-1) sequential as the *best*
+  /// cold-read estimate and is used only for prefetch-window sizing.
+  SimMicros EstimateColdReadCost(size_t n) const;
+
+  const DiskConfig& config() const { return config_; }
+
+  uint64_t pages_read() const { return pages_read_; }
+  uint64_t random_reads() const { return random_reads_; }
+  uint64_t sequential_reads() const { return sequential_reads_; }
+  SimMicros total_read_time() const { return total_read_time_; }
+
+  /// Forgets the head position and zeroes the counters.
+  void Reset();
+
+ private:
+  bool IsSequential(PageId page) const {
+    return has_position_ && page == last_page_ + 1;
+  }
+
+  DiskConfig config_;
+  SimClock* clock_;
+  bool has_position_ = false;
+  PageId last_page_ = kInvalidPageId;
+  uint64_t pages_read_ = 0;
+  uint64_t random_reads_ = 0;
+  uint64_t sequential_reads_ = 0;
+  SimMicros total_read_time_ = 0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_STORAGE_DISK_MODEL_H_

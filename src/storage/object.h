@@ -1,0 +1,46 @@
+#ifndef SCOUT_STORAGE_OBJECT_H_
+#define SCOUT_STORAGE_OBJECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/cylinder.h"
+
+namespace scout {
+
+/// Identifier of a spatial object within a dataset.
+using ObjectId = uint64_t;
+
+/// Ground-truth identifier of the structure (neuron branch, artery, road,
+/// airway) an object belongs to. Used ONLY by workload generators and by
+/// evaluation metrics — prefetchers never see it (they must infer
+/// structure from geometry, which is the whole point of the paper).
+using StructureId = uint32_t;
+
+/// Sentinel for "no structure".
+inline constexpr StructureId kInvalidStructureId = 0xffffffffu;
+
+/// One spatial object: a cylinder (the paper's datasets model everything
+/// — neuron segments, arteries, roads, mesh faces — as small cylinders /
+/// segments with radii).
+struct SpatialObject {
+  ObjectId id = 0;
+  StructureId structure_id = kInvalidStructureId;
+  Cylinder geom;
+
+  /// Index of this object along its structure's path (monotone along the
+  /// guiding structure). Ground truth for generators/metrics only.
+  uint32_t path_index = 0;
+
+  Aabb Bounds() const { return geom.Bounds(); }
+  Vec3 Centroid() const { return geom.Centroid(); }
+};
+
+/// On-disk footprint of one object. The paper's tissue model stores 450M
+/// cylinders in 33 GB with 87 objects per 4 KB page => ~47 bytes of
+/// geometry per object; we use the same packing.
+inline constexpr size_t kObjectDiskBytes = 47;
+
+}  // namespace scout
+
+#endif  // SCOUT_STORAGE_OBJECT_H_

@@ -1,0 +1,42 @@
+#ifndef SCOUT_STORAGE_PAGE_H_
+#define SCOUT_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "storage/object.h"
+
+namespace scout {
+
+/// Identifier of a disk page. Page ids are assigned in physical layout
+/// order: page i+1 is physically adjacent to page i, so the disk model
+/// can distinguish sequential from random reads.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Disk page size and fanout, matching the paper's setup (§7.1: "4KB page
+/// size and a fanout of 87 objects per page").
+inline constexpr size_t kPageBytes = 4096;
+inline constexpr size_t kPageCapacity = 87;
+
+/// A disk page holding up to kPageCapacity spatial objects plus its
+/// minimum bounding box.
+struct Page {
+  PageId id = kInvalidPageId;
+  std::vector<SpatialObject> objects;
+  Aabb bounds;
+
+  size_t NumObjects() const { return objects.size(); }
+
+  /// Recomputes `bounds` from the objects.
+  void RecomputeBounds() {
+    bounds = Aabb();
+    for (const SpatialObject& obj : objects) bounds.Extend(obj.Bounds());
+  }
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_STORAGE_PAGE_H_

@@ -1,0 +1,25 @@
+#include "storage/page_store.h"
+
+#include <utility>
+
+namespace scout {
+
+StatusOr<PageId> PageStore::AppendPage(std::vector<SpatialObject> objects) {
+  if (objects.size() > kPageCapacity) {
+    return Status::InvalidArgument("page overflow: " +
+                                   std::to_string(objects.size()) +
+                                   " objects > capacity");
+  }
+  if (pages_.size() >= kInvalidPageId) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  Page page;
+  page.id = static_cast<PageId>(pages_.size());
+  page.objects = std::move(objects);
+  page.RecomputeBounds();
+  num_objects_ += page.objects.size();
+  pages_.push_back(std::move(page));
+  return pages_.back().id;
+}
+
+}  // namespace scout

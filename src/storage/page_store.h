@@ -1,0 +1,52 @@
+#ifndef SCOUT_STORAGE_PAGE_STORE_H_
+#define SCOUT_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace scout {
+
+/// Owner of all disk pages of a dataset. Index builders (STR R-tree,
+/// FLAT) decide which objects go on which page — the store just holds the
+/// layout in physical order. In a real deployment this would be the
+/// on-disk heap file; here pages live in memory while the DiskModel
+/// charges simulated I/O time for reading them.
+class PageStore {
+ public:
+  PageStore() = default;
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+  PageStore(PageStore&&) = default;
+  PageStore& operator=(PageStore&&) = default;
+
+  /// Appends a page holding `objects` (at most kPageCapacity of them) at
+  /// the next physical position. Returns its PageId.
+  StatusOr<PageId> AppendPage(std::vector<SpatialObject> objects);
+
+  size_t NumPages() const { return pages_.size(); }
+
+  const Page& page(PageId id) const { return pages_[id]; }
+
+  /// All pages in physical order.
+  const std::vector<Page>& pages() const { return pages_; }
+
+  /// Total number of stored objects.
+  size_t NumObjects() const { return num_objects_; }
+
+  /// Total dataset size charged to disk (pages * kPageBytes).
+  uint64_t TotalBytes() const {
+    return static_cast<uint64_t>(pages_.size()) * kPageBytes;
+  }
+
+ private:
+  std::vector<Page> pages_;
+  size_t num_objects_ = 0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_STORAGE_PAGE_STORE_H_

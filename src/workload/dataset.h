@@ -1,0 +1,33 @@
+#ifndef SCOUT_WORKLOAD_DATASET_H_
+#define SCOUT_WORKLOAD_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "graph/graph_builder.h"
+#include "storage/object.h"
+#include "workload/structure.h"
+
+namespace scout {
+
+/// A generated spatial dataset: the objects, the ground-truth structures
+/// they belong to (for query generation and evaluation only), and — for
+/// mesh-like datasets — the explicit object adjacency.
+struct Dataset {
+  std::string name;
+  Aabb bounds;
+  std::vector<SpatialObject> objects;
+  std::vector<Structure> structures;
+  AdjacencyMap adjacency;  ///< Empty unless the dataset is mesh-like.
+
+  /// Objects per cubic micrometer.
+  double Density() const {
+    const double v = bounds.Volume();
+    return v > 0.0 ? static_cast<double>(objects.size()) / v : 0.0;
+  }
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_WORKLOAD_DATASET_H_

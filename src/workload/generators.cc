@@ -1,0 +1,364 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace scout {
+
+namespace {
+
+// Reflects `pos` into `bounds`, flipping the matching direction
+// components, so growing fibers stay inside the dataset volume.
+void ReflectIntoBounds(const Aabb& bounds, Vec3* pos, Vec3* dir) {
+  double* p[3] = {&pos->x, &pos->y, &pos->z};
+  double* d[3] = {&dir->x, &dir->y, &dir->z};
+  const double lo[3] = {bounds.min().x, bounds.min().y, bounds.min().z};
+  const double hi[3] = {bounds.max().x, bounds.max().y, bounds.max().z};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (*p[axis] < lo[axis]) {
+      *p[axis] = 2.0 * lo[axis] - *p[axis];
+      *d[axis] = -*d[axis];
+    } else if (*p[axis] > hi[axis]) {
+      *p[axis] = 2.0 * hi[axis] - *p[axis];
+      *d[axis] = -*d[axis];
+    }
+  }
+}
+
+Vec3 RandomUnitVector(Rng* rng) {
+  // Rejection sampling inside the unit sphere.
+  while (true) {
+    const Vec3 v(rng->Uniform(-1, 1), rng->Uniform(-1, 1),
+                 rng->Uniform(-1, 1));
+    const double n = v.NormSquared();
+    if (n > 1e-4 && n <= 1.0) return v / std::sqrt(n);
+  }
+}
+
+// Rotates `v` by `angle` around unit `axis` (Rodrigues).
+Vec3 Rotate(const Vec3& v, const Vec3& axis, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return v * c + axis.Cross(v) * s + axis * (axis.Dot(v) * (1.0 - c));
+}
+
+// Shared tree-growing parameters for the vascular-style generators.
+struct TreeParams {
+  Aabb bounds;
+  uint32_t levels;
+  double root_branch_length;
+  double length_decay;
+  double step_length;
+  double arc_curvature;
+  double turn_stddev;
+  double branch_angle;
+  double root_radius;
+  double radius_decay;
+};
+
+// Grows one smooth bifurcating tree into `structure`. Every branch is an
+// arc with per-branch fixed curvature axis plus small noise; at the end
+// of a branch two children split off at +-branch_angle.
+void GrowSmoothTree(const TreeParams& p, const Vec3& root_pos,
+                    const Vec3& root_dir, Rng* rng, Structure* structure) {
+  struct Work {
+    uint32_t parent_node;
+    Vec3 dir;
+    double length;
+    double radius;
+    uint32_t level;
+  };
+
+  structure->nodes.push_back(StructureNode{root_pos, p.root_radius, -1});
+  std::vector<Work> stack;
+  stack.push_back(Work{0, root_dir, p.root_branch_length, p.root_radius, 0});
+
+  while (!stack.empty()) {
+    Work w = stack.back();
+    stack.pop_back();
+
+    const Vec3 arc_axis = RandomUnitVector(rng);
+    Vec3 dir = w.dir;
+    Vec3 pos = structure->nodes[w.parent_node].pos;
+    uint32_t parent = w.parent_node;
+    const uint32_t steps = std::max<uint32_t>(
+        2, static_cast<uint32_t>(w.length / p.step_length));
+    for (uint32_t i = 0; i < steps; ++i) {
+      dir = Rotate(dir, arc_axis, p.arc_curvature);
+      if (p.turn_stddev > 0.0) {
+        dir += Vec3(rng->Gaussian(0, p.turn_stddev),
+                    rng->Gaussian(0, p.turn_stddev),
+                    rng->Gaussian(0, p.turn_stddev));
+        dir = dir.Normalized();
+      }
+      pos += dir * p.step_length;
+      ReflectIntoBounds(p.bounds, &pos, &dir);
+      structure->nodes.push_back(
+          StructureNode{pos, w.radius, static_cast<int32_t>(parent)});
+      parent = static_cast<uint32_t>(structure->nodes.size() - 1);
+    }
+
+    if (w.level + 1 < p.levels) {
+      const Vec3 split_axis = dir.Cross(RandomUnitVector(rng)).Normalized();
+      for (int sign : {+1, -1}) {
+        Work child;
+        child.parent_node = parent;
+        child.dir =
+            Rotate(dir, split_axis, sign * p.branch_angle).Normalized();
+        child.length = w.length * p.length_decay;
+        child.radius = w.radius * p.radius_decay;
+        child.level = w.level + 1;
+        stack.push_back(child);
+      }
+    }
+  }
+}
+
+// Fills `dataset->adjacency` with the tree adjacency of every structure:
+// edge objects sharing a centerline node are adjacent (the mesh case).
+void BuildTreeAdjacency(Dataset* dataset) {
+  // Objects were emitted with path_index = child-node index; map
+  // (structure, node) -> object id.
+  for (const Structure& s : dataset->structures) {
+    std::unordered_map<uint32_t, ObjectId> edge_of_node;
+    for (const SpatialObject& obj : dataset->objects) {
+      if (obj.structure_id == s.id) edge_of_node[obj.path_index] = obj.id;
+    }
+    auto connect = [&](uint32_t node_a, uint32_t node_b) {
+      auto a = edge_of_node.find(node_a);
+      auto b = edge_of_node.find(node_b);
+      if (a == edge_of_node.end() || b == edge_of_node.end()) return;
+      dataset->adjacency[a->second].push_back(b->second);
+      dataset->adjacency[b->second].push_back(a->second);
+    };
+    const auto children = s.BuildChildren();
+    for (uint32_t i = 0; i < s.nodes.size(); ++i) {
+      // Parent edge of node i meets every child edge at node i.
+      for (uint32_t c : children[i]) {
+        if (s.nodes[i].parent >= 0) connect(i, c);
+      }
+      // Sibling edges also share node i.
+      for (size_t a = 0; a < children[i].size(); ++a) {
+        for (size_t b = a + 1; b < children[i].size(); ++b) {
+          connect(children[i][a], children[i][b]);
+        }
+      }
+    }
+  }
+}
+
+Dataset GenerateTreeDataset(const TreeParams& params, uint32_t num_trees,
+                            uint64_t seed, const std::string& name) {
+  Dataset dataset;
+  dataset.name = name;
+  dataset.bounds = params.bounds;
+  Rng rng(seed);
+  ObjectId next_id = 0;
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    Structure structure;
+    structure.id = static_cast<StructureId>(t);
+    // Roots start near the boundary pointing inward so trees span the
+    // volume.
+    const Vec3 margin = params.bounds.Extents() * 0.08;
+    const Vec3 root(
+        rng.Uniform(params.bounds.min().x + margin.x,
+                    params.bounds.max().x - margin.x),
+        rng.Uniform(params.bounds.min().y + margin.y,
+                    params.bounds.max().y - margin.y),
+        params.bounds.min().z + margin.z);
+    Vec3 dir = (params.bounds.Center() - root).Normalized();
+    dir = (dir + RandomUnitVector(&rng) * 0.3).Normalized();
+    Rng tree_rng = rng.Fork();
+    GrowSmoothTree(params, root, dir, &tree_rng, &structure);
+    EmitStructureObjects(structure, &next_id, &dataset.objects);
+    dataset.structures.push_back(std::move(structure));
+  }
+  return dataset;
+}
+
+}  // namespace
+
+Dataset GenerateNeuronTissue(const NeuronGenConfig& config) {
+  Dataset dataset;
+  dataset.name = "neuron-tissue";
+  dataset.bounds = config.bounds;
+  Rng rng(config.seed);
+  ObjectId next_id = 0;
+
+  for (uint32_t n = 0; n < config.num_neurons; ++n) {
+    Structure structure;
+    structure.id = static_cast<StructureId>(n);
+    Rng neuron_rng = rng.Fork();
+
+    const Vec3 margin = config.bounds.Extents() * 0.05;
+    const Vec3 soma(
+        neuron_rng.Uniform(config.bounds.min().x + margin.x,
+                           config.bounds.max().x - margin.x),
+        neuron_rng.Uniform(config.bounds.min().y + margin.y,
+                           config.bounds.max().y - margin.y),
+        neuron_rng.Uniform(config.bounds.min().z + margin.z,
+                           config.bounds.max().z - margin.z));
+    structure.nodes.push_back(
+        StructureNode{soma, config.radius * 2.5, -1});
+
+    struct Work {
+      uint32_t parent_node;
+      Vec3 dir;
+      uint32_t steps;
+      uint32_t depth;
+    };
+    std::vector<Work> stack;
+    const uint32_t primaries = static_cast<uint32_t>(neuron_rng.UniformInt(
+        config.primary_branches_min, config.primary_branches_max));
+    for (uint32_t b = 0; b < primaries; ++b) {
+      const uint32_t steps = static_cast<uint32_t>(
+          neuron_rng.UniformInt(config.steps_min, config.steps_max));
+      stack.push_back(Work{0, RandomUnitVector(&neuron_rng), steps, 0});
+    }
+
+    while (!stack.empty()) {
+      Work w = stack.back();
+      stack.pop_back();
+      Vec3 dir = w.dir;
+      Vec3 pos = structure.nodes[w.parent_node].pos;
+      uint32_t parent = w.parent_node;
+      for (uint32_t i = 0; i < w.steps; ++i) {
+        dir += Vec3(neuron_rng.Gaussian(0, config.turn_stddev),
+                    neuron_rng.Gaussian(0, config.turn_stddev),
+                    neuron_rng.Gaussian(0, config.turn_stddev));
+        dir = dir.Normalized();
+        pos += dir * config.step_length;
+        ReflectIntoBounds(config.bounds, &pos, &dir);
+        structure.nodes.push_back(
+            StructureNode{pos, config.radius, static_cast<int32_t>(parent)});
+        parent = static_cast<uint32_t>(structure.nodes.size() - 1);
+
+        const uint32_t remaining = w.steps - i - 1;
+        if (w.depth < config.max_depth && remaining > 20 &&
+            neuron_rng.Bernoulli(config.bifurcation_prob)) {
+          Work child;
+          child.parent_node = parent;
+          child.dir =
+              (dir + RandomUnitVector(&neuron_rng) * 0.8).Normalized();
+          child.steps = static_cast<uint32_t>(remaining * 0.7);
+          child.depth = w.depth + 1;
+          stack.push_back(child);
+        }
+      }
+    }
+
+    EmitStructureObjects(structure, &next_id, &dataset.objects);
+    dataset.structures.push_back(std::move(structure));
+  }
+  return dataset;
+}
+
+NeuronGenConfig NeuronConfigForObjectCount(uint64_t target_objects,
+                                           uint64_t seed) {
+  NeuronGenConfig config;
+  config.seed = seed;
+  // Measured expectation with the default branch parameters (primaries,
+  // step counts and recursive bifurcation expansion included).
+  constexpr double kObjectsPerNeuron = 19200.0;
+  config.num_neurons = std::max<uint32_t>(
+      1, static_cast<uint32_t>(
+             std::llround(static_cast<double>(target_objects) /
+                          kObjectsPerNeuron)));
+  return config;
+}
+
+Dataset GenerateArterialTree(const VascularGenConfig& config) {
+  TreeParams params;
+  params.bounds = config.bounds;
+  params.levels = config.levels;
+  params.root_branch_length = config.root_branch_length;
+  params.length_decay = config.length_decay;
+  params.step_length = config.step_length;
+  params.arc_curvature = config.arc_curvature;
+  params.turn_stddev = config.turn_stddev;
+  params.branch_angle = config.branch_angle;
+  params.root_radius = config.root_radius;
+  params.radius_decay = config.radius_decay;
+  return GenerateTreeDataset(params, config.num_trees, config.seed,
+                             "arterial-tree");
+}
+
+Dataset GenerateLungAirway(const AirwayGenConfig& config) {
+  TreeParams params;
+  params.bounds = config.bounds;
+  params.levels = config.levels;
+  params.root_branch_length = config.root_branch_length;
+  params.length_decay = config.length_decay;
+  params.step_length = config.step_length;
+  params.arc_curvature = config.arc_curvature;
+  params.turn_stddev = config.turn_stddev;
+  params.branch_angle = config.branch_angle;
+  params.root_radius = config.root_radius;
+  params.radius_decay = config.radius_decay;
+  Dataset dataset = GenerateTreeDataset(params, config.num_trees,
+                                        config.seed, "lung-airway");
+  BuildTreeAdjacency(&dataset);
+  return dataset;
+}
+
+Dataset GenerateRoadNetwork(const RoadGenConfig& config) {
+  Dataset dataset;
+  dataset.name = "road-network";
+  const double z_mid = config.thickness * 0.5;
+  dataset.bounds = Aabb(Vec3(0, 0, 0),
+                        Vec3(config.width, config.height, config.thickness));
+  Rng rng(config.seed);
+  ObjectId next_id = 0;
+  StructureId next_structure = 0;
+
+  auto emit_road = [&](Vec3 start, Vec3 end) {
+    Structure road;
+    road.id = next_structure++;
+    const double length = start.DistanceTo(end);
+    const uint32_t steps = std::max<uint32_t>(
+        2, static_cast<uint32_t>(length / config.step_length));
+    const Vec3 dir = (end - start).Normalized();
+    // A lateral axis in-plane for jitter.
+    const Vec3 lateral = Vec3(-dir.y, dir.x, 0).Normalized();
+    road.nodes.push_back(StructureNode{start, config.radius, -1});
+    for (uint32_t i = 1; i <= steps; ++i) {
+      const double t = static_cast<double>(i) / steps;
+      Vec3 pos = Lerp(start, end, t) +
+                 lateral * rng.Gaussian(0, config.jitter);
+      pos.z = z_mid;
+      pos.x = std::clamp(pos.x, 0.0, config.width);
+      pos.y = std::clamp(pos.y, 0.0, config.height);
+      road.nodes.push_back(
+          StructureNode{pos, config.radius, static_cast<int32_t>(i - 1)});
+    }
+    EmitStructureObjects(road, &next_id, &dataset.objects);
+    dataset.structures.push_back(std::move(road));
+  };
+
+  for (uint32_t a = 0; a < config.num_avenues; ++a) {
+    const double x =
+        (a + 0.5) / config.num_avenues * config.width +
+        rng.Gaussian(0, config.width / config.num_avenues * 0.15);
+    emit_road(Vec3(std::clamp(x, 0.0, config.width), 0, z_mid),
+              Vec3(std::clamp(x, 0.0, config.width), config.height, z_mid));
+  }
+  for (uint32_t s = 0; s < config.num_streets; ++s) {
+    const double y =
+        (s + 0.5) / config.num_streets * config.height +
+        rng.Gaussian(0, config.height / config.num_streets * 0.15);
+    emit_road(Vec3(0, std::clamp(y, 0.0, config.height), z_mid),
+              Vec3(config.width, std::clamp(y, 0.0, config.height), z_mid));
+  }
+  for (uint32_t h = 0; h < config.num_highways; ++h) {
+    // Random long chords across the extent.
+    const Vec3 start(rng.Uniform(0, config.width * 0.3),
+                     rng.Uniform(0, config.height), z_mid);
+    const Vec3 end(rng.Uniform(config.width * 0.7, config.width),
+                   rng.Uniform(0, config.height), z_mid);
+    emit_road(start, end);
+  }
+  return dataset;
+}
+
+}  // namespace scout

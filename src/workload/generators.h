@@ -1,0 +1,99 @@
+#ifndef SCOUT_WORKLOAD_GENERATORS_H_
+#define SCOUT_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "workload/dataset.h"
+
+namespace scout {
+
+/// Synthetic brain-tissue model (substitution for the Blue Brain Project
+/// dataset, DESIGN.md §2): neurons with somas and recursively bifurcating,
+/// meandering branches built from short cylinders. Tortuosity
+/// (turn_stddev) and bifurcation rate control how hard the trajectories
+/// are to extrapolate — the property the paper's evaluation hinges on.
+struct NeuronGenConfig {
+  /// Defaults give ~345k objects in 600³ µm — the same spatial density as
+  /// the paper's 450M-cylinder / 285 mm³ tissue model (1.6e-3 obj/µm³).
+  Aabb bounds = Aabb(Vec3(0, 0, 0), Vec3(600, 600, 600));
+  uint32_t num_neurons = 18;
+  uint32_t primary_branches_min = 2;
+  uint32_t primary_branches_max = 4;
+  double step_length = 4.0;        ///< Cylinder length (µm).
+  double turn_stddev = 0.35;       ///< Direction noise per step (radians).
+  double bifurcation_prob = 0.012; ///< Per-step branching probability.
+  uint32_t max_depth = 3;          ///< Maximum bifurcation depth.
+  uint32_t steps_min = 500;        ///< Primary branch length (steps).
+  uint32_t steps_max = 800;
+  double radius = 0.6;             ///< Cylinder radius (µm).
+  uint64_t seed = 1;
+};
+Dataset GenerateNeuronTissue(const NeuronGenConfig& config);
+
+/// Returns a NeuronGenConfig whose expected object count approximates
+/// `target_objects` by scaling the neuron count (used for the density
+/// sweeps of Figures 13b and 14).
+NeuronGenConfig NeuronConfigForObjectCount(uint64_t target_objects,
+                                           uint64_t seed = 1);
+
+/// Synthetic arterial tree (substitution for the pig-heart model [11]):
+/// smooth, gently arcing branches with Murray-style radius decay. Smooth
+/// structures are the case where curve extrapolation shines with small
+/// queries (paper §8.4).
+struct VascularGenConfig {
+  Aabb bounds = Aabb(Vec3(0, 0, 0), Vec3(500, 500, 500));
+  uint32_t num_trees = 8;
+  uint32_t levels = 9;             ///< Bifurcation generations.
+  double root_branch_length = 420.0;
+  double length_decay = 0.80;
+  double step_length = 3.0;
+  double arc_curvature = 0.015;    ///< Radians of drift per step (smooth).
+  double turn_stddev = 0.01;       ///< Tiny noise; arteries are smooth.
+  double branch_angle = 0.5;       ///< Bifurcation half-angle (radians).
+  double root_radius = 6.0;
+  double radius_decay = 0.78;
+  uint64_t seed = 2;
+};
+Dataset GenerateArterialTree(const VascularGenConfig& config);
+
+/// Synthetic lung-airway tree (substitution for [1]): like the arterial
+/// tree but with *explicit* mesh adjacency between consecutive and
+/// sibling segments, exercising SCOUT's explicit-graph code path
+/// (paper §4.2, polygon-mesh case).
+struct AirwayGenConfig {
+  Aabb bounds = Aabb(Vec3(0, 0, 0), Vec3(500, 500, 500));
+  uint32_t num_trees = 2;
+  uint32_t levels = 11;
+  double root_branch_length = 380.0;
+  double length_decay = 0.83;
+  double step_length = 3.0;
+  double arc_curvature = 0.02;
+  double turn_stddev = 0.04;
+  double branch_angle = 0.6;
+  double root_radius = 8.0;
+  double radius_decay = 0.80;
+  uint64_t seed = 3;
+};
+Dataset GenerateLungAirway(const AirwayGenConfig& config);
+
+/// Synthetic road network (substitution for the North-America roads
+/// dataset [15]): a jittered Manhattan grid plus diagonal highways, all
+/// 2-D segments embedded at a thin z-slab. Exercises the planar case and
+/// the mobile-navigation use case of §8.4.
+struct RoadGenConfig {
+  double width = 2400.0;
+  double height = 2400.0;
+  double thickness = 4.0;   ///< z extent of the slab.
+  uint32_t num_avenues = 60;   ///< North-south roads.
+  uint32_t num_streets = 60;   ///< East-west roads.
+  uint32_t num_highways = 16;  ///< Long diagonals.
+  double step_length = 8.0;
+  double jitter = 1.2;      ///< Lateral meander of roads (µm).
+  double radius = 0.8;
+  uint64_t seed = 4;
+};
+Dataset GenerateRoadNetwork(const RoadGenConfig& config);
+
+}  // namespace scout
+
+#endif  // SCOUT_WORKLOAD_GENERATORS_H_

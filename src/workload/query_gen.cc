@@ -1,0 +1,94 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scout {
+
+double QueryExtent(double volume, QueryAspect aspect) {
+  if (aspect == QueryAspect::kFrustum) {
+    // Depth of the standard prismatoid used by Frustum::WithVolume.
+    return std::cbrt(volume * 12.0 / 7.0);
+  }
+  return std::cbrt(volume);
+}
+
+GuidedSequence GenerateGuidedSequence(const Dataset& dataset,
+                                      const QuerySequenceConfig& config,
+                                      Rng* rng) {
+  GuidedSequence result;
+  if (dataset.structures.empty() || config.num_queries == 0) return result;
+
+  const double extent = QueryExtent(config.query_volume, config.aspect);
+  const double step = extent + config.gap_distance;
+  // Chord spacing consumes more arc than step on curvy paths; budget 60%
+  // extra so the walk does not run out before the last query.
+  const double needed =
+      (extent + step * static_cast<double>(config.num_queries - 1)) * 1.6;
+
+  // Random walk on the structure set: sample paths until one is long
+  // enough; remember the longest as a fallback.
+  std::vector<Vec3> best_path;
+  double best_len = -1.0;
+  StructureId best_structure = kInvalidStructureId;
+  for (uint32_t attempt = 0; attempt < config.structure_attempts;
+       ++attempt) {
+    const Structure& s =
+        dataset.structures[rng->NextBounded(dataset.structures.size())];
+    std::vector<Vec3> path = s.SamplePath(rng);
+    double len = 0.0;
+    for (size_t i = 1; i < path.size(); ++i) {
+      len += path[i].DistanceTo(path[i - 1]);
+    }
+    if (len > best_len) {
+      best_len = len;
+      best_path = std::move(path);
+      best_structure = s.id;
+    }
+    if (best_len >= needed) break;
+  }
+  if (best_path.size() < 2) return result;
+
+  const PolylineWalk walk(std::move(best_path));
+  result.structure = best_structure;
+
+  // Random start offset if the path has slack; otherwise start at the
+  // beginning and clamp at the end (queries bunch at the tip).
+  const double slack = std::max(0.0, walk.TotalLength() - needed);
+  double s = extent * 0.5 + (slack > 0.0 ? rng->Uniform(0.0, slack) : 0.0);
+
+  result.queries.reserve(config.num_queries);
+  Vec3 prev_center;
+  for (uint32_t q = 0; q < config.num_queries; ++q) {
+    if (q > 0 && s >= walk.TotalLength()) break;  // Path exhausted:
+                                                  // truncate, don't repeat.
+    double arc = std::min(s, walk.TotalLength());
+    Vec3 center = walk.ArcPoint(arc);
+    if (q > 0) {
+      // Advance along the arc until the *chord* distance from the
+      // previous center reaches the step, so consecutive queries are
+      // adjacent (sharing a boundary) rather than overlapping whenever
+      // the path curves — "adjacent to each other, slightly overlapping
+      // or with small gaps" (paper §1).
+      const double arc_increment = step * 0.05;
+      while (arc < walk.TotalLength() &&
+             center.DistanceTo(prev_center) < step) {
+        arc = std::min(arc + arc_increment, walk.TotalLength());
+        center = walk.ArcPoint(arc);
+      }
+    }
+    result.arc_positions.push_back(arc);
+    if (config.aspect == QueryAspect::kFrustum) {
+      result.queries.push_back(
+          Region::FrustumAt(center, walk.ArcTangent(arc),
+                            config.query_volume));
+    } else {
+      result.queries.push_back(Region::CubeAt(center, config.query_volume));
+    }
+    prev_center = center;
+    s = arc + step;
+  }
+  return result;
+}
+
+}  // namespace scout

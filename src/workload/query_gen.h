@@ -1,0 +1,48 @@
+#ifndef SCOUT_WORKLOAD_QUERY_GEN_H_
+#define SCOUT_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/region.h"
+#include "workload/dataset.h"
+
+namespace scout {
+
+/// Query shape (the paper's "Aspect Ratio" column in Figure 10).
+enum class QueryAspect { kCube, kFrustum };
+
+/// Parameters of a guided spatial query sequence (paper §7.2, Figure 10).
+struct QuerySequenceConfig {
+  uint32_t num_queries = 25;
+  double query_volume = 80000.0;  ///< µm³.
+  QueryAspect aspect = QueryAspect::kCube;
+  /// Distance between consecutive query boundaries (0 = adjacent).
+  double gap_distance = 0.0;
+  /// Attempts to find a structure with a long enough path.
+  uint32_t structure_attempts = 40;
+};
+
+/// One generated sequence plus its ground truth.
+struct GuidedSequence {
+  std::vector<Region> queries;
+  StructureId structure = kInvalidStructureId;
+  /// Arc-length positions of the query centers along the guiding path.
+  std::vector<double> arc_positions;
+};
+
+/// Characteristic linear extent (center spacing at gap 0) of a query of
+/// the given volume/aspect: cube side, or frustum depth.
+double QueryExtent(double volume, QueryAspect aspect);
+
+/// Generates a guided query sequence: picks a structure with a
+/// sufficiently long root-to-leaf path (a random walk on the dataset's
+/// structure graph) and places `num_queries` regions along it, spaced by
+/// extent + gap, oriented along the path for frustum queries.
+GuidedSequence GenerateGuidedSequence(const Dataset& dataset,
+                                      const QuerySequenceConfig& config,
+                                      Rng* rng);
+
+}  // namespace scout
+
+#endif  // SCOUT_WORKLOAD_QUERY_GEN_H_

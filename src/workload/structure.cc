@@ -1,0 +1,104 @@
+#include "workload/structure.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scout {
+
+std::vector<std::vector<uint32_t>> Structure::BuildChildren() const {
+  std::vector<std::vector<uint32_t>> children(nodes.size());
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].parent >= 0) {
+      children[static_cast<uint32_t>(nodes[i].parent)].push_back(i);
+    }
+  }
+  return children;
+}
+
+std::vector<Vec3> Structure::SamplePath(Rng* rng) const {
+  std::vector<Vec3> path;
+  if (nodes.empty()) return path;
+  const auto children = BuildChildren();
+  uint32_t current = 0;  // Root is node 0 by construction.
+  path.push_back(nodes[current].pos);
+  while (!children[current].empty()) {
+    const auto& kids = children[current];
+    current = kids[rng->NextBounded(kids.size())];
+    path.push_back(nodes[current].pos);
+  }
+  return path;
+}
+
+double Structure::LongestPathLength() const {
+  if (nodes.empty()) return 0.0;
+  // Length from root to every node; the max over leaves is the answer.
+  std::vector<double> depth(nodes.size(), 0.0);
+  double best = 0.0;
+  // Nodes are emitted parents-first by the generators.
+  for (uint32_t i = 1; i < nodes.size(); ++i) {
+    const int32_t p = nodes[i].parent;
+    assert(p >= 0 && static_cast<uint32_t>(p) < i);
+    depth[i] = depth[p] + nodes[i].pos.DistanceTo(nodes[p].pos);
+    best = std::max(best, depth[i]);
+  }
+  return best;
+}
+
+PolylineWalk::PolylineWalk(std::vector<Vec3> points)
+    : points_(std::move(points)) {
+  cumulative_.reserve(points_.size());
+  cumulative_.push_back(0.0);
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total_ += points_[i].DistanceTo(points_[i - 1]);
+    cumulative_.push_back(total_);
+  }
+}
+
+size_t PolylineWalk::SegmentAt(double s, double* local) const {
+  if (points_.size() < 2) {
+    *local = 0.0;
+    return 0;
+  }
+  s = std::clamp(s, 0.0, total_);
+  // Binary search for the segment containing arc length s.
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  size_t seg = static_cast<size_t>(it - cumulative_.begin());
+  seg = std::min(std::max<size_t>(seg, 1), points_.size() - 1) - 1;
+  const double seg_len = cumulative_[seg + 1] - cumulative_[seg];
+  *local = seg_len > 0.0 ? (s - cumulative_[seg]) / seg_len : 0.0;
+  return seg;
+}
+
+Vec3 PolylineWalk::ArcPoint(double s) const {
+  if (points_.empty()) return Vec3();
+  if (points_.size() == 1) return points_[0];
+  double local = 0.0;
+  const size_t seg = SegmentAt(s, &local);
+  return Lerp(points_[seg], points_[seg + 1], local);
+}
+
+Vec3 PolylineWalk::ArcTangent(double s) const {
+  if (points_.size() < 2) return Vec3(1, 0, 0);
+  double local = 0.0;
+  const size_t seg = SegmentAt(s, &local);
+  return (points_[seg + 1] - points_[seg]).Normalized();
+}
+
+void EmitStructureObjects(const Structure& structure, ObjectId* next_id,
+                          std::vector<SpatialObject>* objects) {
+  for (uint32_t i = 1; i < structure.nodes.size(); ++i) {
+    const StructureNode& node = structure.nodes[i];
+    if (node.parent < 0) continue;
+    const StructureNode& parent =
+        structure.nodes[static_cast<uint32_t>(node.parent)];
+    SpatialObject obj;
+    obj.id = (*next_id)++;
+    obj.structure_id = structure.id;
+    obj.path_index = i;
+    obj.geom = Cylinder(parent.pos, node.pos, parent.radius, node.radius);
+    objects->push_back(obj);
+  }
+}
+
+}  // namespace scout

@@ -1,0 +1,66 @@
+#ifndef SCOUT_WORKLOAD_STRUCTURE_H_
+#define SCOUT_WORKLOAD_STRUCTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/vec3.h"
+#include "storage/object.h"
+
+namespace scout {
+
+/// One point of a structure's centerline tree.
+struct StructureNode {
+  Vec3 pos;
+  double radius = 1.0;
+  int32_t parent = -1;  ///< Index of the parent node, -1 for the root.
+};
+
+/// A guiding structure: a tree-shaped centerline (neuron branch system,
+/// arterial tree, airway, road). Spatial objects are generated along its
+/// edges; guided query sequences follow root-to-leaf paths through it.
+/// This is ground truth — prefetchers never see it.
+struct Structure {
+  StructureId id = kInvalidStructureId;
+  std::vector<StructureNode> nodes;
+
+  /// Children lists derived from `parent` pointers.
+  std::vector<std::vector<uint32_t>> BuildChildren() const;
+
+  /// Samples a root-to-leaf path: at every bifurcation a uniformly random
+  /// child is chosen. Returns the polyline of node positions.
+  std::vector<Vec3> SamplePath(Rng* rng) const;
+
+  /// Total polyline length of the longest root-to-leaf path.
+  double LongestPathLength() const;
+};
+
+/// Arc-length parameterized walk along a polyline. `ArcPoint(s)` returns
+/// the point at curve length s (clamped to the ends); `ArcTangent(s)` the
+/// unit tangent there.
+class PolylineWalk {
+ public:
+  explicit PolylineWalk(std::vector<Vec3> points);
+
+  double TotalLength() const { return total_; }
+  Vec3 ArcPoint(double s) const;
+  Vec3 ArcTangent(double s) const;
+
+ private:
+  size_t SegmentAt(double s, double* local) const;
+
+  std::vector<Vec3> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = length up to point i
+  double total_ = 0.0;
+};
+
+/// Emits one cylinder object per tree edge of `structure`, appending to
+/// `objects` with sequential ids starting at *next_id (incremented).
+/// `path_index` records the child-node index for ground-truth ordering.
+void EmitStructureObjects(const Structure& structure, ObjectId* next_id,
+                          std::vector<SpatialObject>* objects);
+
+}  // namespace scout
+
+#endif  // SCOUT_WORKLOAD_STRUCTURE_H_

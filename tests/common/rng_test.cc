@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeUniformly) {
+  Rng rng(11);
+  constexpr uint64_t kBuckets = 10;
+  int counts[kBuckets] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    // Each bucket should be within 10% of the expectation.
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t x = rng.UniformInt(3, 6);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 6);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int heads = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentButDeterministic) {
+  Rng parent1(42);
+  Rng parent2(42);
+  Rng child1 = parent1.Fork();
+  Rng child2 = parent2.Fork();
+  // Same parent seed -> same child stream.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child1.NextUint64(), child2.NextUint64());
+  }
+  // Child stream differs from parent stream.
+  Rng parent3(42);
+  Rng child3 = parent3.Fork();
+  EXPECT_NE(child3.NextUint64(), parent3.NextUint64());
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(5);
+  const uint64_t first = rng.NextUint64();
+  rng.NextUint64();
+  rng.Seed(5);
+  EXPECT_EQ(rng.NextUint64(), first);
+}
+
+}  // namespace
+}  // namespace scout

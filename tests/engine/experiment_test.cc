@@ -1,0 +1,122 @@
+#include "engine/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "index/rtree.h"
+#include "prefetch/scout_prefetcher.h"
+#include "prefetch/trajectory_prefetcher.h"
+#include "workload/generators.h"
+
+namespace scout {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  std::unique_ptr<RTreeIndex> index;
+
+  Fixture() {
+    NeuronGenConfig gen = NeuronConfigForObjectCount(60000, 5);
+    dataset = GenerateNeuronTissue(gen);
+    index = std::move(*RTreeIndex::Build(dataset.objects));
+  }
+};
+
+TEST(ExperimentTest, MicrobenchmarkTableMatchesPaperFigure10) {
+  ASSERT_EQ(std::size(kMicrobenchmarks), 7u);
+  EXPECT_EQ(kMicrobenchmarks[0].queries_in_sequence, 25u);
+  EXPECT_EQ(kMicrobenchmarks[0].query_volume, 80000.0);
+  EXPECT_EQ(kMicrobenchmarks[2].queries_in_sequence, 35u);
+  EXPECT_EQ(kMicrobenchmarks[2].query_volume, 20000.0);
+  EXPECT_EQ(kMicrobenchmarks[2].prefetch_window_ratio, 2.0);
+  EXPECT_EQ(kMicrobenchmarks[3].aspect, QueryAspect::kFrustum);
+  EXPECT_EQ(kMicrobenchmarks[5].gap_distance, 25.0);
+}
+
+TEST(ExperimentTest, ScaledCacheBytesProportionalWithFloor) {
+  PageStore store;
+  EXPECT_EQ(ScaledCacheBytes(store), 64 * kPageBytes);  // Floor.
+}
+
+TEST(ExperimentTest, ResultsAreDeterministic) {
+  Fixture f;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 10;
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(f.index->store());
+
+  const ExperimentResult a = RunGuidedExperiment(
+      f.dataset, *f.index, &scout, qcfg, ecfg, 3, /*seed=*/17);
+  const ExperimentResult b = RunGuidedExperiment(
+      f.dataset, *f.index, &scout, qcfg, ecfg, 3, /*seed=*/17);
+  EXPECT_EQ(a.hit_rate_pct, b.hit_rate_pct);
+  EXPECT_EQ(a.speedup, b.speedup);
+  EXPECT_EQ(a.total_pages, b.total_pages);
+}
+
+TEST(ExperimentTest, IdenticalSequencesAcrossPrefetchers) {
+  // The experiment must evaluate every prefetcher on the same workload:
+  // total result pages are a property of the sequences only.
+  Fixture f;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  StraightLinePrefetcher straight;
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 10;
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(f.index->store());
+  const ExperimentResult a = RunGuidedExperiment(
+      f.dataset, *f.index, &scout, qcfg, ecfg, 3, /*seed=*/23);
+  const ExperimentResult b = RunGuidedExperiment(
+      f.dataset, *f.index, &straight, qcfg, ecfg, 3, /*seed=*/23);
+  EXPECT_EQ(a.total_pages, b.total_pages);
+  EXPECT_EQ(a.total_result_objects, b.total_result_objects);
+}
+
+TEST(ExperimentTest, SpeedupAboveOneWithPrefetching) {
+  Fixture f;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 15;
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(f.index->store());
+  const ExperimentResult r = RunGuidedExperiment(
+      f.dataset, *f.index, &scout, qcfg, ecfg, 4, /*seed=*/29);
+  EXPECT_GT(r.hit_rate_pct, 10.0);
+  EXPECT_GT(r.speedup, 1.0);
+  EXPECT_GT(r.baseline_response_us, r.total_response_us);
+}
+
+TEST(ExperimentTest, LongerWindowImprovesScoutAccuracy) {
+  // Figure 13(d) property: accuracy grows with the prefetch window ratio.
+  Fixture f;
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 15;
+  ExecutorConfig narrow;
+  narrow.cache_bytes = ScaledCacheBytes(f.index->store());
+  narrow.prefetch_window_ratio = 0.3;
+  ExecutorConfig wide = narrow;
+  wide.prefetch_window_ratio = 2.5;
+
+  ScoutPrefetcher s1{ScoutConfig{}};
+  ScoutPrefetcher s2{ScoutConfig{}};
+  const double low =
+      RunGuidedExperiment(f.dataset, *f.index, &s1, qcfg, narrow, 4, 31)
+          .hit_rate_pct;
+  const double high =
+      RunGuidedExperiment(f.dataset, *f.index, &s2, qcfg, wide, 4, 31)
+          .hit_rate_pct;
+  EXPECT_GT(high, low);
+}
+
+TEST(ExperimentTest, QueryConfigForSpecCopiesFields) {
+  const QuerySequenceConfig qcfg = QueryConfigFor(kMicrobenchmarks[5]);
+  EXPECT_EQ(qcfg.num_queries, 65u);
+  EXPECT_EQ(qcfg.gap_distance, 25.0);
+  EXPECT_EQ(qcfg.aspect, QueryAspect::kFrustum);
+  PageStore store;
+  const ExecutorConfig ecfg = ExecutorConfigFor(kMicrobenchmarks[5], store);
+  EXPECT_EQ(ecfg.prefetch_window_ratio, 1.2);
+}
+
+}  // namespace
+}  // namespace scout

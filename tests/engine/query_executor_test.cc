@@ -1,0 +1,170 @@
+#include "engine/query_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "index/rtree.h"
+#include "prefetch/no_prefetch.h"
+#include "prefetch/scout_prefetcher.h"
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::MakeFiber;
+
+struct World {
+  std::vector<SpatialObject> objects;
+  std::unique_ptr<RTreeIndex> index;
+
+  World() {
+    objects = MakeFiber(Vec3(5, 50, 50), Vec3(1, 0, 0), 150, 2.0, 0, 0, 41);
+    auto clutter = testing::MakeRandomObjects(
+        1500, Aabb(Vec3(0, 0, 0), Vec3(320, 100, 100)), 42);
+    for (auto& obj : clutter) {
+      obj.id += 10000;
+      objects.push_back(obj);
+    }
+    index = std::move(*RTreeIndex::Build(objects));
+  }
+
+  std::vector<Region> Sequence(int n) const {
+    std::vector<Region> queries;
+    for (int q = 0; q < n; ++q) {
+      queries.push_back(
+          Region::CubeAt(Vec3(30.0 + 20.0 * q, 50, 50), 8000.0));
+    }
+    return queries;
+  }
+};
+
+TEST(QueryExecutorTest, NoPrefetchNeverHits) {
+  World world;
+  NoPrefetcher none;
+  ExecutorConfig config;
+  QueryExecutor executor(world.index.get(), &none, config);
+  const SequenceRunStats stats = executor.RunSequence(world.Sequence(8));
+  EXPECT_EQ(stats.TotalPagesHit(), 0u);
+  EXPECT_EQ(stats.CacheHitRatePct(), 0.0);
+  EXPECT_GT(stats.TotalResidualUs(), 0);
+  // Response equals residual I/O when nothing is prefetched.
+  EXPECT_EQ(stats.TotalResponseUs(), stats.TotalResidualUs());
+}
+
+TEST(QueryExecutorTest, ResidualCachingServesOverlappingPages) {
+  World world;
+  NoPrefetcher none;
+  ExecutorConfig config;
+  config.cache_residual_reads = true;
+  QueryExecutor executor(world.index.get(), &none, config);
+  // Two identical queries: the second is fully cached.
+  std::vector<Region> queries = {world.Sequence(1)[0], world.Sequence(1)[0]};
+  const SequenceRunStats stats = executor.RunSequence(queries);
+  ASSERT_EQ(stats.queries.size(), 2u);
+  EXPECT_EQ(stats.queries[0].pages_hit, 0u);
+  EXPECT_EQ(stats.queries[1].pages_hit, stats.queries[1].pages_total);
+  EXPECT_EQ(stats.queries[1].residual_io_us, 0);
+}
+
+TEST(QueryExecutorTest, ScoutReducesResponseTime) {
+  World world;
+  const std::vector<Region> queries = world.Sequence(10);
+
+  NoPrefetcher none;
+  ExecutorConfig config;
+  QueryExecutor base_exec(world.index.get(), &none, config);
+  const SequenceRunStats base = base_exec.RunSequence(queries);
+
+  ScoutPrefetcher scout{ScoutConfig{}};
+  QueryExecutor scout_exec(world.index.get(), &scout, config);
+  const SequenceRunStats run = scout_exec.RunSequence(queries);
+
+  EXPECT_GT(run.TotalPagesHit(), 0u);
+  EXPECT_LT(run.TotalResponseUs(), base.TotalResponseUs());
+  EXPECT_GT(run.CacheHitRatePct(), 20.0);
+}
+
+TEST(QueryExecutorTest, FirstQueryIsAlwaysCold) {
+  World world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  QueryExecutor executor(world.index.get(), &scout, ExecutorConfig{});
+  const SequenceRunStats stats = executor.RunSequence(world.Sequence(5));
+  ASSERT_FALSE(stats.queries.empty());
+  EXPECT_EQ(stats.queries[0].pages_hit, 0u);
+}
+
+TEST(QueryExecutorTest, WindowScalesWithRatio) {
+  World world;
+  NoPrefetcher none;
+  ExecutorConfig narrow;
+  narrow.prefetch_window_ratio = 0.5;
+  ExecutorConfig wide;
+  wide.prefetch_window_ratio = 2.0;
+  QueryExecutor e1(world.index.get(), &none, narrow);
+  QueryExecutor e2(world.index.get(), &none, wide);
+  const auto s1 = e1.RunSequence(world.Sequence(3));
+  const auto s2 = e2.RunSequence(world.Sequence(3));
+  for (size_t i = 0; i < s1.queries.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(s2.queries[i].window_us),
+                4.0 * static_cast<double>(s1.queries[i].window_us),
+                static_cast<double>(s2.queries[i].window_us) * 0.01 + 4);
+  }
+}
+
+TEST(QueryExecutorTest, ZeroWindowPreventsPrefetching) {
+  World world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  ExecutorConfig config;
+  config.prefetch_window_ratio = 0.0;
+  QueryExecutor executor(world.index.get(), &scout, config);
+  const SequenceRunStats stats = executor.RunSequence(world.Sequence(6));
+  EXPECT_EQ(stats.TotalPagesHit(), 0u);
+  for (const auto& q : stats.queries) {
+    EXPECT_EQ(q.prefetch_pages, 0u);
+  }
+}
+
+TEST(QueryExecutorTest, TinyCacheLimitsPrefetching) {
+  World world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  ExecutorConfig big;
+  big.cache_bytes = 1024 * kPageBytes;
+  ExecutorConfig tiny;
+  tiny.cache_bytes = 2 * kPageBytes;
+  QueryExecutor e_big(world.index.get(), &scout, big);
+  const double hit_big = e_big.RunSequence(world.Sequence(10)).CacheHitRatePct();
+  ScoutPrefetcher scout2{ScoutConfig{}};
+  QueryExecutor e_tiny(world.index.get(), &scout2, tiny);
+  const double hit_tiny =
+      e_tiny.RunSequence(world.Sequence(10)).CacheHitRatePct();
+  EXPECT_LT(hit_tiny, hit_big);
+}
+
+TEST(QueryExecutorTest, StatsAreInternallyConsistent) {
+  World world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  QueryExecutor executor(world.index.get(), &scout, ExecutorConfig{});
+  const SequenceRunStats stats = executor.RunSequence(world.Sequence(8));
+  for (const auto& q : stats.queries) {
+    EXPECT_LE(q.pages_hit, q.pages_total);
+    EXPECT_GE(q.window_us, 0);
+    EXPECT_GE(q.observe_us, 0);
+    EXPECT_GE(q.response_us, q.residual_io_us);
+  }
+  EXPECT_GE(stats.CacheHitRatePct(), 0.0);
+  EXPECT_LE(stats.CacheHitRatePct(), 100.0);
+}
+
+TEST(QueryExecutorTest, RunSequenceIsRepeatable) {
+  World world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  QueryExecutor executor(world.index.get(), &scout, ExecutorConfig{});
+  const auto queries = world.Sequence(8);
+  const SequenceRunStats a = executor.RunSequence(queries);
+  const SequenceRunStats b = executor.RunSequence(queries);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  EXPECT_EQ(a.TotalPagesHit(), b.TotalPagesHit());
+  EXPECT_EQ(a.TotalResponseUs(), b.TotalResponseUs());
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,120 @@
+#include "geom/aabb.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(AabbTest, DefaultIsEmpty) {
+  Aabb box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_EQ(box.Volume(), 0.0);
+  EXPECT_EQ(box.SurfaceArea(), 0.0);
+}
+
+TEST(AabbTest, BasicGeometry) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(2, 4, 6));
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_EQ(box.Center(), Vec3(1, 2, 3));
+  EXPECT_EQ(box.Extents(), Vec3(2, 4, 6));
+  EXPECT_EQ(box.HalfExtents(), Vec3(1, 2, 3));
+  EXPECT_DOUBLE_EQ(box.Volume(), 48.0);
+  EXPECT_DOUBLE_EQ(box.SurfaceArea(), 2 * (8 + 24 + 12));
+}
+
+TEST(AabbTest, ContainsPointInclusiveBoundaries) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_TRUE(box.Contains(Vec3(0.5, 0.5, 0.5)));
+  EXPECT_TRUE(box.Contains(Vec3(0, 0, 0)));
+  EXPECT_TRUE(box.Contains(Vec3(1, 1, 1)));
+  EXPECT_FALSE(box.Contains(Vec3(1.0001, 0.5, 0.5)));
+  EXPECT_FALSE(box.Contains(Vec3(0.5, -0.0001, 0.5)));
+}
+
+TEST(AabbTest, ContainsBox) {
+  const Aabb outer(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  EXPECT_TRUE(outer.Contains(Aabb(Vec3(1, 1, 1), Vec3(2, 2, 2))));
+  EXPECT_FALSE(outer.Contains(Aabb(Vec3(9, 9, 9), Vec3(11, 10, 10))));
+  EXPECT_FALSE(outer.Contains(Aabb()));  // Empty box not "contained".
+}
+
+TEST(AabbTest, IntersectsSymmetric) {
+  const Aabb a(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  const Aabb b(Vec3(1, 1, 1), Vec3(3, 3, 3));
+  const Aabb c(Vec3(5, 5, 5), Vec3(6, 6, 6));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching faces count as intersecting.
+  EXPECT_TRUE(a.Intersects(Aabb(Vec3(2, 0, 0), Vec3(3, 1, 1))));
+  // Empty boxes intersect nothing.
+  EXPECT_FALSE(a.Intersects(Aabb()));
+}
+
+TEST(AabbTest, ExtendGrowsToFit) {
+  Aabb box;
+  box.Extend(Vec3(1, 2, 3));
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_EQ(box.min(), Vec3(1, 2, 3));
+  box.Extend(Vec3(-1, 5, 0));
+  EXPECT_EQ(box.min(), Vec3(-1, 2, 0));
+  EXPECT_EQ(box.max(), Vec3(1, 5, 3));
+  box.Extend(Aabb(Vec3(0, 0, 0), Vec3(9, 9, 9)));
+  EXPECT_EQ(box.max(), Vec3(9, 9, 9));
+}
+
+TEST(AabbTest, ExpandedAndIntersection) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  const Aabb grown = box.Expanded(1.0);
+  EXPECT_EQ(grown.min(), Vec3(-1, -1, -1));
+  EXPECT_EQ(grown.max(), Vec3(3, 3, 3));
+  const Aabb overlap =
+      box.Intersection(Aabb(Vec3(1, 1, 1), Vec3(5, 5, 5)));
+  EXPECT_EQ(overlap.min(), Vec3(1, 1, 1));
+  EXPECT_EQ(overlap.max(), Vec3(2, 2, 2));
+  EXPECT_TRUE(
+      box.Intersection(Aabb(Vec3(3, 3, 3), Vec3(4, 4, 4))).IsEmpty());
+}
+
+TEST(AabbTest, UnionCoversBoth) {
+  const Aabb a(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const Aabb b(Vec3(2, 2, 2), Vec3(3, 3, 3));
+  const Aabb u = a.Union(b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+}
+
+TEST(AabbTest, DistanceToPoint) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_DOUBLE_EQ(box.DistanceTo(Vec3(0.5, 0.5, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(box.DistanceTo(Vec3(3, 0.5, 0.5)), 2.0);
+  EXPECT_DOUBLE_EQ(box.DistanceSquaredTo(Vec3(2, 2, 1)), 2.0);
+}
+
+TEST(AabbTest, ClosestPointClamps) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_EQ(box.ClosestPoint(Vec3(5, -3, 0.5)), Vec3(1, 0, 0.5));
+}
+
+TEST(AabbTest, CubeWithVolume) {
+  const Aabb cube = Aabb::CubeWithVolume(Vec3(10, 10, 10), 8000.0);
+  EXPECT_NEAR(cube.Volume(), 8000.0, 1e-9);
+  EXPECT_EQ(cube.Center(), Vec3(10, 10, 10));
+  EXPECT_NEAR(cube.Extents().x, 20.0, 1e-9);
+}
+
+TEST(AabbTest, TranslatedPreservesSize) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 2, 3));
+  const Aabb moved = box.Translated(Vec3(10, 10, 10));
+  EXPECT_EQ(moved.Extents(), box.Extents());
+  EXPECT_EQ(moved.min(), Vec3(10, 10, 10));
+}
+
+TEST(AabbTest, FromPointsOrdersCoordinates) {
+  const Aabb box = Aabb::FromPoints(Vec3(3, -1, 2), Vec3(-3, 4, 0));
+  EXPECT_EQ(box.min(), Vec3(-3, -1, 0));
+  EXPECT_EQ(box.max(), Vec3(3, 4, 2));
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,64 @@
+#include "geom/cylinder.h"
+
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(CylinderTest, Accessors) {
+  const Cylinder c(Vec3(0, 0, 0), Vec3(0, 0, 10), 1.0, 2.0);
+  EXPECT_EQ(c.p0(), Vec3(0, 0, 0));
+  EXPECT_EQ(c.p1(), Vec3(0, 0, 10));
+  EXPECT_DOUBLE_EQ(c.r0(), 1.0);
+  EXPECT_DOUBLE_EQ(c.r1(), 2.0);
+  EXPECT_DOUBLE_EQ(c.max_radius(), 2.0);
+  EXPECT_DOUBLE_EQ(c.Length(), 10.0);
+  EXPECT_EQ(c.Centroid(), Vec3(0, 0, 5));
+}
+
+TEST(CylinderTest, TruncatedConeVolume) {
+  // Uniform cylinder: pi r^2 h.
+  const Cylinder uniform(Vec3(0, 0, 0), Vec3(0, 0, 4), 3.0);
+  EXPECT_NEAR(uniform.Volume(), std::numbers::pi * 9 * 4, 1e-9);
+  // Full cone (r1 = 0): pi/3 r^2 h.
+  const Cylinder cone(Vec3(0, 0, 0), Vec3(0, 0, 6), 3.0, 0.0);
+  EXPECT_NEAR(cone.Volume(), std::numbers::pi / 3 * 9 * 6, 1e-9);
+}
+
+TEST(CylinderTest, BoundsEnclosesSurface) {
+  const Cylinder c(Vec3(1, 1, 1), Vec3(5, 1, 1), 0.5, 0.25);
+  const Aabb b = c.Bounds();
+  EXPECT_EQ(b.min(), Vec3(0.5, 0.5, 0.5));
+  EXPECT_EQ(b.max(), Vec3(5.5, 1.5, 1.5));
+}
+
+TEST(CylinderTest, LineSimplificationIsAxis) {
+  const Cylinder c(Vec3(0, 0, 0), Vec3(1, 2, 3), 0.5);
+  EXPECT_EQ(c.AsLine().a, Vec3(0, 0, 0));
+  EXPECT_EQ(c.AsLine().b, Vec3(1, 2, 3));
+}
+
+TEST(CylinderTest, IntersectsBoxConservative) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  // Axis passes 0.3 away from box, radius 0.5 -> overlaps.
+  const Cylinder near(Vec3(-1, 1.3, 0.5), Vec3(2, 1.3, 0.5), 0.5);
+  EXPECT_TRUE(near.Intersects(box));
+  // Axis passes 2.0 away, radius 0.5 -> no overlap.
+  const Cylinder far(Vec3(-1, 3.0, 0.5), Vec3(2, 3.0, 0.5), 0.5);
+  EXPECT_FALSE(far.Intersects(box));
+}
+
+TEST(CylinderTest, SurfaceDistance) {
+  const Cylinder a(Vec3(0, 0, 0), Vec3(10, 0, 0), 1.0);
+  const Cylinder b(Vec3(0, 5, 0), Vec3(10, 5, 0), 1.0);
+  // Axis distance 5, radii 1+1 -> surface distance 3.
+  EXPECT_DOUBLE_EQ(a.SurfaceDistanceTo(b), 3.0);
+  // Overlapping cylinders report negative distance.
+  const Cylinder c(Vec3(0, 1.5, 0), Vec3(10, 1.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.SurfaceDistanceTo(c), -0.5);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,108 @@
+#include "geom/frustum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scout {
+namespace {
+
+TEST(FrustumTest, ContainsPointsOnAxis) {
+  const Frustum f(Vec3(0, 0, 0), Vec3(0, 0, 1), 1.0, 3.0, 0.5, 1.5);
+  EXPECT_TRUE(f.Contains(Vec3(0, 0, 2)));
+  EXPECT_FALSE(f.Contains(Vec3(0, 0, 0.5)));  // Before near plane.
+  EXPECT_FALSE(f.Contains(Vec3(0, 0, 3.5)));  // Beyond far plane.
+}
+
+TEST(FrustumTest, LateralApertureGrowsWithDepth) {
+  const Frustum f(Vec3(0, 0, 0), Vec3(0, 0, 1), 1.0, 3.0, 0.5, 1.5);
+  // Aperture slope = far_half / far = 0.5 per unit depth.
+  EXPECT_TRUE(f.Contains(Vec3(0.45, 0, 1.01)));
+  EXPECT_FALSE(f.Contains(Vec3(0.7, 0, 1.01)));
+  EXPECT_TRUE(f.Contains(Vec3(1.4, 0, 2.99)));
+  EXPECT_FALSE(f.Contains(Vec3(1.6, 0, 2.99)));
+}
+
+TEST(FrustumTest, VolumeMatchesPrismatoidFormula) {
+  const Frustum f(Vec3(0, 0, 0), Vec3(0, 0, 1), 1.0, 3.0, 0.5, 1.5);
+  // h=2, A_near=1, A_far=9 -> V = 2/3 * (1 + 9 + 3) = 26/3.
+  EXPECT_NEAR(f.Volume(), 26.0 / 3.0, 1e-9);
+}
+
+TEST(FrustumTest, WithVolumeProducesRequestedVolume) {
+  for (double volume : {1000.0, 30000.0, 80000.0}) {
+    const Frustum f =
+        Frustum::WithVolume(Vec3(50, 50, 50), Vec3(1, 1, 0), volume);
+    EXPECT_NEAR(f.Volume(), volume, volume * 1e-6);
+    // Centroid should be near the requested center.
+    EXPECT_NEAR(f.Centroid().DistanceTo(Vec3(50, 50, 50)), 0.0, 1e-6);
+  }
+}
+
+TEST(FrustumTest, BoundsContainCorners) {
+  const Frustum f =
+      Frustum::WithVolume(Vec3(10, 10, 10), Vec3(0, 1, 0), 500.0);
+  const Aabb bounds = f.Bounds();
+  for (const Vec3& corner : f.Corners()) {
+    EXPECT_TRUE(bounds.Expanded(1e-9).Contains(corner));
+  }
+}
+
+TEST(FrustumTest, IntersectsIsConservative) {
+  const Frustum f(Vec3(0, 0, 0), Vec3(0, 0, 1), 1.0, 5.0, 0.5, 2.5);
+  // Box straddling the axis inside depth range must intersect.
+  EXPECT_TRUE(f.Intersects(Aabb(Vec3(-0.1, -0.1, 2), Vec3(0.1, 0.1, 3))));
+  // Box entirely behind the apex cannot intersect.
+  EXPECT_FALSE(
+      f.Intersects(Aabb(Vec3(-0.1, -0.1, -3), Vec3(0.1, 0.1, -2))));
+  // Box far to the side is culled by a lateral plane.
+  EXPECT_FALSE(f.Intersects(Aabb(Vec3(50, 50, 2), Vec3(51, 51, 3))));
+  // Empty box never intersects.
+  EXPECT_FALSE(f.Intersects(Aabb()));
+}
+
+// Property: Contains(p) implies Intersects(tiny box at p) — never a false
+// negative on the conservative test.
+TEST(FrustumTest, IntersectsNeverFalseNegative) {
+  Rng rng(77);
+  const Frustum f =
+      Frustum::WithVolume(Vec3(0, 0, 0), Vec3(1, 2, 3), 10000.0);
+  int inside = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 p(rng.Uniform(-30, 30), rng.Uniform(-30, 30),
+                 rng.Uniform(-30, 30));
+    if (!f.Contains(p)) continue;
+    ++inside;
+    const Aabb tiny = Aabb::FromCenterHalfExtents(p, Vec3(0.01, 0.01, 0.01));
+    EXPECT_TRUE(f.Intersects(tiny)) << p.ToString();
+  }
+  EXPECT_GT(inside, 10);  // Sanity: the sample actually covered the frustum.
+}
+
+TEST(FrustumTest, DirectionIsNormalized) {
+  const Frustum f(Vec3(0, 0, 0), Vec3(0, 0, 10), 1.0, 2.0, 0.3, 0.6);
+  EXPECT_NEAR(f.direction().Norm(), 1.0, 1e-12);
+}
+
+// Monte-Carlo cross-check of Contains against the analytic volume.
+TEST(FrustumTest, ContainsVolumeMonteCarlo) {
+  const Frustum f =
+      Frustum::WithVolume(Vec3(0, 0, 0), Vec3(0, 0, 1), 8000.0);
+  const Aabb bounds = f.Bounds();
+  Rng rng(99);
+  int hits = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Vec3 p(
+        rng.Uniform(bounds.min().x, bounds.max().x),
+        rng.Uniform(bounds.min().y, bounds.max().y),
+        rng.Uniform(bounds.min().z, bounds.max().z));
+    if (f.Contains(p)) ++hits;
+  }
+  const double estimated =
+      bounds.Volume() * static_cast<double>(hits) / kSamples;
+  EXPECT_NEAR(estimated, 8000.0, 8000.0 * 0.05);
+}
+
+}  // namespace
+}  // namespace scout

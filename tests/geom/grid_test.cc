@@ -1,0 +1,125 @@
+#include "geom/grid.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scout {
+namespace {
+
+TEST(GridTest, CellOfCorners) {
+  const UniformGrid grid(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)), 5, 5, 5);
+  EXPECT_EQ(grid.CellOf(Vec3(0, 0, 0)), (CellCoords{0, 0, 0}));
+  EXPECT_EQ(grid.CellOf(Vec3(9.99, 9.99, 9.99)), (CellCoords{4, 4, 4}));
+  // Boundary max clamps into the last cell.
+  EXPECT_EQ(grid.CellOf(Vec3(10, 10, 10)), (CellCoords{4, 4, 4}));
+  // Outside points clamp.
+  EXPECT_EQ(grid.CellOf(Vec3(-5, 50, 5)), (CellCoords{0, 4, 2}));
+}
+
+TEST(GridTest, FlatIndexRoundTrip) {
+  const UniformGrid grid(Aabb(Vec3(0, 0, 0), Vec3(8, 8, 8)), 2, 3, 4);
+  for (int64_t i = 0; i < grid.TotalCells(); ++i) {
+    EXPECT_EQ(grid.FlatIndex(grid.CoordsOf(i)), i);
+  }
+}
+
+TEST(GridTest, CellBoundsTileTheVolume) {
+  const UniformGrid grid(Aabb(Vec3(0, 0, 0), Vec3(6, 6, 6)), 3, 3, 3);
+  double total = 0.0;
+  for (int64_t i = 0; i < grid.TotalCells(); ++i) {
+    total += grid.CellBounds(grid.CoordsOf(i)).Volume();
+  }
+  EXPECT_NEAR(total, 216.0, 1e-9);
+}
+
+TEST(GridTest, WithTotalCellsApproximatesTarget) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  for (int64_t target : {8, 64, 512, 4096, 32768}) {
+    const UniformGrid grid = UniformGrid::WithTotalCells(bounds, target);
+    EXPECT_GE(grid.TotalCells(), target / 3);
+    EXPECT_LE(grid.TotalCells(), target * 3);
+  }
+}
+
+TEST(GridTest, WithTotalCellsHandlesAnisotropy) {
+  // A flat slab should get more cells in the long axes.
+  const Aabb slab(Vec3(0, 0, 0), Vec3(100, 100, 1));
+  const UniformGrid grid = UniformGrid::WithTotalCells(slab, 1000);
+  EXPECT_GT(grid.nx(), grid.nz());
+  EXPECT_GT(grid.ny(), grid.nz());
+}
+
+TEST(GridTest, CellsOverlappingBox) {
+  const UniformGrid grid(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)), 5, 5, 5);
+  std::vector<int64_t> cells;
+  grid.CellsOverlapping(Aabb(Vec3(0.5, 0.5, 0.5), Vec3(3.5, 1.5, 1.5)),
+                        &cells);
+  // x spans cells 0..1, y 0..0, z 0..0 => 2 cells.
+  EXPECT_EQ(cells.size(), 2u);
+  cells.clear();
+  grid.CellsOverlapping(Aabb(Vec3(20, 20, 20), Vec3(30, 30, 30)), &cells);
+  EXPECT_TRUE(cells.empty());
+}
+
+// Property test: the DDA walk finds exactly the cells whose bounds the
+// segment passes through (verified against a brute-force scan).
+TEST(GridTest, SegmentWalkMatchesBruteForce) {
+  const UniformGrid grid(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)), 7, 7, 7);
+  Rng rng(55);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Segment seg(
+        Vec3(rng.Uniform(-2, 12), rng.Uniform(-2, 12), rng.Uniform(-2, 12)),
+        Vec3(rng.Uniform(-2, 12), rng.Uniform(-2, 12), rng.Uniform(-2, 12)));
+    std::vector<int64_t> walked;
+    grid.CellsAlongSegment(seg, &walked);
+    const std::unordered_set<int64_t> walked_set(walked.begin(),
+                                                 walked.end());
+
+    // Brute force: every grid cell slightly expanded (to forgive exact
+    // boundary-tracking differences) that the segment intersects must be
+    // near the walked set; and every walked cell must be intersected by
+    // the segment (expanded slightly).
+    for (int64_t i = 0; i < grid.TotalCells(); ++i) {
+      const Aabb cell = grid.CellBounds(grid.CoordsOf(i));
+      const bool strict = seg.Intersects(cell.Expanded(-1e-9));
+      if (strict) {
+        EXPECT_TRUE(walked_set.contains(i))
+            << "missed cell " << i << " trial " << trial;
+      }
+      if (walked_set.contains(i)) {
+        EXPECT_TRUE(seg.Intersects(cell.Expanded(1e-9)))
+            << "spurious cell " << i << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(GridTest, SegmentWalkAxisAligned) {
+  const UniformGrid grid(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)), 5, 5, 5);
+  std::vector<int64_t> cells;
+  grid.CellsAlongSegment(Segment(Vec3(0.5, 1, 1), Vec3(9.5, 1, 1)), &cells);
+  EXPECT_EQ(cells.size(), 5u);  // Crosses all five x cells.
+}
+
+TEST(GridTest, SegmentOutsideGridYieldsNothing) {
+  const UniformGrid grid(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)), 5, 5, 5);
+  std::vector<int64_t> cells;
+  grid.CellsAlongSegment(Segment(Vec3(20, 20, 20), Vec3(30, 30, 30)),
+                         &cells);
+  EXPECT_TRUE(cells.empty());
+}
+
+TEST(GridTest, DegenerateSegmentSingleCell) {
+  const UniformGrid grid(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)), 5, 5, 5);
+  std::vector<int64_t> cells;
+  grid.CellsAlongSegment(Segment(Vec3(5, 5, 5), Vec3(5, 5, 5)), &cells);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], grid.FlatIndex(grid.CellOf(Vec3(5, 5, 5))));
+}
+
+}  // namespace
+}  // namespace scout

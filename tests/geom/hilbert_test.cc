@@ -1,0 +1,132 @@
+#include "geom/hilbert.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scout {
+namespace {
+
+// Round-trip property across several curve orders.
+class HilbertRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertRoundTripTest, Encode3DecodesBack) {
+  const int bits = GetParam();
+  Rng rng(bits);
+  const uint32_t mask = (1u << bits) - 1;
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextUint64()) & mask;
+    const uint32_t y = static_cast<uint32_t>(rng.NextUint64()) & mask;
+    const uint32_t z = static_cast<uint32_t>(rng.NextUint64()) & mask;
+    const uint64_t h = HilbertEncode3(x, y, z, bits);
+    EXPECT_LT(h, 1ull << (3 * bits));
+    uint32_t dx;
+    uint32_t dy;
+    uint32_t dz;
+    HilbertDecode3(h, bits, &dx, &dy, &dz);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+    EXPECT_EQ(dz, z);
+  }
+}
+
+TEST_P(HilbertRoundTripTest, Encode2DecodesBack) {
+  const int bits = GetParam();
+  Rng rng(bits * 7);
+  const uint32_t mask = (1u << bits) - 1;
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextUint64()) & mask;
+    const uint32_t y = static_cast<uint32_t>(rng.NextUint64()) & mask;
+    const uint64_t h = HilbertEncode2(x, y, bits);
+    uint32_t dx;
+    uint32_t dy;
+    HilbertDecode2(h, bits, &dx, &dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertRoundTripTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 21));
+
+TEST(HilbertTest, Order1CurveIsPermutationOfAllCells) {
+  std::unordered_set<uint64_t> seen;
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t y = 0; y < 2; ++y) {
+      for (uint32_t z = 0; z < 2; ++z) {
+        seen.insert(HilbertEncode3(x, y, z, 1));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+// Core Hilbert property: consecutive curve positions are adjacent cells
+// (Manhattan distance exactly 1).
+TEST(HilbertTest, ConsecutiveIndicesAreNeighborCells3D) {
+  const int bits = 3;
+  const uint64_t total = 1ull << (3 * bits);
+  uint32_t px = 0;
+  uint32_t py = 0;
+  uint32_t pz = 0;
+  HilbertDecode3(0, bits, &px, &py, &pz);
+  for (uint64_t h = 1; h < total; ++h) {
+    uint32_t x;
+    uint32_t y;
+    uint32_t z;
+    HilbertDecode3(h, bits, &x, &y, &z);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py)) +
+                          std::abs(static_cast<int>(z) - static_cast<int>(pz));
+    EXPECT_EQ(manhattan, 1) << "at h=" << h;
+    px = x;
+    py = y;
+    pz = z;
+  }
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreNeighborCells2D) {
+  const int bits = 5;
+  const uint64_t total = 1ull << (2 * bits);
+  uint32_t px;
+  uint32_t py;
+  HilbertDecode2(0, bits, &px, &py);
+  for (uint64_t h = 1; h < total; ++h) {
+    uint32_t x;
+    uint32_t y;
+    HilbertDecode2(h, bits, &x, &y);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py));
+    EXPECT_EQ(manhattan, 1) << "at h=" << h;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertTest, PointMappingClampsOutOfBounds) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  const uint64_t inside = HilbertIndexOfPoint(Vec3(5, 5, 5), bounds, 4);
+  EXPECT_LT(inside, 1ull << 12);
+  // Outside points clamp to the boundary rather than wrapping.
+  const uint64_t low = HilbertIndexOfPoint(Vec3(-100, -100, -100), bounds, 4);
+  const uint64_t corner = HilbertIndexOfPoint(Vec3(0, 0, 0), bounds, 4);
+  EXPECT_EQ(low, corner);
+}
+
+TEST(HilbertTest, PointRoundTripStaysInCell) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(64, 64, 64));
+  const int bits = 4;  // 16 cells per axis -> cell size 4.
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p(rng.Uniform(0, 64), rng.Uniform(0, 64), rng.Uniform(0, 64));
+    const uint64_t h = HilbertIndexOfPoint(p, bounds, bits);
+    const Vec3 back = PointOfHilbertIndex(h, bounds, bits);
+    // The reconstructed cell center is within half a cell diagonal.
+    EXPECT_LT(back.DistanceTo(p), 4.0 * std::sqrt(3.0) / 2.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,62 @@
+#include "geom/region.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(RegionTest, CubeBasics) {
+  const Region r = Region::CubeAt(Vec3(10, 10, 10), 1000.0);
+  EXPECT_TRUE(r.is_box());
+  EXPECT_FALSE(r.is_frustum());
+  EXPECT_NEAR(r.Volume(), 1000.0, 1e-9);
+  EXPECT_EQ(r.Center(), Vec3(10, 10, 10));
+  EXPECT_TRUE(r.Contains(Vec3(10, 10, 10)));
+  EXPECT_FALSE(r.Contains(Vec3(30, 10, 10)));
+}
+
+TEST(RegionTest, FrustumBasics) {
+  const Region r = Region::FrustumAt(Vec3(0, 0, 0), Vec3(1, 0, 0), 7000.0);
+  EXPECT_TRUE(r.is_frustum());
+  EXPECT_NEAR(r.Volume(), 7000.0, 1e-6);
+  EXPECT_NEAR(r.Center().DistanceTo(Vec3(0, 0, 0)), 0.0, 1e-9);
+}
+
+TEST(RegionTest, BoundsConsistentWithContains) {
+  const Region cube = Region::CubeAt(Vec3(0, 0, 0), 8.0);
+  EXPECT_TRUE(cube.Bounds().Contains(Vec3(0.9, 0.9, 0.9)));
+  const Region fr = Region::FrustumAt(Vec3(5, 5, 5), Vec3(0, 0, 1), 100.0);
+  // Everything contained in the frustum is inside its bounds.
+  EXPECT_TRUE(fr.Bounds().Contains(fr.Center()));
+}
+
+TEST(RegionTest, IntersectsMatchesShape) {
+  const Region cube = Region::CubeAt(Vec3(0, 0, 0), 8.0);  // side 2
+  EXPECT_TRUE(cube.Intersects(Aabb(Vec3(0.5, 0.5, 0.5), Vec3(3, 3, 3))));
+  EXPECT_FALSE(cube.Intersects(Aabb(Vec3(2, 2, 2), Vec3(3, 3, 3))));
+}
+
+TEST(RegionTest, RecenteredPreservesShapeAndVolume) {
+  const Region cube = Region::CubeAt(Vec3(0, 0, 0), 27.0);
+  const Region moved = cube.RecenteredAt(Vec3(100, 0, 0));
+  EXPECT_TRUE(moved.is_box());
+  EXPECT_NEAR(moved.Volume(), 27.0, 1e-9);
+  EXPECT_EQ(moved.Center(), Vec3(100, 0, 0));
+
+  const Region fr = Region::FrustumAt(Vec3(0, 0, 0), Vec3(0, 0, 1), 5000.0);
+  const Vec3 new_dir(1, 0, 0);
+  const Region moved_fr = fr.RecenteredAt(Vec3(50, 50, 50), &new_dir);
+  EXPECT_TRUE(moved_fr.is_frustum());
+  EXPECT_NEAR(moved_fr.Volume(), 5000.0, 1e-6);
+  EXPECT_NEAR(moved_fr.frustum().direction().Dot(Vec3(1, 0, 0)), 1.0,
+              1e-9);
+}
+
+TEST(RegionTest, DefaultRegionIsEmptyBox) {
+  const Region r;
+  EXPECT_TRUE(r.is_box());
+  EXPECT_EQ(r.Volume(), 0.0);
+}
+
+}  // namespace
+}  // namespace scout

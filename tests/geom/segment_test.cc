@@ -1,0 +1,134 @@
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scout {
+namespace {
+
+TEST(SegmentTest, LengthAndMidpoint) {
+  const Segment s(Vec3(0, 0, 0), Vec3(3, 4, 0));
+  EXPECT_DOUBLE_EQ(s.Length(), 5.0);
+  EXPECT_DOUBLE_EQ(s.LengthSquared(), 25.0);
+  EXPECT_EQ(s.Midpoint(), Vec3(1.5, 2, 0));
+  EXPECT_EQ(s.PointAt(0.0), s.a);
+  EXPECT_EQ(s.PointAt(1.0), s.b);
+}
+
+TEST(SegmentTest, PointDistanceInteriorAndEndpoints) {
+  const Segment s(Vec3(0, 0, 0), Vec3(10, 0, 0));
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Vec3(5, 3, 0)), 3.0);   // Interior.
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Vec3(-4, 3, 0)), 5.0);  // Clamped to a.
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Vec3(14, 3, 0)), 5.0);  // Clamped to b.
+  EXPECT_DOUBLE_EQ(s.ClosestParameterTo(Vec3(5, 3, 0)), 0.5);
+}
+
+TEST(SegmentTest, DegenerateSegmentActsAsPoint) {
+  const Segment s(Vec3(1, 1, 1), Vec3(1, 1, 1));
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Vec3(1, 1, 4)), 3.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Segment(Vec3(1, 5, 1), Vec3(1, 9, 1))),
+                   4.0);
+}
+
+TEST(SegmentTest, SegmentSegmentKnownCases) {
+  // Crossing (in projection) with vertical offset.
+  const Segment a(Vec3(0, 0, 0), Vec3(10, 0, 0));
+  const Segment b(Vec3(5, -5, 2), Vec3(5, 5, 2));
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 2.0);
+
+  // Parallel.
+  const Segment c(Vec3(0, 3, 0), Vec3(10, 3, 0));
+  EXPECT_DOUBLE_EQ(a.DistanceTo(c), 3.0);
+
+  // Collinear, disjoint.
+  const Segment d(Vec3(12, 0, 0), Vec3(20, 0, 0));
+  EXPECT_DOUBLE_EQ(a.DistanceTo(d), 2.0);
+
+  // Intersecting.
+  const Segment e(Vec3(5, -5, 0), Vec3(5, 5, 0));
+  EXPECT_NEAR(a.DistanceTo(e), 0.0, 1e-12);
+}
+
+TEST(SegmentTest, SegmentDistanceSymmetric) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const Segment a(Vec3(rng.Uniform(-5, 5), rng.Uniform(-5, 5),
+                         rng.Uniform(-5, 5)),
+                    Vec3(rng.Uniform(-5, 5), rng.Uniform(-5, 5),
+                         rng.Uniform(-5, 5)));
+    const Segment b(Vec3(rng.Uniform(-5, 5), rng.Uniform(-5, 5),
+                         rng.Uniform(-5, 5)),
+                    Vec3(rng.Uniform(-5, 5), rng.Uniform(-5, 5),
+                         rng.Uniform(-5, 5)));
+    EXPECT_NEAR(a.DistanceTo(b), b.DistanceTo(a), 1e-9);
+  }
+}
+
+// Property: the segment-segment distance never exceeds any point-sampled
+// pairwise distance, and matches the sampled minimum closely.
+TEST(SegmentTest, SegmentDistanceMatchesDenseSampling) {
+  Rng rng(33);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Segment a(Vec3(rng.Uniform(-3, 3), rng.Uniform(-3, 3),
+                         rng.Uniform(-3, 3)),
+                    Vec3(rng.Uniform(-3, 3), rng.Uniform(-3, 3),
+                         rng.Uniform(-3, 3)));
+    const Segment b(Vec3(rng.Uniform(-3, 3), rng.Uniform(-3, 3),
+                         rng.Uniform(-3, 3)),
+                    Vec3(rng.Uniform(-3, 3), rng.Uniform(-3, 3),
+                         rng.Uniform(-3, 3)));
+    const double exact = a.DistanceTo(b);
+    double sampled = 1e30;
+    constexpr int kSteps = 60;
+    for (int i = 0; i <= kSteps; ++i) {
+      for (int j = 0; j <= kSteps; ++j) {
+        const double d = a.PointAt(static_cast<double>(i) / kSteps)
+                             .DistanceTo(
+                                 b.PointAt(static_cast<double>(j) / kSteps));
+        sampled = std::min(sampled, d);
+      }
+    }
+    EXPECT_LE(exact, sampled + 1e-9);
+    EXPECT_NEAR(exact, sampled, 0.2);  // Sampling grid resolution bound.
+  }
+}
+
+TEST(SegmentTest, ClipToBoxFullyInside) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  const Segment s(Vec3(1, 1, 1), Vec3(2, 2, 2));
+  double t0;
+  double t1;
+  ASSERT_TRUE(s.ClipToBox(box, &t0, &t1));
+  EXPECT_DOUBLE_EQ(t0, 0.0);
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+}
+
+TEST(SegmentTest, ClipToBoxCrossing) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  const Segment s(Vec3(-5, 5, 5), Vec3(15, 5, 5));
+  double t0;
+  double t1;
+  ASSERT_TRUE(s.ClipToBox(box, &t0, &t1));
+  EXPECT_NEAR(t0, 0.25, 1e-12);
+  EXPECT_NEAR(t1, 0.75, 1e-12);
+}
+
+TEST(SegmentTest, ClipToBoxMiss) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const Segment s(Vec3(5, 5, 5), Vec3(6, 6, 6));
+  EXPECT_FALSE(s.ClipToBox(box, nullptr, nullptr));
+  EXPECT_FALSE(s.Intersects(box));
+}
+
+TEST(SegmentTest, IntersectsAxisParallelOutside) {
+  const Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  // Parallel to x axis, but y outside the slab.
+  const Segment s(Vec3(-1, 2, 0.5), Vec3(2, 2, 0.5));
+  EXPECT_FALSE(s.Intersects(box));
+  const Segment inside(Vec3(-1, 0.5, 0.5), Vec3(2, 0.5, 0.5));
+  EXPECT_TRUE(inside.Intersects(box));
+}
+
+}  // namespace
+}  // namespace scout

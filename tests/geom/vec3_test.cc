@@ -1,0 +1,72 @@
+#include "geom/vec3.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a(1, 2, 3);
+  const Vec3 b(4, -5, 6);
+  EXPECT_EQ(a + b, Vec3(5, -3, 9));
+  EXPECT_EQ(a - b, Vec3(-3, 7, -3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3Test, CompoundAssignment) {
+  Vec3 v(1, 1, 1);
+  v += Vec3(1, 2, 3);
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= Vec3(1, 1, 1);
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3Test, DotAndCross) {
+  const Vec3 x(1, 0, 0);
+  const Vec3 y(0, 1, 0);
+  EXPECT_EQ(x.Dot(y), 0.0);
+  EXPECT_EQ(x.Cross(y), Vec3(0, 0, 1));
+  EXPECT_EQ(y.Cross(x), Vec3(0, 0, -1));
+  EXPECT_EQ(Vec3(2, 3, 4).Dot(Vec3(5, 6, 7)), 2 * 5 + 3 * 6 + 4 * 7);
+}
+
+TEST(Vec3Test, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(Vec3(1, 1, 1).DistanceTo(Vec3(1, 1, 3)), 2.0);
+  EXPECT_DOUBLE_EQ(Vec3(0, 0, 0).DistanceSquaredTo(Vec3(1, 2, 2)), 9.0);
+}
+
+TEST(Vec3Test, NormalizedUnitLength) {
+  const Vec3 v = Vec3(3, -4, 12).Normalized();
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+  // Zero vector normalizes to zero instead of NaN.
+  EXPECT_EQ(Vec3().Normalized(), Vec3());
+}
+
+TEST(Vec3Test, MinMax) {
+  const Vec3 a(1, 5, -2);
+  const Vec3 b(3, 2, -7);
+  EXPECT_EQ(Vec3::Min(a, b), Vec3(1, 2, -7));
+  EXPECT_EQ(Vec3::Max(a, b), Vec3(3, 5, -2));
+}
+
+TEST(Vec3Test, Lerp) {
+  const Vec3 a(0, 0, 0);
+  const Vec3 b(10, 20, -10);
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), Vec3(5, 10, -5));
+}
+
+TEST(Vec3Test, ToStringIsReadable) {
+  EXPECT_EQ(Vec3(1, 2, 3).ToString(), "(1.000, 2.000, 3.000)");
+}
+
+}  // namespace
+}  // namespace scout

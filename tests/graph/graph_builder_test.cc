@@ -1,0 +1,148 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::MakeFiber;
+
+std::vector<GraphInput> ToInputs(const std::vector<SpatialObject>& objects) {
+  std::vector<GraphInput> inputs;
+  for (const SpatialObject& obj : objects) {
+    inputs.push_back(GraphInput{&obj, 0});
+  }
+  return inputs;
+}
+
+Aabb BoundsOf(const std::vector<SpatialObject>& objects) {
+  Aabb box;
+  for (const SpatialObject& obj : objects) box.Extend(obj.Bounds());
+  return box;
+}
+
+TEST(GraphBuilderTest, FiberFormsSingleComponentWithGridHash) {
+  const std::vector<SpatialObject> fiber =
+      MakeFiber(Vec3(0, 0, 0), Vec3(1, 0, 0), 50);
+  SpatialGraph graph;
+  const GraphBuildStats stats = BuildGraphGridHash(
+      ToInputs(fiber), BoundsOf(fiber).Expanded(1.0), 32768, &graph);
+  EXPECT_EQ(graph.NumVertices(), 50u);
+  EXPECT_GT(stats.objects_hashed, 0u);
+  EXPECT_GT(stats.cell_inserts, 0u);
+  uint32_t components = 0;
+  LabelComponents(graph, &components);
+  EXPECT_EQ(components, 1u);
+}
+
+TEST(GraphBuilderTest, DistantFibersStayDisconnected) {
+  std::vector<SpatialObject> objects =
+      MakeFiber(Vec3(0, 0, 0), Vec3(1, 0, 0), 30, 2.0, 0, 0);
+  const std::vector<SpatialObject> other =
+      MakeFiber(Vec3(0, 40, 0), Vec3(1, 0, 0), 30, 2.0, 100, 1);
+  objects.insert(objects.end(), other.begin(), other.end());
+  SpatialGraph graph;
+  BuildGraphGridHash(ToInputs(objects), BoundsOf(objects).Expanded(1.0),
+                     32768, &graph);
+  uint32_t components = 0;
+  LabelComponents(graph, &components);
+  EXPECT_EQ(components, 2u);
+}
+
+TEST(GraphBuilderTest, CoarseResolutionCreatesMoreEdges) {
+  std::vector<SpatialObject> objects =
+      MakeFiber(Vec3(0, 0, 0), Vec3(1, 0, 0), 40, 2.0, 0, 0);
+  const std::vector<SpatialObject> other =
+      MakeFiber(Vec3(0, 15, 0), Vec3(1, 0, 0), 40, 2.0, 100, 1);
+  objects.insert(objects.end(), other.begin(), other.end());
+  const Aabb bounds = BoundsOf(objects).Expanded(1.0);
+
+  SpatialGraph fine;
+  const GraphBuildStats fine_stats =
+      BuildGraphGridHash(ToInputs(objects), bounds, 32768, &fine);
+  SpatialGraph coarse;
+  const GraphBuildStats coarse_stats =
+      BuildGraphGridHash(ToInputs(objects), bounds, 1, &coarse);
+  // Too coarse a grid connects everything (excess edges, paper §4.2).
+  EXPECT_GT(coarse.NumEdges(), fine.NumEdges());
+  EXPECT_GT(coarse_stats.pair_comparisons, fine_stats.pair_comparisons);
+  uint32_t coarse_components = 0;
+  LabelComponents(coarse, &coarse_components);
+  EXPECT_EQ(coarse_components, 1u);  // The two fibers merge: misleading.
+}
+
+TEST(GraphBuilderTest, BruteForceMatchesGridHashOnChain) {
+  const std::vector<SpatialObject> fiber =
+      MakeFiber(Vec3(0, 0, 0), Vec3(1, 0, 0), 30);
+  SpatialGraph brute;
+  BuildGraphBruteForce(ToInputs(fiber), 0.5, &brute);
+  // Consecutive fiber segments share endpoints: the chain must be fully
+  // connected in the exact graph too.
+  uint32_t components = 0;
+  LabelComponents(brute, &components);
+  EXPECT_EQ(components, 1u);
+  // Exact chain: each interior vertex connects to its neighbors.
+  EXPECT_GE(brute.NumEdges(), 29u);
+}
+
+TEST(GraphBuilderTest, BruteForceEpsilonControlsConnectivity) {
+  // Two parallel fibers 5 apart: connected iff epsilon >= 5ish.
+  std::vector<SpatialObject> objects;
+  SpatialObject a;
+  a.id = 0;
+  a.geom = Cylinder(Vec3(0, 0, 0), Vec3(10, 0, 0), 0.2);
+  SpatialObject b;
+  b.id = 1;
+  b.geom = Cylinder(Vec3(0, 5, 0), Vec3(10, 5, 0), 0.2);
+  objects = {a, b};
+
+  SpatialGraph tight;
+  BuildGraphBruteForce(ToInputs(objects), 1.0, &tight);
+  EXPECT_EQ(tight.NumEdges(), 0u);
+
+  SpatialGraph loose;
+  BuildGraphBruteForce(ToInputs(objects), 6.0, &loose);
+  EXPECT_EQ(loose.NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, ExplicitAdjacencyBuild) {
+  const std::vector<SpatialObject> fiber =
+      MakeFiber(Vec3(0, 0, 0), Vec3(1, 0, 0), 10);
+  std::vector<std::pair<ObjectId, ObjectId>> adjacency;
+  for (ObjectId i = 0; i + 1 < 10; ++i) adjacency.emplace_back(i, i + 1);
+  // Reference to an object missing from the result set must be ignored.
+  adjacency.emplace_back(3, 999);
+
+  SpatialGraph graph;
+  const GraphBuildStats stats =
+      BuildGraphExplicit(ToInputs(fiber), adjacency, &graph);
+  EXPECT_EQ(graph.NumVertices(), 10u);
+  EXPECT_EQ(graph.NumEdges(), 9u);
+  EXPECT_EQ(stats.edges_created, 9u);
+  uint32_t components = 0;
+  LabelComponents(graph, &components);
+  EXPECT_EQ(components, 1u);
+}
+
+TEST(GraphBuilderTest, EmptyInputsYieldEmptyGraph) {
+  SpatialGraph graph;
+  const GraphBuildStats stats = BuildGraphGridHash(
+      {}, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), 64, &graph);
+  EXPECT_EQ(graph.NumVertices(), 0u);
+  EXPECT_EQ(stats.objects_hashed, 0u);
+}
+
+TEST(GraphBuilderTest, StatsAccumulate) {
+  GraphBuildStats a{1, 2, 3, 4};
+  const GraphBuildStats b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.objects_hashed, 11u);
+  EXPECT_EQ(a.cell_inserts, 22u);
+  EXPECT_EQ(a.pair_comparisons, 33u);
+  EXPECT_EQ(a.edges_created, 44u);
+}
+
+}  // namespace
+}  // namespace scout

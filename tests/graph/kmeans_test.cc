@@ -1,0 +1,104 @@
+#include "graph/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(KMeansTest, EmptyInput) {
+  Rng rng(1);
+  const KMeansResult r = KMeans({}, 3, &rng);
+  EXPECT_TRUE(r.centers.empty());
+}
+
+TEST(KMeansTest, KZero) {
+  Rng rng(1);
+  const KMeansResult r = KMeans({Vec3(1, 1, 1)}, 0, &rng);
+  EXPECT_TRUE(r.centers.empty());
+}
+
+TEST(KMeansTest, FewerPointsThanK) {
+  Rng rng(2);
+  const std::vector<Vec3> points = {Vec3(0, 0, 0), Vec3(10, 0, 0)};
+  const KMeansResult r = KMeans(points, 5, &rng);
+  EXPECT_LE(r.centers.size(), 2u);
+  EXPECT_EQ(r.assignment.size(), 2u);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng data_rng(3);
+  std::vector<Vec3> points;
+  const Vec3 centers[3] = {Vec3(0, 0, 0), Vec3(100, 0, 0), Vec3(0, 100, 0)};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      points.push_back(centers[c] + Vec3(data_rng.Gaussian(0, 2),
+                                         data_rng.Gaussian(0, 2),
+                                         data_rng.Gaussian(0, 2)));
+    }
+  }
+  Rng rng(4);
+  const KMeansResult r = KMeans(points, 3, &rng);
+  ASSERT_EQ(r.centers.size(), 3u);
+  // Every true center has a recovered center nearby.
+  for (const Vec3& truth : centers) {
+    double best = 1e30;
+    for (const Vec3& got : r.centers) {
+      best = std::min(best, got.DistanceTo(truth));
+    }
+    EXPECT_LT(best, 5.0);
+  }
+  // Points in the same true cluster share an assignment.
+  for (int c = 0; c < 3; ++c) {
+    const uint32_t first = r.assignment[c * 40];
+    for (int i = 1; i < 40; ++i) {
+      EXPECT_EQ(r.assignment[c * 40 + i], first);
+    }
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenRngState) {
+  std::vector<Vec3> points;
+  Rng data_rng(5);
+  for (int i = 0; i < 100; ++i) {
+    points.emplace_back(data_rng.Uniform(0, 50), data_rng.Uniform(0, 50),
+                        data_rng.Uniform(0, 50));
+  }
+  Rng rng1(7);
+  Rng rng2(7);
+  const KMeansResult a = KMeans(points, 4, &rng1);
+  const KMeansResult b = KMeans(points, 4, &rng2);
+  ASSERT_EQ(a.centers.size(), b.centers.size());
+  for (size_t i = 0; i < a.centers.size(); ++i) {
+    EXPECT_EQ(a.centers[i], b.centers[i]);
+  }
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeansTest, AllIdenticalPoints) {
+  const std::vector<Vec3> points(10, Vec3(3, 3, 3));
+  Rng rng(8);
+  const KMeansResult r = KMeans(points, 4, &rng);
+  ASSERT_GE(r.centers.size(), 1u);
+  EXPECT_EQ(r.centers[0], Vec3(3, 3, 3));
+}
+
+TEST(KMeansTest, AssignmentPointsToNearestCenter) {
+  Rng data_rng(9);
+  std::vector<Vec3> points;
+  for (int i = 0; i < 200; ++i) {
+    points.emplace_back(data_rng.Uniform(0, 100), data_rng.Uniform(0, 100),
+                        data_rng.Uniform(0, 100));
+  }
+  Rng rng(10);
+  const KMeansResult r = KMeans(points, 5, &rng);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double assigned =
+        points[i].DistanceSquaredTo(r.centers[r.assignment[i]]);
+    for (const Vec3& c : r.centers) {
+      EXPECT_LE(assigned, points[i].DistanceSquaredTo(c) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scout

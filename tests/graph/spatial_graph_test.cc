@@ -1,0 +1,104 @@
+#include "graph/spatial_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+GraphVertex V(double x) {
+  GraphVertex v;
+  v.object_id = static_cast<ObjectId>(x);
+  v.line = Segment(Vec3(x, 0, 0), Vec3(x + 1, 0, 0));
+  return v;
+}
+
+TEST(SpatialGraphTest, AddVerticesAndEdges) {
+  SpatialGraph g;
+  const VertexId a = g.AddVertex(V(0));
+  const VertexId b = g.AddVertex(V(1));
+  const VertexId c = g.AddVertex(V(2));
+  EXPECT_EQ(g.NumVertices(), 3u);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.DedupEdges();
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.neighbors(b).size(), 2u);
+  EXPECT_EQ(g.neighbors(a).size(), 1u);
+}
+
+TEST(SpatialGraphTest, SelfLoopsIgnored) {
+  SpatialGraph g;
+  const VertexId a = g.AddVertex(V(0));
+  g.AddEdge(a, a);
+  g.DedupEdges();
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(SpatialGraphTest, DedupRemovesParallelEdges) {
+  SpatialGraph g;
+  const VertexId a = g.AddVertex(V(0));
+  const VertexId b = g.AddVertex(V(1));
+  g.AddEdge(a, b);
+  g.AddEdge(a, b);
+  g.AddEdge(b, a);
+  g.DedupEdges();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.neighbors(a).size(), 1u);
+}
+
+TEST(SpatialGraphTest, MemoryBytesGrowsWithContent) {
+  SpatialGraph g;
+  const size_t empty = g.MemoryBytes();
+  for (int i = 0; i < 100; ++i) g.AddVertex(V(i));
+  for (int i = 0; i + 1 < 100; ++i) g.AddEdge(i, i + 1);
+  EXPECT_GT(g.MemoryBytes(), empty + 100 * sizeof(GraphVertex));
+}
+
+TEST(SpatialGraphTest, ClearResets) {
+  SpatialGraph g;
+  g.AddVertex(V(0));
+  g.AddVertex(V(1));
+  g.AddEdge(0, 1);
+  g.Clear();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(ComponentsTest, ChainIsOneComponent) {
+  SpatialGraph g;
+  for (int i = 0; i < 10; ++i) g.AddVertex(V(i));
+  for (int i = 0; i + 1 < 10; ++i) g.AddEdge(i, i + 1);
+  uint32_t count = 0;
+  const std::vector<uint32_t> label = LabelComponents(g, &count);
+  EXPECT_EQ(count, 1u);
+  for (uint32_t l : label) EXPECT_EQ(l, label[0]);
+}
+
+TEST(ComponentsTest, DisjointPiecesGetDistinctLabels) {
+  SpatialGraph g;
+  for (int i = 0; i < 9; ++i) g.AddVertex(V(i));
+  // Three chains: {0,1,2}, {3,4}, {5}, plus {6,7,8}.
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(6, 7);
+  g.AddEdge(7, 8);
+  uint32_t count = 0;
+  const std::vector<uint32_t> label = LabelComponents(g, &count);
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(label[0], label[2]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_NE(label[5], label[6]);
+  EXPECT_EQ(label[6], label[8]);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  SpatialGraph g;
+  uint32_t count = 7;
+  EXPECT_TRUE(LabelComponents(g, &count).empty());
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,158 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::MakeFiber;
+
+// Builds a chain graph from a fiber.
+SpatialGraph ChainGraph(const std::vector<SpatialObject>& fiber) {
+  SpatialGraph g;
+  for (const SpatialObject& obj : fiber) {
+    GraphVertex v;
+    v.object_id = obj.id;
+    v.line = obj.geom.AsLine();
+    g.AddVertex(v);
+  }
+  for (VertexId i = 0; i + 1 < g.NumVertices(); ++i) g.AddEdge(i, i + 1);
+  g.DedupEdges();
+  return g;
+}
+
+TEST(TraversalTest, FindsExitOfCrossingFiber) {
+  // Fiber running straight through a cube; it crosses the boundary twice
+  // (enters and leaves).
+  const std::vector<SpatialObject> fiber =
+      MakeFiber(Vec3(-20, 5, 5), Vec3(1, 0, 0), 30, 2.0, 0, 0, /*seed=*/99);
+  const SpatialGraph g = ChainGraph(fiber);
+  const Region region = Region(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)));
+  uint32_t num_components = 0;
+  const std::vector<uint32_t> comp = LabelComponents(g, &num_components);
+
+  std::vector<ExitPoint> exits;
+  const TraversalStats stats = FindExits(g, comp, region, {}, &exits);
+  EXPECT_EQ(stats.vertices_visited, g.NumVertices());
+  ASSERT_EQ(exits.size(), 2u);
+  // Both crossings lie on the x faces of the box.
+  for (const ExitPoint& e : exits) {
+    const bool on_x_face = std::abs(e.position.x - 0.0) < 0.5 ||
+                           std::abs(e.position.x - 10.0) < 0.5;
+    EXPECT_TRUE(on_x_face) << e.position.ToString();
+    EXPECT_NEAR(e.direction.Norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(TraversalTest, ExitDirectionPointsOutward) {
+  SpatialGraph g;
+  GraphVertex v;
+  v.line = Segment(Vec3(9, 5, 5), Vec3(12, 5, 5));  // Leaves through x=10.
+  g.AddVertex(v);
+  const Region region = Region(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)));
+  std::vector<uint32_t> comp = {0};
+  std::vector<ExitPoint> exits;
+  FindExits(g, comp, region, {}, &exits);
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_NEAR(exits[0].position.x, 10.0, 0.01);
+  EXPECT_GT(exits[0].direction.x, 0.9);
+}
+
+TEST(TraversalTest, SeededTraversalOnlyVisitsReachable) {
+  // Two disjoint chains; seeding in one must not visit the other.
+  std::vector<SpatialObject> fiber_a =
+      MakeFiber(Vec3(0, 2, 2), Vec3(1, 0, 0), 10, 2.0, 0, 0);
+  SpatialGraph g = ChainGraph(fiber_a);
+  // Second chain: vertices 10..19, no edges to the first.
+  const std::vector<SpatialObject> fiber_b =
+      MakeFiber(Vec3(0, 8, 8), Vec3(1, 0, 0), 10, 2.0, 100, 1);
+  for (const SpatialObject& obj : fiber_b) {
+    GraphVertex v;
+    v.object_id = obj.id;
+    v.line = obj.geom.AsLine();
+    g.AddVertex(v);
+  }
+  for (VertexId i = 10; i + 1 < 20; ++i) g.AddEdge(i, i + 1);
+  g.DedupEdges();
+
+  uint32_t num_components = 0;
+  const std::vector<uint32_t> comp = LabelComponents(g, &num_components);
+  EXPECT_EQ(num_components, 2u);
+
+  const Region region = Region(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)));
+  std::vector<ExitPoint> exits;
+  const TraversalStats stats = FindExits(g, comp, region, {0}, &exits);
+  EXPECT_EQ(stats.vertices_visited, 10u);
+  for (const ExitPoint& e : exits) EXPECT_EQ(e.component, comp[0]);
+}
+
+TEST(TraversalTest, DuplicateSeedsVisitOnce) {
+  const std::vector<SpatialObject> fiber =
+      MakeFiber(Vec3(0, 5, 5), Vec3(1, 0, 0), 10);
+  SpatialGraph g = ChainGraph(fiber);
+  uint32_t nc = 0;
+  const std::vector<uint32_t> comp = LabelComponents(g, &nc);
+  const Region region = Region(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)));
+  std::vector<ExitPoint> exits;
+  const TraversalStats stats =
+      FindExits(g, comp, region, {0, 0, 0, 1, 1}, &exits);
+  EXPECT_EQ(stats.vertices_visited, g.NumVertices());
+}
+
+TEST(TraversalTest, FullyInsideGraphHasNoExits) {
+  const std::vector<SpatialObject> fiber =
+      MakeFiber(Vec3(4, 5, 5), Vec3(1, 0, 0), 2, 0.5);
+  const SpatialGraph g = ChainGraph(fiber);
+  uint32_t nc = 0;
+  const std::vector<uint32_t> comp = LabelComponents(g, &nc);
+  const Region region = Region(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)));
+  std::vector<ExitPoint> exits;
+  FindExits(g, comp, region, {}, &exits);
+  EXPECT_TRUE(exits.empty());
+}
+
+TEST(TraversalTest, VerticesNearPoint) {
+  const std::vector<SpatialObject> fiber =
+      MakeFiber(Vec3(0, 0, 0), Vec3(1, 0, 0), 20, 2.0);
+  const SpatialGraph g = ChainGraph(fiber);
+  std::vector<VertexId> near;
+  VerticesNearPoint(g, Vec3(10, 0, 0), 3.0, &near);
+  EXPECT_FALSE(near.empty());
+  for (VertexId v : near) {
+    EXPECT_LE(g.vertex(v).line.DistanceTo(Vec3(10, 0, 0)), 3.0);
+  }
+  std::vector<VertexId> far;
+  VerticesNearPoint(g, Vec3(0, 100, 0), 3.0, &far);
+  EXPECT_TRUE(far.empty());
+}
+
+TEST(TraversalTest, EnteringVerticesFiltersBySourceSide) {
+  // A fiber crossing the region from the left (source side) and another
+  // crossing from the top.
+  SpatialGraph g;
+  GraphVertex from_left;
+  from_left.line = Segment(Vec3(-2, 5, 5), Vec3(2, 5, 5));
+  g.AddVertex(from_left);
+  GraphVertex from_top;
+  from_top.line = Segment(Vec3(5, 12, 5), Vec3(5, 8, 5));
+  g.AddVertex(from_top);
+
+  const Region region = Region(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)));
+  const Aabb source(Vec3(-10, 0, 0), Vec3(0, 10, 10));  // Left of region.
+  std::vector<VertexId> entering;
+  EnteringVertices(g, region, source, 1.0, &entering);
+  ASSERT_EQ(entering.size(), 1u);
+  EXPECT_EQ(entering[0], 0u);
+}
+
+TEST(TraversalTest, StatsAccumulate) {
+  TraversalStats a{3, 5};
+  a += TraversalStats{7, 11};
+  EXPECT_EQ(a.vertices_visited, 10u);
+  EXPECT_EQ(a.edges_traversed, 16u);
+}
+
+}  // namespace
+}  // namespace scout

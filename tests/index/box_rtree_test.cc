@@ -1,0 +1,139 @@
+#include "index/box_rtree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scout {
+namespace {
+
+std::vector<Aabb> RandomBoxes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Aabb> boxes;
+  for (size_t i = 0; i < n; ++i) {
+    const Vec3 center(rng.Uniform(0, 100), rng.Uniform(0, 100),
+                      rng.Uniform(0, 100));
+    const Vec3 half(rng.Uniform(0.1, 3), rng.Uniform(0.1, 3),
+                    rng.Uniform(0.1, 3));
+    boxes.push_back(Aabb::FromCenterHalfExtents(center, half));
+  }
+  return boxes;
+}
+
+TEST(BoxRTreeTest, EmptyTree) {
+  BoxRTree tree;
+  EXPECT_TRUE(tree.empty());
+  std::vector<uint32_t> out;
+  tree.Query(Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), &out);
+  EXPECT_TRUE(out.empty());
+  uint32_t payload;
+  EXPECT_FALSE(tree.Nearest(Vec3(0, 0, 0), &payload));
+}
+
+TEST(BoxRTreeTest, QueryMatchesLinearScan) {
+  const std::vector<Aabb> boxes = RandomBoxes(3000, 3);
+  std::vector<uint32_t> payloads(boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    payloads[i] = static_cast<uint32_t>(i);
+  }
+  BoxRTree tree;
+  tree.BulkLoad(boxes, payloads);
+  EXPECT_EQ(tree.NumEntries(), boxes.size());
+
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Aabb query = Aabb::FromCenterHalfExtents(
+        Vec3(rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)),
+        Vec3(rng.Uniform(1, 10), rng.Uniform(1, 10), rng.Uniform(1, 10)));
+    std::vector<uint32_t> got;
+    tree.Query(query, &got);
+    std::vector<uint32_t> expected;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (query.Intersects(boxes[i])) {
+        expected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(BoxRTreeTest, RegionQueryWithFrustum) {
+  const std::vector<Aabb> boxes = RandomBoxes(2000, 5);
+  std::vector<uint32_t> payloads(boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    payloads[i] = static_cast<uint32_t>(i);
+  }
+  BoxRTree tree;
+  tree.BulkLoad(boxes, payloads);
+
+  const Region frustum =
+      Region::FrustumAt(Vec3(50, 50, 50), Vec3(1, 0, 0), 20000.0);
+  std::vector<uint32_t> got;
+  tree.Query(frustum, &got);
+  std::vector<uint32_t> expected;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (frustum.Intersects(boxes[i])) {
+      expected.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BoxRTreeTest, NearestMatchesLinearScan) {
+  const std::vector<Aabb> boxes = RandomBoxes(1500, 7);
+  std::vector<uint32_t> payloads(boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    payloads[i] = static_cast<uint32_t>(i);
+  }
+  BoxRTree tree;
+  tree.BulkLoad(boxes, payloads);
+
+  Rng rng(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec3 p(rng.Uniform(-20, 120), rng.Uniform(-20, 120),
+                 rng.Uniform(-20, 120));
+    uint32_t got;
+    ASSERT_TRUE(tree.Nearest(p, &got));
+    double best = std::numeric_limits<double>::max();
+    for (const Aabb& b : boxes) best = std::min(best, b.DistanceSquaredTo(p));
+    EXPECT_NEAR(boxes[got].DistanceSquaredTo(p), best, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(BoxRTreeTest, SingleEntry) {
+  BoxRTree tree;
+  tree.BulkLoad({Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1))}, {42});
+  std::vector<uint32_t> out;
+  tree.Query(Aabb(Vec3(0.5, 0.5, 0.5), Vec3(2, 2, 2)), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+  uint32_t payload;
+  ASSERT_TRUE(tree.Nearest(Vec3(9, 9, 9), &payload));
+  EXPECT_EQ(payload, 42u);
+}
+
+TEST(BoxRTreeTest, DeepTreeBeyondTwoLevels) {
+  // > kFanout^2 entries forces at least three levels.
+  const size_t n = BoxRTree::kFanout * BoxRTree::kFanout + 10;
+  std::vector<Aabb> boxes;
+  std::vector<uint32_t> payloads;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    boxes.push_back(Aabb(Vec3(x, 0, 0), Vec3(x + 0.5, 1, 1)));
+    payloads.push_back(static_cast<uint32_t>(i));
+  }
+  BoxRTree tree;
+  tree.BulkLoad(boxes, payloads);
+  std::vector<uint32_t> out;
+  tree.Query(Aabb(Vec3(100.2, 0, 0), Vec3(102.9, 1, 1)), &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<uint32_t>{100, 101, 102}));
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,152 @@
+#include "index/flat_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::MakeRandomObjects;
+
+TEST(FlatIndexTest, BuildAndCompleteness) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  const std::vector<SpatialObject> objects =
+      MakeRandomObjects(5000, bounds, 21);
+  auto index_or = FlatIndex::Build(objects);
+  ASSERT_TRUE(index_or.ok());
+  const FlatIndex& index = **index_or;
+  EXPECT_EQ(index.store().NumObjects(), 5000u);
+  EXPECT_TRUE(index.SupportsNeighborhood());
+  EXPECT_EQ(index.name(), "flat");
+
+  Rng rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Region query = Region::CubeAt(
+        Vec3(rng.Uniform(10, 90), rng.Uniform(10, 90), rng.Uniform(10, 90)),
+        rng.Uniform(500, 4000));
+    std::vector<PageId> pages;
+    index.QueryPages(query, &pages);
+    std::unordered_set<ObjectId> covered;
+    for (PageId p : pages) {
+      for (const SpatialObject& obj : index.store().page(p).objects) {
+        covered.insert(obj.id);
+      }
+    }
+    for (const SpatialObject& obj : objects) {
+      if (query.Intersects(obj.Bounds())) {
+        EXPECT_TRUE(covered.contains(obj.id));
+      }
+    }
+  }
+}
+
+TEST(FlatIndexTest, NeighborsAreSymmetricAndSpatiallyClose) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(80, 80, 80));
+  auto index_or = FlatIndex::Build(MakeRandomObjects(4000, bounds, 23));
+  ASSERT_TRUE(index_or.ok());
+  const FlatIndex& index = **index_or;
+  const FlatIndexConfig config;  // Default margin used at build time.
+
+  for (PageId p = 0; p < index.store().NumPages(); ++p) {
+    for (PageId q : index.PageNeighbors(p)) {
+      ASSERT_LT(q, index.store().NumPages());
+      EXPECT_NE(q, p);
+      // Symmetry.
+      const auto& back = index.PageNeighbors(q);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), p) != back.end());
+      // Proximity: expanded bounds must intersect.
+      EXPECT_TRUE(index.store()
+                      .page(p)
+                      .bounds.Expanded(config.neighbor_margin)
+                      .Intersects(index.store().page(q).bounds));
+    }
+  }
+  EXPECT_GT(index.MeanNeighborCount(), 0.0);
+}
+
+TEST(FlatIndexTest, HilbertLayoutHasLocality) {
+  // Consecutive page ids should usually be spatial neighbors — that is
+  // what makes sequential disk layout worthwhile.
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(80, 80, 80));
+  auto index_or = FlatIndex::Build(MakeRandomObjects(8000, bounds, 24));
+  ASSERT_TRUE(index_or.ok());
+  const FlatIndex& index = **index_or;
+  size_t adjacent_pairs = 0;
+  const size_t n = index.store().NumPages();
+  for (PageId p = 0; p + 1 < n; ++p) {
+    if (index.store().page(p).bounds.Expanded(2.0).Intersects(
+            index.store().page(p + 1).bounds)) {
+      ++adjacent_pairs;
+    }
+  }
+  EXPECT_GT(adjacent_pairs, n * 7 / 10);
+}
+
+TEST(FlatIndexTest, OrderedRetrievalStartsNearSeedAndCoversResult) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(80, 80, 80));
+  auto index_or = FlatIndex::Build(MakeRandomObjects(6000, bounds, 25));
+  ASSERT_TRUE(index_or.ok());
+  const FlatIndex& index = **index_or;
+  const Region query = Region::CubeAt(Vec3(40, 40, 40), 64000.0);
+  const Vec3 start(20, 40, 40);
+
+  std::vector<PageId> ordered;
+  index.QueryPagesOrdered(query, start, &ordered);
+  std::vector<PageId> plain;
+  index.QueryPages(query, &plain);
+  ASSERT_FALSE(ordered.empty());
+
+  // Same set.
+  std::vector<PageId> a = ordered;
+  std::vector<PageId> b = plain;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+
+  // First emitted page is the one nearest to the start point.
+  double first_d =
+      index.store().page(ordered[0]).bounds.DistanceSquaredTo(start);
+  for (PageId p : plain) {
+    EXPECT_LE(first_d,
+              index.store().page(p).bounds.DistanceSquaredTo(start) + 1e-9);
+  }
+
+  // Crawl order: early pages are on average closer to the seed than late
+  // pages.
+  double early = 0.0;
+  double late = 0.0;
+  const size_t half = ordered.size() / 2;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const double d =
+        index.store().page(ordered[i]).bounds.DistanceTo(start);
+    (i < half ? early : late) += d;
+  }
+  if (half > 0 && ordered.size() - half > 0) {
+    early /= static_cast<double>(half);
+    late /= static_cast<double>(ordered.size() - half);
+    EXPECT_LT(early, late);
+  }
+}
+
+TEST(FlatIndexTest, NearestPage) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  auto index_or = FlatIndex::Build(MakeRandomObjects(1000, bounds, 26));
+  ASSERT_TRUE(index_or.ok());
+  const FlatIndex& index = **index_or;
+  const PageId p = index.NearestPage(Vec3(25, 25, 25));
+  ASSERT_NE(p, kInvalidPageId);
+  EXPECT_LT(index.store().page(p).bounds.DistanceTo(Vec3(25, 25, 25)), 30.0);
+}
+
+TEST(FlatIndexTest, EmptyInput) {
+  auto index_or = FlatIndex::Build({});
+  ASSERT_TRUE(index_or.ok());
+  EXPECT_EQ((*index_or)->store().NumPages(), 0u);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,120 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::MakeRandomObjects;
+
+TEST(RTreeIndexTest, BuildPacksAllObjects) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  auto index_or = RTreeIndex::Build(MakeRandomObjects(1000, bounds));
+  ASSERT_TRUE(index_or.ok());
+  const RTreeIndex& index = **index_or;
+  EXPECT_EQ(index.store().NumObjects(), 1000u);
+  EXPECT_EQ(index.store().NumPages(),
+            (1000 + kPageCapacity - 1) / kPageCapacity);
+  EXPECT_EQ(index.name(), "rtree-str");
+}
+
+// Completeness: every object intersecting the region lives on a page the
+// index returns.
+TEST(RTreeIndexTest, QueryPagesIsComplete) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  const std::vector<SpatialObject> objects =
+      MakeRandomObjects(5000, bounds, 11);
+  auto index_or = RTreeIndex::Build(objects);
+  ASSERT_TRUE(index_or.ok());
+  const RTreeIndex& index = **index_or;
+
+  Rng rng(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Region query = Region::CubeAt(
+        Vec3(rng.Uniform(10, 90), rng.Uniform(10, 90), rng.Uniform(10, 90)),
+        rng.Uniform(100, 5000));
+    std::vector<PageId> pages;
+    index.QueryPages(query, &pages);
+    std::unordered_set<ObjectId> covered;
+    for (PageId p : pages) {
+      for (const SpatialObject& obj : index.store().page(p).objects) {
+        covered.insert(obj.id);
+      }
+    }
+    for (const SpatialObject& obj : objects) {
+      if (query.Intersects(obj.Bounds())) {
+        EXPECT_TRUE(covered.contains(obj.id))
+            << "object " << obj.id << " missing, trial " << trial;
+      }
+    }
+  }
+}
+
+// Efficiency sanity: a small query must not touch most of the pages.
+TEST(RTreeIndexTest, SmallQueriesTouchFewPages) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  auto index_or = RTreeIndex::Build(MakeRandomObjects(20000, bounds, 13));
+  ASSERT_TRUE(index_or.ok());
+  const RTreeIndex& index = **index_or;
+  std::vector<PageId> pages;
+  index.QueryPages(Region::CubeAt(Vec3(50, 50, 50), 500.0), &pages);
+  EXPECT_LT(pages.size(), index.store().NumPages() / 5);
+  EXPECT_GT(pages.size(), 0u);
+}
+
+TEST(RTreeIndexTest, NearestPage) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  auto index_or = RTreeIndex::Build(MakeRandomObjects(2000, bounds, 14));
+  ASSERT_TRUE(index_or.ok());
+  const RTreeIndex& index = **index_or;
+  const Vec3 probe(42, 42, 42);
+  const PageId nearest = index.NearestPage(probe);
+  ASSERT_NE(nearest, kInvalidPageId);
+  const double got = index.store().page(nearest).bounds.DistanceSquaredTo(probe);
+  for (const Page& page : index.store().pages()) {
+    EXPECT_LE(got, page.bounds.DistanceSquaredTo(probe) + 1e-9);
+  }
+}
+
+TEST(RTreeIndexTest, DefaultOrderedRetrievalSortsByDistance) {
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  auto index_or = RTreeIndex::Build(MakeRandomObjects(5000, bounds, 15));
+  ASSERT_TRUE(index_or.ok());
+  const RTreeIndex& index = **index_or;
+  const Region query = Region::CubeAt(Vec3(50, 50, 50), 30000.0);
+  const Vec3 start(30, 30, 30);
+  std::vector<PageId> ordered;
+  index.QueryPagesOrdered(query, start, &ordered);
+  for (size_t i = 1; i < ordered.size(); ++i) {
+    EXPECT_LE(index.store().page(ordered[i - 1]).bounds.DistanceSquaredTo(start),
+              index.store().page(ordered[i]).bounds.DistanceSquaredTo(start) +
+                  1e-9);
+  }
+  // Same set as the unordered query.
+  std::vector<PageId> plain;
+  index.QueryPages(query, &plain);
+  std::sort(plain.begin(), plain.end());
+  std::vector<PageId> sorted_ordered = ordered;
+  std::sort(sorted_ordered.begin(), sorted_ordered.end());
+  EXPECT_EQ(plain, sorted_ordered);
+}
+
+TEST(RTreeIndexTest, EmptyInput) {
+  auto index_or = RTreeIndex::Build({});
+  ASSERT_TRUE(index_or.ok());
+  const RTreeIndex& index = **index_or;
+  EXPECT_EQ(index.store().NumPages(), 0u);
+  std::vector<PageId> pages;
+  index.QueryPages(Region::CubeAt(Vec3(0, 0, 0), 1000.0), &pages);
+  EXPECT_TRUE(pages.empty());
+  EXPECT_EQ(index.NearestPage(Vec3(0, 0, 0)), kInvalidPageId);
+  EXPECT_FALSE(index.SupportsNeighborhood());
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,89 @@
+#include "index/str_pack.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/aabb.h"
+
+namespace scout {
+namespace {
+
+TEST(StrPackTest, ReturnsPermutation) {
+  Rng rng(1);
+  std::vector<Vec3> points;
+  for (int i = 0; i < 1000; ++i) {
+    points.emplace_back(rng.Uniform(0, 100), rng.Uniform(0, 100),
+                        rng.Uniform(0, 100));
+  }
+  std::vector<size_t> order = StrOrder(points, 16);
+  ASSERT_EQ(order.size(), points.size());
+  std::vector<size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(StrPackTest, EmptyAndTrivialInputs) {
+  EXPECT_TRUE(StrOrder({}, 4).empty());
+  const std::vector<Vec3> one = {Vec3(1, 2, 3)};
+  EXPECT_EQ(StrOrder(one, 4).size(), 1u);
+}
+
+// STR tiles must be far more compact than arbitrary (insertion-order)
+// runs: compare the summed tile-bounds volume against the unpacked order.
+TEST(StrPackTest, TilesAreSpatiallyCompact) {
+  Rng rng(2);
+  std::vector<Vec3> points;
+  for (int i = 0; i < 4000; ++i) {
+    points.emplace_back(rng.Uniform(0, 100), rng.Uniform(0, 100),
+                        rng.Uniform(0, 100));
+  }
+  const size_t capacity = 64;
+
+  auto tile_volume = [&](const std::vector<size_t>& order) {
+    double total = 0.0;
+    for (size_t start = 0; start < order.size(); start += capacity) {
+      Aabb box;
+      const size_t end = std::min(start + capacity, order.size());
+      for (size_t i = start; i < end; ++i) box.Extend(points[order[i]]);
+      total += box.Volume();
+    }
+    return total;
+  };
+
+  std::vector<size_t> identity(points.size());
+  std::iota(identity.begin(), identity.end(), 0);
+  const double packed = tile_volume(StrOrder(points, capacity));
+  const double unpacked = tile_volume(identity);
+  EXPECT_LT(packed, unpacked * 0.2);
+}
+
+// Points on a regular grid pack into near-perfect tiles: every tile's
+// bounds should contain close to `capacity` points and little more.
+TEST(StrPackTest, GridPointsFormDisjointishTiles) {
+  std::vector<Vec3> points;
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      for (int z = 0; z < 16; ++z) {
+        points.emplace_back(x, y, z);
+      }
+    }
+  }
+  const size_t capacity = 64;
+  const std::vector<size_t> order = StrOrder(points, capacity);
+  double total_volume = 0.0;
+  for (size_t start = 0; start < order.size(); start += capacity) {
+    Aabb box;
+    const size_t end = std::min(start + capacity, order.size());
+    for (size_t i = start; i < end; ++i) box.Extend(points[order[i]]);
+    total_volume += box.Volume();
+  }
+  // 64 tiles of 64 points each; a perfect 4x4x4 tile of unit-spaced
+  // points has bounds volume 27. Allow 3x slack for slab remainders.
+  EXPECT_LT(total_volume, 64 * 27.0 * 3);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,185 @@
+/// Integration tests running the full stack — generator -> index ->
+/// executor -> prefetcher — and checking the paper's qualitative claims
+/// on small workloads.
+
+#include <gtest/gtest.h>
+
+#include "engine/experiment.h"
+#include "index/flat_index.h"
+#include "index/rtree.h"
+#include "prefetch/no_prefetch.h"
+#include "prefetch/scout_opt_prefetcher.h"
+#include "prefetch/scout_prefetcher.h"
+#include "prefetch/static_prefetchers.h"
+#include "prefetch/trajectory_prefetcher.h"
+#include "workload/generators.h"
+
+namespace scout {
+namespace {
+
+struct Stack {
+  Dataset dataset;
+  std::unique_ptr<RTreeIndex> rtree;
+  std::unique_ptr<FlatIndex> flat;
+  QuerySequenceConfig qcfg;
+  ExecutorConfig ecfg;
+
+  explicit Stack(uint64_t objects = 80000) {
+    dataset = GenerateNeuronTissue(NeuronConfigForObjectCount(objects, 5));
+    rtree = std::move(*RTreeIndex::Build(dataset.objects));
+    flat = std::move(*FlatIndex::Build(dataset.objects));
+    qcfg.num_queries = 20;
+    qcfg.query_volume = 80000.0;
+    ecfg.cache_bytes = ScaledCacheBytes(rtree->store());
+    ecfg.prefetch_window_ratio = 1.4;
+  }
+};
+
+TEST(EndToEndTest, ScoutBeatsEveryBaseline) {
+  Stack stack;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  StraightLinePrefetcher straight;
+  EwmaPrefetcher ewma(0.3);
+  PolynomialPrefetcher poly(2);
+  StaticPrefetchConfig scfg;
+  scfg.dataset_bounds = stack.dataset.bounds;
+  HilbertPrefetcher hilbert(scfg);
+
+  const double scout_hit =
+      RunGuidedExperiment(stack.dataset, *stack.rtree, &scout, stack.qcfg,
+                          stack.ecfg, 6, 42)
+          .hit_rate_pct;
+  for (Prefetcher* baseline :
+       {static_cast<Prefetcher*>(&straight), static_cast<Prefetcher*>(&ewma),
+        static_cast<Prefetcher*>(&poly),
+        static_cast<Prefetcher*>(&hilbert)}) {
+    const double hit =
+        RunGuidedExperiment(stack.dataset, *stack.rtree, baseline,
+                            stack.qcfg, stack.ecfg, 6, 42)
+            .hit_rate_pct;
+    EXPECT_GT(scout_hit, hit) << "baseline " << baseline->name();
+  }
+}
+
+TEST(EndToEndTest, EveryPrefetcherBeatsNoPrefetching) {
+  Stack stack;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  StraightLinePrefetcher straight;
+  EwmaPrefetcher ewma(0.3);
+  for (Prefetcher* p :
+       {static_cast<Prefetcher*>(&scout), static_cast<Prefetcher*>(&straight),
+        static_cast<Prefetcher*>(&ewma)}) {
+    const ExperimentResult r = RunGuidedExperiment(
+        stack.dataset, *stack.rtree, p, stack.qcfg, stack.ecfg, 4, 77);
+    EXPECT_GT(r.speedup, 1.0) << p->name();
+  }
+}
+
+TEST(EndToEndTest, ScoutOptMatchesScoutWithoutGaps) {
+  // Paper footnote 2: "In the absence of gaps SCOUT and SCOUT-OPT have
+  // the same performance."
+  Stack stack;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  ScoutOptPrefetcher opt{ScoutConfig{}, stack.flat.get()};
+  const double scout_hit =
+      RunGuidedExperiment(stack.dataset, *stack.flat, &scout, stack.qcfg,
+                          stack.ecfg, 5, 91)
+          .hit_rate_pct;
+  const double opt_hit =
+      RunGuidedExperiment(stack.dataset, *stack.flat, &opt, stack.qcfg,
+                          stack.ecfg, 5, 91)
+          .hit_rate_pct;
+  EXPECT_NEAR(opt_hit, scout_hit, 12.0);
+  EXPECT_EQ(opt.gap_pages_fetched(), 0u);
+}
+
+TEST(EndToEndTest, ScoutOptBeatsScoutWithGaps) {
+  // Figure 12 / 13(f) property: once the gap is large relative to the
+  // query extent, linear extrapolation fails and gap traversal pays off.
+  Stack stack;
+  QuerySequenceConfig gapped = stack.qcfg;
+  gapped.query_volume = 30000.0;
+  gapped.gap_distance = 45.0;
+
+  ScoutPrefetcher scout{ScoutConfig{}};
+  ScoutOptPrefetcher opt{ScoutConfig{}, stack.flat.get()};
+  const double scout_hit =
+      RunGuidedExperiment(stack.dataset, *stack.flat, &scout, gapped,
+                          stack.ecfg, 6, 13)
+          .hit_rate_pct;
+  const double opt_hit =
+      RunGuidedExperiment(stack.dataset, *stack.flat, &opt, gapped,
+                          stack.ecfg, 6, 13)
+          .hit_rate_pct;
+  EXPECT_GT(opt.gap_pages_fetched(), 0u);
+  EXPECT_GT(opt_hit, scout_hit - 2.0);  // At least on par; normally above.
+}
+
+TEST(EndToEndTest, LongerSequencesImproveScout) {
+  // Figure 13(c) property: candidate pruning needs queries to converge.
+  Stack stack;
+  QuerySequenceConfig short_seq = stack.qcfg;
+  short_seq.num_queries = 5;
+  QuerySequenceConfig long_seq = stack.qcfg;
+  long_seq.num_queries = 35;
+
+  ScoutPrefetcher s1{ScoutConfig{}};
+  ScoutPrefetcher s2{ScoutConfig{}};
+  const double short_hit =
+      RunGuidedExperiment(stack.dataset, *stack.rtree, &s1, short_seq,
+                          stack.ecfg, 6, 3)
+          .hit_rate_pct;
+  const double long_hit =
+      RunGuidedExperiment(stack.dataset, *stack.rtree, &s2, long_seq,
+                          stack.ecfg, 6, 3)
+          .hit_rate_pct;
+  EXPECT_GT(long_hit, short_hit);
+}
+
+TEST(EndToEndTest, WorksOnRoadNetwork) {
+  RoadGenConfig road_cfg;
+  road_cfg.num_avenues = 20;
+  road_cfg.num_streets = 20;
+  road_cfg.num_highways = 5;
+  const Dataset roads = GenerateRoadNetwork(road_cfg);
+  auto index = std::move(*RTreeIndex::Build(roads.objects));
+
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 15;
+  // Scale query volume to the thin slab dataset.
+  qcfg.query_volume = roads.bounds.Volume() * 5e-4;
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(index->store());
+
+  ScoutPrefetcher scout{ScoutConfig{}};
+  const ExperimentResult r = RunGuidedExperiment(roads, *index, &scout,
+                                                 qcfg, ecfg, 4, 7);
+  EXPECT_GT(r.hit_rate_pct, 0.0);
+  EXPECT_GT(r.speedup, 1.0);
+}
+
+TEST(EndToEndTest, WorksOnLungAirwayWithExplicitAdjacency) {
+  AirwayGenConfig air_cfg;
+  air_cfg.num_trees = 1;
+  air_cfg.levels = 8;
+  const Dataset lung = GenerateLungAirway(air_cfg);
+  ASSERT_FALSE(lung.adjacency.empty());
+  auto index = std::move(*RTreeIndex::Build(lung.objects));
+
+  ScoutConfig scfg;
+  scfg.explicit_adjacency = &lung.adjacency;
+  ScoutPrefetcher scout{scfg};
+
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 12;
+  qcfg.query_volume = lung.bounds.Volume() * 5e-5;
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(index->store());
+
+  const ExperimentResult r =
+      RunGuidedExperiment(lung, *index, &scout, qcfg, ecfg, 4, 7);
+  EXPECT_GT(r.hit_rate_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace scout

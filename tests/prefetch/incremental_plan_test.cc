@@ -1,0 +1,95 @@
+#include "prefetch/incremental_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+PrefetchAxis Axis(const Vec3& origin, const Vec3& dir, double offset = 0.0,
+                  double weight = 1.0) {
+  PrefetchAxis axis;
+  axis.origin = origin;
+  axis.direction = dir;
+  axis.start_offset = offset;
+  axis.weight = weight;
+  return axis;
+}
+
+TEST(IncrementalPlanTest, EmptyPlanYieldsNothing) {
+  IncrementalPlan plan;
+  EXPECT_FALSE(plan.Next().has_value());
+  plan.Reset({}, Region::CubeAt(Vec3(0, 0, 0), 1000.0), 5);
+  EXPECT_FALSE(plan.Next().has_value());
+  EXPECT_TRUE(plan.Exhausted());
+}
+
+TEST(IncrementalPlanTest, RegionsGrowAndAdvanceAlongAxis) {
+  IncrementalPlan plan;
+  plan.Reset({Axis(Vec3(0, 0, 0), Vec3(1, 0, 0))},
+             Region::CubeAt(Vec3(0, 0, 0), 1000.0), 6);
+  double prev_volume = 0.0;
+  double prev_x = -1.0;
+  int emitted = 0;
+  while (auto region = plan.Next()) {
+    ++emitted;
+    EXPECT_GE(region->Volume(), prev_volume);  // Non-decreasing volumes.
+    EXPECT_GT(region->Center().x, prev_x);     // Marching forward.
+    EXPECT_NEAR(region->Center().y, 0.0, 1e-9);
+    prev_volume = region->Volume();
+    prev_x = region->Center().x;
+  }
+  EXPECT_EQ(emitted, 6);
+  EXPECT_TRUE(plan.Exhausted());
+}
+
+TEST(IncrementalPlanTest, StartOffsetSkipsGap) {
+  IncrementalPlan plan;
+  plan.Reset({Axis(Vec3(0, 0, 0), Vec3(1, 0, 0), /*offset=*/25.0)},
+             Region::CubeAt(Vec3(0, 0, 0), 1000.0), 3);
+  const auto first = plan.Next();
+  ASSERT_TRUE(first.has_value());
+  // First region starts past the gap: its near edge is at >= 25.
+  const double side = std::cbrt(first->Volume());
+  EXPECT_GE(first->Center().x - side / 2, 25.0 - 1e-9);
+}
+
+TEST(IncrementalPlanTest, RoundRobinAcrossAxes) {
+  IncrementalPlan plan;
+  plan.Reset({Axis(Vec3(0, 0, 0), Vec3(1, 0, 0), 0, 0.5),
+              Axis(Vec3(0, 0, 0), Vec3(0, 1, 0), 0, 0.5)},
+             Region::CubeAt(Vec3(0, 0, 0), 1000.0), 2);
+  std::vector<Region> regions;
+  while (auto r = plan.Next()) regions.push_back(*r);
+  ASSERT_EQ(regions.size(), 4u);
+  // Alternating directions: x, y, x, y.
+  EXPECT_GT(regions[0].Center().x, regions[0].Center().y);
+  EXPECT_GT(regions[1].Center().y, regions[1].Center().x);
+  EXPECT_GT(regions[2].Center().x, regions[2].Center().y);
+  EXPECT_GT(regions[3].Center().y, regions[3].Center().x);
+}
+
+TEST(IncrementalPlanTest, WeightScalesVolume) {
+  IncrementalPlan full;
+  full.Reset({Axis(Vec3(0, 0, 0), Vec3(1, 0, 0), 0, 1.0)},
+             Region::CubeAt(Vec3(0, 0, 0), 1000.0), 1);
+  IncrementalPlan half;
+  half.Reset({Axis(Vec3(0, 0, 0), Vec3(1, 0, 0), 0, 0.5)},
+             Region::CubeAt(Vec3(0, 0, 0), 1000.0), 1);
+  const double v_full = full.Next()->Volume();
+  const double v_half = half.Next()->Volume();
+  EXPECT_NEAR(v_half, v_full / 2, 1e-9);
+}
+
+TEST(IncrementalPlanTest, FrustumBaseEmitsFrustums) {
+  IncrementalPlan plan;
+  plan.Reset({Axis(Vec3(0, 0, 0), Vec3(0, 0, 1))},
+             Region::FrustumAt(Vec3(0, 0, 0), Vec3(0, 0, 1), 5000.0), 2);
+  const auto region = plan.Next();
+  ASSERT_TRUE(region.has_value());
+  EXPECT_TRUE(region->is_frustum());
+  // Oriented along the axis.
+  EXPECT_NEAR(region->frustum().direction().Dot(Vec3(0, 0, 1)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace scout

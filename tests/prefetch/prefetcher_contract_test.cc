@@ -1,0 +1,175 @@
+/// Parameterized contract tests: invariants every Prefetcher
+/// implementation must satisfy, run against the full lineup.
+
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "index/flat_index.h"
+#include "index/rtree.h"
+#include "prefetch/no_prefetch.h"
+#include "prefetch/scout_opt_prefetcher.h"
+#include "prefetch/scout_prefetcher.h"
+#include "prefetch/static_prefetchers.h"
+#include "prefetch/trajectory_prefetcher.h"
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::FakePrefetchIo;
+
+struct ContractWorld {
+  std::vector<SpatialObject> objects;
+  std::unique_ptr<FlatIndex> index;  // FLAT so scout-opt is exercised too.
+
+  ContractWorld() {
+    objects = testing::MakeFiber(Vec3(5, 50, 50), Vec3(1, 0, 0), 120, 2.0,
+                                 0, 0, 41);
+    auto clutter = testing::MakeRandomObjects(
+        900, Aabb(Vec3(0, 0, 0), Vec3(260, 100, 100)), 42);
+    for (auto& obj : clutter) {
+      obj.id += 10000;
+      objects.push_back(obj);
+    }
+    index = std::move(*FlatIndex::Build(objects));
+  }
+
+  QueryResultView Collect(const Region* region,
+                          std::vector<GraphInput>* inputs,
+                          std::vector<PageId>* pages) const {
+    index->QueryPages(*region, pages);
+    for (PageId p : *pages) {
+      for (const SpatialObject& obj : index->store().page(p).objects) {
+        if (region->Intersects(obj.Bounds())) {
+          inputs->push_back(GraphInput{&obj, p});
+        }
+      }
+    }
+    QueryResultView view;
+    view.region = region;
+    view.objects = std::span<const GraphInput>(*inputs);
+    view.pages = std::span<const PageId>(*pages);
+    return view;
+  }
+};
+
+ContractWorld& World() {
+  static ContractWorld* world = new ContractWorld();
+  return *world;
+}
+
+struct NamedFactory {
+  const char* label;
+  std::function<std::unique_ptr<Prefetcher>()> make;
+};
+
+class PrefetcherContractTest
+    : public ::testing::TestWithParam<NamedFactory> {};
+
+// Runs three queries along the fiber, returning fetched page lists per
+// window.
+std::vector<std::vector<PageId>> Drive(Prefetcher* p, size_t budget) {
+  std::vector<std::vector<PageId>> fetched;
+  p->BeginSequence();
+  for (int q = 0; q < 3; ++q) {
+    const Region region =
+        Region::CubeAt(Vec3(30.0 + 20.0 * q, 50, 50), 8000.0);
+    std::vector<GraphInput> inputs;
+    std::vector<PageId> pages;
+    const QueryResultView view = World().Collect(&region, &inputs, &pages);
+    EXPECT_GE(p->Observe(view), 0);
+    FakePrefetchIo io(World().index.get(), budget);
+    p->RunPrefetch(&io);
+    fetched.push_back(io.fetch_order());
+  }
+  return fetched;
+}
+
+TEST_P(PrefetcherContractTest, RespectsWindowBudget) {
+  auto p = GetParam().make();
+  for (const auto& window : Drive(p.get(), 5)) {
+    EXPECT_LE(window.size(), 5u);
+  }
+}
+
+TEST_P(PrefetcherContractTest, FetchesNothingWithZeroBudget) {
+  auto p = GetParam().make();
+  for (const auto& window : Drive(p.get(), 0)) {
+    EXPECT_TRUE(window.empty());
+  }
+}
+
+TEST_P(PrefetcherContractTest, FetchedPagesAreValid) {
+  auto p = GetParam().make();
+  const size_t num_pages = World().index->store().NumPages();
+  for (const auto& window : Drive(p.get(), 32)) {
+    for (PageId page : window) {
+      EXPECT_LT(page, num_pages);
+    }
+  }
+}
+
+TEST_P(PrefetcherContractTest, DeterministicAcrossSequenceRestarts) {
+  auto p = GetParam().make();
+  const auto first = Drive(p.get(), 16);
+  const auto second = Drive(p.get(), 16);  // BeginSequence resets state.
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "window " << i;
+  }
+}
+
+TEST_P(PrefetcherContractTest, NameIsNonEmptyAndStable) {
+  auto p = GetParam().make();
+  const std::string name(p->name());
+  EXPECT_FALSE(name.empty());
+  Drive(p.get(), 4);
+  EXPECT_EQ(p->name(), name);
+}
+
+std::vector<NamedFactory> AllPrefetchers() {
+  return {
+      {"none", [] { return std::make_unique<NoPrefetcher>(); }},
+      {"straight",
+       [] { return std::make_unique<StraightLinePrefetcher>(); }},
+      {"poly2", [] { return std::make_unique<PolynomialPrefetcher>(2); }},
+      {"poly3", [] { return std::make_unique<PolynomialPrefetcher>(3); }},
+      {"ewma", [] { return std::make_unique<EwmaPrefetcher>(0.3); }},
+      {"hilbert",
+       [] {
+         StaticPrefetchConfig config;
+         config.dataset_bounds = Aabb(Vec3(0, 0, 0), Vec3(260, 100, 100));
+         return std::make_unique<HilbertPrefetcher>(config);
+       }},
+      {"layered",
+       [] {
+         StaticPrefetchConfig config;
+         config.dataset_bounds = Aabb(Vec3(0, 0, 0), Vec3(260, 100, 100));
+         return std::make_unique<LayeredPrefetcher>(config);
+       }},
+      {"scout", [] { return std::make_unique<ScoutPrefetcher>(ScoutConfig{}); }},
+      {"scout_deep",
+       [] {
+         ScoutConfig config;
+         config.strategy = ScoutConfig::Strategy::kDeep;
+         return std::make_unique<ScoutPrefetcher>(config);
+       }},
+      {"scout_opt",
+       [] {
+         return std::make_unique<ScoutOptPrefetcher>(ScoutConfig{},
+                                                     World().index.get());
+       }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrefetchers, PrefetcherContractTest,
+    ::testing::ValuesIn(AllPrefetchers()),
+    [](const ::testing::TestParamInfo<NamedFactory>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace scout

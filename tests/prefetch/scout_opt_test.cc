@@ -1,0 +1,159 @@
+#include "prefetch/scout_opt_prefetcher.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/experiment.h"
+#include "index/flat_index.h"
+#include "index/rtree.h"
+#include "testing/test_util.h"
+#include "workload/generators.h"
+
+namespace scout {
+namespace {
+
+using testing::FakePrefetchIo;
+using testing::MakeFiber;
+
+std::vector<SpatialObject> FiberPlusClutter() {
+  std::vector<SpatialObject> objects =
+      MakeFiber(Vec3(5, 50, 50), Vec3(1, 0, 0), 120, 2.0, 0, 0, 41);
+  auto clutter = testing::MakeRandomObjects(
+      800, Aabb(Vec3(0, 0, 0), Vec3(260, 100, 100)), 42);
+  for (auto& obj : clutter) {
+    obj.id += 10000;
+    obj.structure_id = 99;
+    objects.push_back(obj);
+  }
+  return objects;
+}
+
+QueryResultView Collect(const SpatialIndex& index, const Region* region,
+                        std::vector<GraphInput>* inputs,
+                        std::vector<PageId>* pages) {
+  index.QueryPages(*region, pages);
+  for (PageId p : *pages) {
+    for (const SpatialObject& obj : index.store().page(p).objects) {
+      if (region->Intersects(obj.Bounds())) {
+        inputs->push_back(GraphInput{&obj, p});
+      }
+    }
+  }
+  QueryResultView view;
+  view.region = region;
+  view.objects = std::span<const GraphInput>(*inputs);
+  view.pages = std::span<const PageId>(*pages);
+  return view;
+}
+
+TEST(ScoutOptTest, SparseBuildDoesLessWorkThanFull) {
+  auto index_or = FlatIndex::Build(FiberPlusClutter());
+  ASSERT_TRUE(index_or.ok());
+  const FlatIndex& index = **index_or;
+
+  ScoutPrefetcher full{ScoutConfig{}};
+  ScoutOptPrefetcher sparse{ScoutConfig{}, &index};
+  full.BeginSequence();
+  sparse.BeginSequence();
+
+  // Two queries along the fiber: the second Observe has predictions and
+  // can build sparsely.
+  size_t full_vertices = 0;
+  size_t sparse_vertices = 0;
+  for (int q = 0; q < 3; ++q) {
+    const Region region =
+        Region::CubeAt(Vec3(30.0 + 20.0 * q, 50, 50), 8000.0);
+    std::vector<GraphInput> inputs;
+    std::vector<PageId> pages;
+    const QueryResultView view = Collect(index, &region, &inputs, &pages);
+    full.Observe(view);
+    sparse.Observe(view);
+    FakePrefetchIo io1(&index, 16);
+    full.RunPrefetch(&io1);
+    FakePrefetchIo io2(&index, 16);
+    sparse.RunPrefetch(&io2);
+    if (q == 2) {
+      full_vertices = full.last_observe().graph_vertices;
+      sparse_vertices = sparse.last_observe().graph_vertices;
+    }
+  }
+  EXPECT_GT(full_vertices, 0u);
+  EXPECT_GT(sparse_vertices, 0u);
+  // Sparse construction uses only pages reachable from the predicted
+  // entries — never more vertices than the full build.
+  EXPECT_LE(sparse_vertices, full_vertices);
+  EXPECT_LE(sparse.last_observe().graph_memory_bytes,
+            full.last_observe().graph_memory_bytes);
+}
+
+TEST(ScoutOptTest, FallsBackToFullBuildWithoutNeighborhood) {
+  auto rtree_or = RTreeIndex::Build(FiberPlusClutter());
+  ASSERT_TRUE(rtree_or.ok());
+  const RTreeIndex& rtree = **rtree_or;
+  ASSERT_FALSE(rtree.SupportsNeighborhood());
+
+  ScoutOptPrefetcher opt{ScoutConfig{}, &rtree};
+  opt.BeginSequence();
+  const Region region = Region::CubeAt(Vec3(30, 50, 50), 8000.0);
+  std::vector<GraphInput> inputs;
+  std::vector<PageId> pages;
+  const QueryResultView view = Collect(rtree, &region, &inputs, &pages);
+  EXPECT_GT(opt.Observe(view), 0);
+  EXPECT_GT(opt.last_observe().graph_vertices, 0u);
+}
+
+TEST(ScoutOptTest, GapTraversalFetchesGapPages) {
+  // Build a neuron dataset and run gapped sequences; SCOUT-OPT should
+  // fetch pages in the gaps.
+  NeuronGenConfig gen = NeuronConfigForObjectCount(60000, 77);
+  const Dataset dataset = GenerateNeuronTissue(gen);
+  auto index_or = FlatIndex::Build(dataset.objects);
+  ASSERT_TRUE(index_or.ok());
+  const FlatIndex& index = **index_or;
+
+  ScoutOptPrefetcher opt{ScoutConfig{}, &index};
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 10;
+  qcfg.query_volume = 30000.0;
+  qcfg.gap_distance = 25.0;
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(index.store());
+  ecfg.prefetch_window_ratio = 1.5;
+  QueryExecutor executor(&index, &opt, ecfg);
+
+  Rng rng(5);
+  const GuidedSequence seq = GenerateGuidedSequence(dataset, qcfg, &rng);
+  ASSERT_GT(seq.queries.size(), 3u);
+  executor.RunSequence(seq.queries);
+  EXPECT_GT(opt.gap_pages_fetched(), 0u);
+}
+
+TEST(ScoutOptTest, NoGapTraversalForAdjacentQueries) {
+  NeuronGenConfig gen = NeuronConfigForObjectCount(60000, 77);
+  const Dataset dataset = GenerateNeuronTissue(gen);
+  auto index_or = FlatIndex::Build(dataset.objects);
+  ASSERT_TRUE(index_or.ok());
+  const FlatIndex& index = **index_or;
+
+  ScoutOptPrefetcher opt{ScoutConfig{}, &index};
+  QuerySequenceConfig qcfg;
+  qcfg.num_queries = 10;
+  qcfg.query_volume = 30000.0;
+  qcfg.gap_distance = 0.0;
+  ExecutorConfig ecfg;
+  ecfg.cache_bytes = ScaledCacheBytes(index.store());
+  QueryExecutor executor(&index, &opt, ecfg);
+
+  Rng rng(5);
+  const GuidedSequence seq = GenerateGuidedSequence(dataset, qcfg, &rng);
+  executor.RunSequence(seq.queries);
+  EXPECT_EQ(opt.gap_pages_fetched(), 0u);
+}
+
+TEST(ScoutOptTest, NameDistinguishesVariant) {
+  auto index_or = FlatIndex::Build(FiberPlusClutter());
+  ScoutOptPrefetcher opt{ScoutConfig{}, index_or->get()};
+  EXPECT_EQ(opt.name(), "scout-opt");
+}
+
+}  // namespace
+}  // namespace scout

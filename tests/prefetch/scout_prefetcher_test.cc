@@ -1,0 +1,232 @@
+#include "prefetch/scout_prefetcher.h"
+
+#include <gtest/gtest.h>
+
+#include "index/rtree.h"
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::FakePrefetchIo;
+using testing::MakeFiber;
+
+// A dataset of one long fiber plus scattered clutter, indexed; queries
+// march along the fiber.
+struct FiberWorld {
+  std::vector<SpatialObject> objects;
+  std::unique_ptr<RTreeIndex> index;
+
+  explicit FiberWorld(size_t fiber_len = 120) {
+    objects = MakeFiber(Vec3(5, 50, 50), Vec3(1, 0, 0), fiber_len, 2.0,
+                        /*first_id=*/0, /*structure=*/0, /*seed=*/41);
+    auto clutter = testing::MakeRandomObjects(
+        800, Aabb(Vec3(0, 0, 0), Vec3(260, 100, 100)), 42);
+    for (auto& obj : clutter) {
+      obj.id += 10000;
+      obj.structure_id = 99;
+      objects.push_back(obj);
+    }
+    auto index_or = RTreeIndex::Build(objects);
+    index = std::move(*index_or);
+  }
+
+  // Executes `region` against the store, returning the result view data.
+  void Collect(const Region& region, std::vector<GraphInput>* inputs,
+               std::vector<PageId>* pages) const {
+    index->QueryPages(region, pages);
+    for (PageId p : *pages) {
+      for (const SpatialObject& obj : index->store().page(p).objects) {
+        if (region.Intersects(obj.Bounds())) {
+          inputs->push_back(GraphInput{&obj, p});
+        }
+      }
+    }
+  }
+};
+
+QueryResultView MakeView(const Region* region,
+                         const std::vector<GraphInput>& inputs,
+                         const std::vector<PageId>& pages) {
+  QueryResultView view;
+  view.region = region;
+  view.objects = std::span<const GraphInput>(inputs);
+  view.pages = std::span<const PageId>(pages);
+  return view;
+}
+
+TEST(ScoutPrefetcherTest, FindsExitsOfFollowedFiber) {
+  FiberWorld world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  scout.BeginSequence();
+
+  const Region q0 = Region::CubeAt(Vec3(30, 50, 50), 20.0 * 20 * 20);
+  std::vector<GraphInput> inputs;
+  std::vector<PageId> pages;
+  world.Collect(q0, &inputs, &pages);
+  ASSERT_FALSE(inputs.empty());
+  const SimMicros cost = scout.Observe(MakeView(&q0, inputs, pages));
+  EXPECT_GT(cost, 0);
+  EXPECT_FALSE(scout.last_exits().empty());
+  // At least one exit should sit near the fiber's forward boundary
+  // (x = 40 face), i.e. near y=z=50.
+  bool found_forward = false;
+  for (const ExitPoint& e : scout.last_exits()) {
+    if (std::abs(e.position.x - 40.0) < 1.0 &&
+        std::abs(e.position.y - 50.0) < 8.0) {
+      found_forward = true;
+    }
+  }
+  EXPECT_TRUE(found_forward);
+}
+
+TEST(ScoutPrefetcherTest, CandidatePruningConvergesAlongSequence) {
+  FiberWorld world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  scout.BeginSequence();
+
+  std::vector<size_t> candidates;
+  for (int q = 0; q < 6; ++q) {
+    const Region region =
+        Region::CubeAt(Vec3(30.0 + 20.0 * q, 50, 50), 8000.0);
+    std::vector<GraphInput> inputs;
+    std::vector<PageId> pages;
+    world.Collect(region, &inputs, &pages);
+    scout.Observe(MakeView(&region, inputs, pages));
+    FakePrefetchIo io(world.index.get(), 16);
+    scout.RunPrefetch(&io);
+    candidates.push_back(scout.last_observe().num_candidates);
+  }
+  // After the first few queries the candidate set must be small.
+  EXPECT_LE(candidates.back(), 3u);
+  EXPECT_LT(candidates.back(), candidates.front());
+}
+
+TEST(ScoutPrefetcherTest, PrefetchCoversNextQueryPages) {
+  FiberWorld world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  scout.BeginSequence();
+
+  std::vector<PageId> next_pages;
+  FakePrefetchIo io(world.index.get(), 64);
+  for (int q = 0; q < 5; ++q) {
+    const Region region =
+        Region::CubeAt(Vec3(30.0 + 20.0 * q, 50, 50), 8000.0);
+    std::vector<GraphInput> inputs;
+    std::vector<PageId> pages;
+    world.Collect(region, &inputs, &pages);
+    scout.Observe(MakeView(&region, inputs, pages));
+    FakePrefetchIo window(world.index.get(), 24);
+    scout.RunPrefetch(&window);
+    if (q == 3) {
+      // Check coverage of query 4's pages by the window after query 3.
+      const Region next = Region::CubeAt(Vec3(30.0 + 20.0 * 4, 50, 50),
+                                         8000.0);
+      std::vector<PageId> expected;
+      world.index->QueryPages(next, &expected);
+      size_t covered = 0;
+      for (PageId p : expected) {
+        if (window.fetched().contains(p)) ++covered;
+      }
+      EXPECT_GT(covered, expected.size() / 2)
+          << covered << " of " << expected.size();
+    }
+    (void)next_pages;
+  }
+}
+
+TEST(ScoutPrefetcherTest, DeepStrategyUsesSingleAxis) {
+  FiberWorld world;
+  ScoutConfig config;
+  config.strategy = ScoutConfig::Strategy::kDeep;
+  ScoutPrefetcher scout{config};
+  scout.BeginSequence();
+
+  const Region q0 = Region::CubeAt(Vec3(30, 50, 50), 8000.0);
+  std::vector<GraphInput> inputs;
+  std::vector<PageId> pages;
+  world.Collect(q0, &inputs, &pages);
+  scout.Observe(MakeView(&q0, inputs, pages));
+  // Deep prefetching pursues one location: fetched pages should cluster.
+  FakePrefetchIo io(world.index.get(), 8);
+  scout.RunPrefetch(&io);
+  // No crash + some prefetching happened.
+  EXPECT_FALSE(io.fetched().empty());
+}
+
+TEST(ScoutPrefetcherTest, BeginSequenceClearsState) {
+  FiberWorld world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  scout.BeginSequence();
+  const Region q0 = Region::CubeAt(Vec3(30, 50, 50), 8000.0);
+  std::vector<GraphInput> inputs;
+  std::vector<PageId> pages;
+  world.Collect(q0, &inputs, &pages);
+  scout.Observe(MakeView(&q0, inputs, pages));
+  EXPECT_FALSE(scout.last_exits().empty());
+  scout.BeginSequence();
+  EXPECT_TRUE(scout.last_exits().empty());
+  // First observe after reset reports a reset.
+  scout.Observe(MakeView(&q0, inputs, pages));
+  EXPECT_TRUE(scout.last_observe().was_reset);
+}
+
+TEST(ScoutPrefetcherTest, ObserveCostScalesWithResultSize) {
+  FiberWorld world;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  scout.BeginSequence();
+  const Region small = Region::CubeAt(Vec3(30, 50, 50), 1000.0);
+  const Region big = Region::CubeAt(Vec3(30, 50, 50), 64000.0);
+  std::vector<GraphInput> inputs_small;
+  std::vector<PageId> pages_small;
+  world.Collect(small, &inputs_small, &pages_small);
+  std::vector<GraphInput> inputs_big;
+  std::vector<PageId> pages_big;
+  world.Collect(big, &inputs_big, &pages_big);
+  ASSERT_GT(inputs_big.size(), inputs_small.size());
+  const SimMicros cost_small =
+      scout.Observe(MakeView(&small, inputs_small, pages_small));
+  scout.BeginSequence();
+  const SimMicros cost_big =
+      scout.Observe(MakeView(&big, inputs_big, pages_big));
+  EXPECT_GT(cost_big, cost_small);
+}
+
+TEST(ScoutPrefetcherTest, EmptyResultIsHandled) {
+  ScoutPrefetcher scout{ScoutConfig{}};
+  scout.BeginSequence();
+  const Region region = Region::CubeAt(Vec3(0, 0, 0), 1000.0);
+  std::vector<GraphInput> inputs;
+  std::vector<PageId> pages;
+  const SimMicros cost = scout.Observe(MakeView(&region, inputs, pages));
+  EXPECT_GE(cost, 0);
+  EXPECT_TRUE(scout.last_exits().empty());
+}
+
+TEST(ScoutPrefetcherTest, ExplicitAdjacencyModeBuildsFromMesh) {
+  // Fiber objects with explicit chain adjacency; clutter has none.
+  FiberWorld world;
+  AdjacencyMap adjacency;
+  for (ObjectId i = 0; i + 1 < 120; ++i) {
+    adjacency[i].push_back(i + 1);
+    adjacency[i + 1].push_back(i);
+  }
+  ScoutConfig config;
+  config.explicit_adjacency = &adjacency;
+  ScoutPrefetcher scout{config};
+  scout.BeginSequence();
+
+  const Region q0 = Region::CubeAt(Vec3(30, 50, 50), 8000.0);
+  std::vector<GraphInput> inputs;
+  std::vector<PageId> pages;
+  world.Collect(q0, &inputs, &pages);
+  scout.Observe(MakeView(&q0, inputs, pages));
+  // The explicit graph connects only the fiber: exits exist and clutter
+  // contributes isolated vertices.
+  EXPECT_FALSE(scout.last_exits().empty());
+  EXPECT_GT(scout.last_observe().graph_vertices,
+            scout.last_observe().graph_edges);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,115 @@
+#include "prefetch/static_prefetchers.h"
+
+#include <gtest/gtest.h>
+
+#include "index/rtree.h"
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::FakePrefetchIo;
+using testing::MakeRandomObjects;
+
+struct World {
+  Aabb bounds = Aabb(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  std::unique_ptr<RTreeIndex> index;
+
+  World() {
+    index = std::move(*RTreeIndex::Build(MakeRandomObjects(8000, bounds, 9)));
+  }
+
+  QueryResultView View(const Region* region) const {
+    QueryResultView view;
+    view.region = region;
+    return view;
+  }
+};
+
+TEST(HilbertPrefetcherTest, PrefetchesAroundCurrentCell) {
+  World world;
+  StaticPrefetchConfig config;
+  config.dataset_bounds = world.bounds;
+  HilbertPrefetcher prefetcher(config);
+  prefetcher.BeginSequence();
+
+  const Region query = Region::CubeAt(Vec3(50, 50, 50), 8000.0);
+  EXPECT_GE(prefetcher.Observe(world.View(&query)), 0);
+  FakePrefetchIo io(world.index.get(), 64);
+  prefetcher.RunPrefetch(&io);
+  EXPECT_FALSE(io.fetched().empty());
+  // Fetched pages are reasonably near the query center (Hilbert cells
+  // with adjacent values are spatially local).
+  size_t nearby = 0;
+  for (PageId p : io.fetched()) {
+    if (world.index->store().page(p).bounds.DistanceTo(Vec3(50, 50, 50)) <
+        60.0) {
+      ++nearby;
+    }
+  }
+  EXPECT_GT(nearby, io.fetched().size() / 2);
+}
+
+TEST(HilbertPrefetcherTest, RespectsWindowBudget) {
+  World world;
+  StaticPrefetchConfig config;
+  config.dataset_bounds = world.bounds;
+  HilbertPrefetcher prefetcher(config);
+  prefetcher.BeginSequence();
+  const Region query = Region::CubeAt(Vec3(50, 50, 50), 8000.0);
+  prefetcher.Observe(world.View(&query));
+  FakePrefetchIo io(world.index.get(), 3);
+  prefetcher.RunPrefetch(&io);
+  EXPECT_LE(io.fetched().size(), 3u);
+}
+
+TEST(LayeredPrefetcherTest, PrefetchesSurroundingCells) {
+  World world;
+  StaticPrefetchConfig config;
+  config.dataset_bounds = world.bounds;
+  config.grid_bits = 3;  // 12.5 um cells.
+  config.max_cells = 26;
+  LayeredPrefetcher prefetcher(config);
+  prefetcher.BeginSequence();
+
+  const Region query = Region::CubeAt(Vec3(50, 50, 50), 1000.0);
+  prefetcher.Observe(world.View(&query));
+  FakePrefetchIo io(world.index.get(), 256);
+  prefetcher.RunPrefetch(&io);
+  EXPECT_FALSE(io.fetched().empty());
+  // All fetched pages intersect the 3x3x3 cell neighborhood around the
+  // center cell.
+  // Page tiles are larger than grid cells, so allow a page-sized margin.
+  const double cell = 100.0 / 8.0;
+  const Aabb neighborhood =
+      Aabb::FromCenterHalfExtents(
+          Vec3(50, 50, 50), Vec3(1.6 * cell, 1.6 * cell, 1.6 * cell))
+          .Expanded(25.0);
+  for (PageId p : io.fetched()) {
+    EXPECT_TRUE(
+        world.index->store().page(p).bounds.Intersects(neighborhood));
+  }
+}
+
+TEST(LayeredPrefetcherTest, EdgeOfDatasetHandled) {
+  World world;
+  StaticPrefetchConfig config;
+  config.dataset_bounds = world.bounds;
+  LayeredPrefetcher prefetcher(config);
+  prefetcher.BeginSequence();
+  // Query at the corner: fewer neighbor cells exist, must not crash.
+  const Region query = Region::CubeAt(Vec3(1, 1, 1), 1000.0);
+  prefetcher.Observe(world.View(&query));
+  FakePrefetchIo io(world.index.get(), 64);
+  prefetcher.RunPrefetch(&io);
+  SUCCEED();
+}
+
+TEST(StaticPrefetchersTest, Names) {
+  StaticPrefetchConfig config;
+  EXPECT_EQ(HilbertPrefetcher(config).name(), "hilbert");
+  EXPECT_EQ(LayeredPrefetcher(config).name(), "layered");
+}
+
+}  // namespace
+}  // namespace scout

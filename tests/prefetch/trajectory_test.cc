@@ -1,0 +1,103 @@
+#include "prefetch/trajectory_prefetcher.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+// Test double exposing the protected prediction hooks.
+template <typename Base>
+class Probe : public Base {
+ public:
+  using Base::Base;
+  std::optional<Vec3> Predict(const std::vector<Vec3>& history) {
+    return this->PredictNextCenter(history);
+  }
+};
+
+TEST(StraightLineTest, ExtrapolatesLinearMotion) {
+  Probe<StraightLinePrefetcher> p;
+  EXPECT_FALSE(p.Predict({Vec3(0, 0, 0)}).has_value());
+  const auto pred = p.Predict({Vec3(0, 0, 0), Vec3(10, 5, 0)});
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(*pred, Vec3(20, 10, 0));
+}
+
+TEST(PolynomialTest, Degree2ReproducesQuadraticExactly) {
+  Probe<PolynomialPrefetcher> p(2);
+  // Centers on x(t) = t^2, y(t) = 3t, z = 1.
+  std::vector<Vec3> history;
+  for (int t = 0; t <= 2; ++t) {
+    history.emplace_back(t * t, 3.0 * t, 1.0);
+  }
+  const auto pred = p.Predict(history);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(pred->x, 9.0, 1e-9);
+  EXPECT_NEAR(pred->y, 9.0, 1e-9);
+  EXPECT_NEAR(pred->z, 1.0, 1e-9);
+}
+
+TEST(PolynomialTest, Degree3ReproducesCubicExactly) {
+  Probe<PolynomialPrefetcher> p(3);
+  std::vector<Vec3> history;
+  for (int t = 0; t <= 3; ++t) {
+    history.emplace_back(t * t * t - t, 2.0 * t, 0.0);
+  }
+  const auto pred = p.Predict(history);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(pred->x, 4.0 * 4 * 4 - 4, 1e-9);
+  EXPECT_NEAR(pred->y, 8.0, 1e-9);
+}
+
+TEST(PolynomialTest, WarmupFallsBackToStraightLine) {
+  Probe<PolynomialPrefetcher> p(3);
+  const auto pred = p.Predict({Vec3(0, 0, 0), Vec3(5, 0, 0)});
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(*pred, Vec3(10, 0, 0));
+  EXPECT_FALSE(p.Predict({Vec3(0, 0, 0)}).has_value());
+}
+
+TEST(EwmaTest, ConstantMotionPredictedExactly) {
+  Probe<EwmaPrefetcher> p(0.3);
+  std::vector<Vec3> history;
+  for (int t = 0; t < 6; ++t) history.emplace_back(4.0 * t, 0, 0);
+  const auto pred = p.Predict(history);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(pred->x, 24.0, 1e-9);
+}
+
+TEST(EwmaTest, RecentMovementDominates) {
+  Probe<EwmaPrefetcher> p(0.7);
+  // Long +x history, then a sharp turn to +y.
+  std::vector<Vec3> history = {Vec3(0, 0, 0), Vec3(10, 0, 0),
+                               Vec3(20, 0, 0), Vec3(20, 10, 0)};
+  const auto pred = p.Predict(history);
+  ASSERT_TRUE(pred.has_value());
+  const Vec3 move = *pred - history.back();
+  EXPECT_GT(move.y, move.x);  // Lambda 0.7 weights the turn heavily.
+}
+
+TEST(EwmaTest, LowLambdaSmoothsTurn) {
+  Probe<EwmaPrefetcher> fast(0.9);
+  Probe<EwmaPrefetcher> slow(0.1);
+  const std::vector<Vec3> history = {Vec3(0, 0, 0), Vec3(10, 0, 0),
+                                     Vec3(20, 0, 0), Vec3(20, 10, 0)};
+  const Vec3 fast_move = *fast.Predict(history) - history.back();
+  const Vec3 slow_move = *slow.Predict(history) - history.back();
+  EXPECT_GT(fast_move.y, slow_move.y);
+  EXPECT_LT(fast_move.x, slow_move.x);
+}
+
+TEST(TrajectoryNamesTest, NamesIdentifyVariant) {
+  StraightLinePrefetcher s;
+  PolynomialPrefetcher p2(2);
+  PolynomialPrefetcher p3(3);
+  EwmaPrefetcher e(0.3);
+  EXPECT_EQ(s.name(), "straight-line");
+  EXPECT_EQ(p2.name(), "polynomial-2");
+  EXPECT_EQ(p3.name(), "polynomial-3");
+  EXPECT_EQ(e.name(), "ewma-0.3");
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,99 @@
+#include "storage/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(CacheTest, InsertAndContains) {
+  PrefetchCache cache(10 * kPageBytes);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Insert(1));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.NumPages(), 1u);
+  EXPECT_EQ(cache.size_bytes(), kPageBytes);
+}
+
+TEST(CacheTest, EvictsLeastRecentlyUsed) {
+  PrefetchCache cache(3 * kPageBytes);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);
+  cache.Insert(4);  // Evicts 1.
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(CacheTest, TouchProtectsFromEviction) {
+  PrefetchCache cache(3 * kPageBytes);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);
+  cache.Touch(1);   // 2 is now the LRU.
+  cache.Insert(4);  // Evicts 2.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(CacheTest, ReinsertRefreshesLruPosition) {
+  PrefetchCache cache(3 * kPageBytes);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);
+  cache.Insert(1);  // Refresh, no growth.
+  EXPECT_EQ(cache.NumPages(), 3u);
+  cache.Insert(4);  // Evicts 2 (oldest untouched).
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(CacheTest, EraseRemovesPage) {
+  PrefetchCache cache(3 * kPageBytes);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Erase(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.NumPages(), 1u);
+  cache.Erase(99);  // Erasing an absent page is a no-op.
+  EXPECT_EQ(cache.NumPages(), 1u);
+}
+
+TEST(CacheTest, ClearEmptiesEverything) {
+  PrefetchCache cache(4 * kPageBytes);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Clear();
+  EXPECT_EQ(cache.NumPages(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(CacheTest, FullSignal) {
+  PrefetchCache cache(2 * kPageBytes);
+  EXPECT_FALSE(cache.Full());
+  cache.Insert(1);
+  EXPECT_FALSE(cache.Full());
+  cache.Insert(2);
+  EXPECT_TRUE(cache.Full());
+}
+
+TEST(CacheTest, ZeroCapacityRejectsInserts) {
+  PrefetchCache cache(0);
+  EXPECT_FALSE(cache.Insert(1));
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(CacheTest, ManyInsertionsBoundedBySize) {
+  PrefetchCache cache(8 * kPageBytes);
+  for (PageId p = 0; p < 1000; ++p) cache.Insert(p);
+  EXPECT_EQ(cache.NumPages(), 8u);
+  // The most recent 8 pages survive.
+  for (PageId p = 992; p < 1000; ++p) EXPECT_TRUE(cache.Contains(p));
+  EXPECT_EQ(cache.evictions(), 992u);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,89 @@
+#include "storage/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(DiskModelTest, FirstReadIsRandom) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  EXPECT_EQ(disk.ReadPage(10), 5000);
+  EXPECT_EQ(clock.now(), 5000);
+  EXPECT_EQ(disk.random_reads(), 1u);
+  EXPECT_EQ(disk.sequential_reads(), 0u);
+}
+
+TEST(DiskModelTest, AdjacentPageIsSequential) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  disk.ReadPage(10);
+  EXPECT_EQ(disk.ReadPage(11), 20);
+  EXPECT_EQ(disk.ReadPage(12), 20);
+  EXPECT_EQ(disk.sequential_reads(), 2u);
+  EXPECT_EQ(clock.now(), 5040);
+}
+
+TEST(DiskModelTest, BackwardOrSkipIsRandom) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  disk.ReadPage(10);
+  EXPECT_EQ(disk.ReadPage(9), 5000);    // Backward.
+  EXPECT_EQ(disk.ReadPage(11), 5000);   // Skip (9 -> 11).
+  EXPECT_EQ(disk.ReadPage(11), 5000);   // Same page again: no movement.
+  EXPECT_EQ(disk.random_reads(), 4u);
+}
+
+TEST(DiskModelTest, PeekDoesNotMoveHead) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  disk.ReadPage(10);
+  EXPECT_EQ(disk.PeekCost(11), 20);
+  EXPECT_EQ(disk.PeekCost(50), 5000);
+  EXPECT_EQ(disk.PeekCost(11), 20);  // Still sequential: peek is pure.
+  EXPECT_EQ(clock.now(), 5000);
+}
+
+TEST(DiskModelTest, EstimateColdReadCost) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  EXPECT_EQ(disk.EstimateColdReadCost(0), 0);
+  EXPECT_EQ(disk.EstimateColdReadCost(1), 5000);
+  EXPECT_EQ(disk.EstimateColdReadCost(10), 5000 + 9 * 20);
+}
+
+TEST(DiskModelTest, ResetForgetsPositionAndCounters) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  disk.ReadPage(10);
+  disk.ReadPage(11);
+  disk.Reset();
+  EXPECT_EQ(disk.pages_read(), 0u);
+  EXPECT_EQ(disk.total_read_time(), 0);
+  // After reset, even page 12 (adjacent to the forgotten head) is random.
+  EXPECT_EQ(disk.ReadPage(12), 5000);
+}
+
+TEST(DiskModelTest, TotalReadTimeAccumulates) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{100, 1}, &clock);
+  disk.ReadPage(0);
+  disk.ReadPage(1);
+  disk.ReadPage(2);
+  disk.ReadPage(9);
+  EXPECT_EQ(disk.total_read_time(), 100 + 1 + 1 + 100);
+  EXPECT_EQ(disk.pages_read(), 4u);
+}
+
+TEST(SimClockTest, AdvanceAndReset) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.Advance(50);
+  clock.Advance(25);
+  EXPECT_EQ(clock.now(), 75);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,69 @@
+#include "storage/page_store.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+SpatialObject MakeObject(ObjectId id, double x) {
+  SpatialObject obj;
+  obj.id = id;
+  obj.structure_id = 0;
+  obj.geom = Cylinder(Vec3(x, 0, 0), Vec3(x + 1, 0, 0), 0.5);
+  return obj;
+}
+
+TEST(PageStoreTest, AppendAssignsSequentialIds) {
+  PageStore store;
+  for (int i = 0; i < 5; ++i) {
+    StatusOr<PageId> page = store.AppendPage({MakeObject(i, i * 10.0)});
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(*page, static_cast<PageId>(i));
+  }
+  EXPECT_EQ(store.NumPages(), 5u);
+  EXPECT_EQ(store.NumObjects(), 5u);
+  EXPECT_EQ(store.TotalBytes(), 5 * kPageBytes);
+}
+
+TEST(PageStoreTest, PageBoundsCoverObjects) {
+  PageStore store;
+  std::vector<SpatialObject> objects = {MakeObject(0, 0.0),
+                                        MakeObject(1, 100.0)};
+  ASSERT_TRUE(store.AppendPage(std::move(objects)).ok());
+  const Page& page = store.page(0);
+  EXPECT_EQ(page.NumObjects(), 2u);
+  for (const SpatialObject& obj : page.objects) {
+    EXPECT_TRUE(page.bounds.Contains(obj.Bounds()));
+  }
+}
+
+TEST(PageStoreTest, RejectsOverfullPage) {
+  PageStore store;
+  std::vector<SpatialObject> objects;
+  for (size_t i = 0; i <= kPageCapacity; ++i) {
+    objects.push_back(MakeObject(i, static_cast<double>(i)));
+  }
+  StatusOr<PageId> page = store.AppendPage(std::move(objects));
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.NumPages(), 0u);
+}
+
+TEST(PageStoreTest, AcceptsExactlyFullPage) {
+  PageStore store;
+  std::vector<SpatialObject> objects;
+  for (size_t i = 0; i < kPageCapacity; ++i) {
+    objects.push_back(MakeObject(i, static_cast<double>(i)));
+  }
+  EXPECT_TRUE(store.AppendPage(std::move(objects)).ok());
+  EXPECT_EQ(store.page(0).NumObjects(), kPageCapacity);
+}
+
+TEST(PageStoreTest, PageSizeConstantsMatchPaper) {
+  // 4 KB pages with a fanout of 87 objects (paper §7.1).
+  EXPECT_EQ(kPageBytes, 4096u);
+  EXPECT_EQ(kPageCapacity, 87u);
+}
+
+}  // namespace
+}  // namespace scout

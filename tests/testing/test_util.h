@@ -1,0 +1,104 @@
+#ifndef SCOUT_TESTS_TESTING_TEST_UTIL_H_
+#define SCOUT_TESTS_TESTING_TEST_UTIL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/aabb.h"
+#include "index/spatial_index.h"
+#include "prefetch/prefetcher.h"
+#include "storage/object.h"
+
+namespace scout::testing {
+
+/// In-memory PrefetchIo double with a page-count budget; records every
+/// fetched page for assertions.
+class FakePrefetchIo : public PrefetchIo {
+ public:
+  FakePrefetchIo(const SpatialIndex* index, size_t budget_pages)
+      : index_(index), budget_(budget_pages) {}
+
+  void QueryPages(const Region& region, std::vector<PageId>* out) override {
+    index_->QueryPages(region, out);
+  }
+  bool IsCached(PageId page) const override {
+    return fetched_.contains(page);
+  }
+  bool FetchPage(PageId page) override {
+    if (fetched_.contains(page)) return true;
+    if (fetched_.size() >= budget_) return false;
+    fetched_.insert(page);
+    fetch_order_.push_back(page);
+    return true;
+  }
+  bool WindowOpen() const override { return fetched_.size() < budget_; }
+
+  const std::unordered_set<PageId>& fetched() const { return fetched_; }
+  const std::vector<PageId>& fetch_order() const { return fetch_order_; }
+
+ private:
+  const SpatialIndex* index_;
+  size_t budget_;
+  std::unordered_set<PageId> fetched_;
+  std::vector<PageId> fetch_order_;
+};
+
+/// Uniformly scattered short cylinders inside `bounds`.
+inline std::vector<SpatialObject> MakeRandomObjects(size_t n,
+                                                    const Aabb& bounds,
+                                                    uint64_t seed = 1,
+                                                    double length = 2.0,
+                                                    double radius = 0.3) {
+  Rng rng(seed);
+  std::vector<SpatialObject> objects;
+  objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec3 p(rng.Uniform(bounds.min().x, bounds.max().x),
+                 rng.Uniform(bounds.min().y, bounds.max().y),
+                 rng.Uniform(bounds.min().z, bounds.max().z));
+    Vec3 dir(rng.Gaussian(0, 1), rng.Gaussian(0, 1), rng.Gaussian(0, 1));
+    dir = dir.Normalized();
+    if (dir == Vec3()) dir = Vec3(1, 0, 0);
+    SpatialObject obj;
+    obj.id = i;
+    obj.structure_id = static_cast<StructureId>(i % 7);
+    obj.geom = Cylinder(p, p + dir * length, radius);
+    objects.push_back(obj);
+  }
+  return objects;
+}
+
+/// A single polyline "fiber" of consecutive, connected cylinders running
+/// from `start` along `dir` with mild deterministic wiggle. Consecutive
+/// objects share endpoints, so a correct proximity graph chains them.
+inline std::vector<SpatialObject> MakeFiber(const Vec3& start,
+                                            const Vec3& dir, size_t n,
+                                            double step = 2.0,
+                                            ObjectId first_id = 0,
+                                            StructureId structure = 0,
+                                            uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<SpatialObject> objects;
+  objects.reserve(n);
+  Vec3 pos = start;
+  Vec3 d = dir.Normalized();
+  for (size_t i = 0; i < n; ++i) {
+    d = (d + Vec3(rng.Gaussian(0, 0.05), rng.Gaussian(0, 0.05),
+                  rng.Gaussian(0, 0.05)))
+            .Normalized();
+    const Vec3 next = pos + d * step;
+    SpatialObject obj;
+    obj.id = first_id + i;
+    obj.structure_id = structure;
+    obj.path_index = static_cast<uint32_t>(i);
+    obj.geom = Cylinder(pos, next, 0.3);
+    objects.push_back(obj);
+    pos = next;
+  }
+  return objects;
+}
+
+}  // namespace scout::testing
+
+#endif  // SCOUT_TESTS_TESTING_TEST_UTIL_H_

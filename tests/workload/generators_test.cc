@@ -1,0 +1,146 @@
+#include "workload/generators.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(NeuronGenTest, ObjectsStayInBoundsAndCarryGroundTruth) {
+  NeuronGenConfig config;
+  config.num_neurons = 3;
+  config.steps_min = 100;
+  config.steps_max = 150;
+  const Dataset d = GenerateNeuronTissue(config);
+  EXPECT_EQ(d.name, "neuron-tissue");
+  EXPECT_EQ(d.structures.size(), 3u);
+  EXPECT_FALSE(d.objects.empty());
+  std::unordered_set<StructureId> seen;
+  const Aabb slack = d.bounds.Expanded(config.step_length + 1.0);
+  for (const SpatialObject& obj : d.objects) {
+    EXPECT_TRUE(slack.Contains(obj.Centroid()));
+    EXPECT_NE(obj.structure_id, kInvalidStructureId);
+    seen.insert(obj.structure_id);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(NeuronGenTest, DeterministicForSeed) {
+  NeuronGenConfig config;
+  config.num_neurons = 2;
+  config.steps_min = 80;
+  config.steps_max = 100;
+  const Dataset a = GenerateNeuronTissue(config);
+  const Dataset b = GenerateNeuronTissue(config);
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  for (size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].Centroid(), b.objects[i].Centroid());
+  }
+  config.seed = 999;
+  const Dataset c = GenerateNeuronTissue(config);
+  EXPECT_NE(a.objects.size(), 0u);
+  // Different seed: almost surely different geometry.
+  bool any_diff = c.objects.size() != a.objects.size();
+  if (!any_diff) {
+    for (size_t i = 0; i < a.objects.size(); ++i) {
+      if (!(a.objects[i].Centroid() == c.objects[i].Centroid())) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NeuronGenTest, ConfigForObjectCountIsApproximate) {
+  const NeuronGenConfig config = NeuronConfigForObjectCount(100000);
+  const Dataset d = GenerateNeuronTissue(config);
+  EXPECT_GT(d.objects.size(), 40000u);
+  EXPECT_LT(d.objects.size(), 250000u);
+}
+
+TEST(NeuronGenTest, PathsAreLongEnoughForSequences) {
+  NeuronGenConfig config;
+  config.num_neurons = 4;
+  const Dataset d = GenerateNeuronTissue(config);
+  double longest = 0.0;
+  for (const Structure& s : d.structures) {
+    longest = std::max(longest, s.LongestPathLength());
+  }
+  // Need ~2.4 mm for 65-query visualization sequences.
+  EXPECT_GT(longest, 2000.0);
+}
+
+TEST(VascularGenTest, SmoothTreeProperties) {
+  VascularGenConfig config;
+  config.num_trees = 2;
+  config.levels = 6;
+  const Dataset d = GenerateArterialTree(config);
+  EXPECT_EQ(d.name, "arterial-tree");
+  EXPECT_EQ(d.structures.size(), 2u);
+  EXPECT_TRUE(d.adjacency.empty());
+  EXPECT_GT(d.objects.size(), 1000u);
+  // Radii decay down the tree: root objects thicker than leaves.
+  double max_r = 0.0;
+  double min_r = 1e30;
+  for (const SpatialObject& obj : d.objects) {
+    max_r = std::max(max_r, obj.geom.max_radius());
+    min_r = std::min(min_r, obj.geom.max_radius());
+  }
+  EXPECT_LT(min_r, max_r * 0.5);
+}
+
+TEST(AirwayGenTest, ExplicitAdjacencyIsConsistent) {
+  AirwayGenConfig config;
+  config.num_trees = 1;
+  config.levels = 6;
+  const Dataset d = GenerateLungAirway(config);
+  EXPECT_EQ(d.name, "lung-airway");
+  ASSERT_FALSE(d.adjacency.empty());
+
+  std::unordered_map<ObjectId, const SpatialObject*> by_id;
+  for (const SpatialObject& obj : d.objects) by_id[obj.id] = &obj;
+
+  size_t checked = 0;
+  for (const auto& [id, neighbors] : d.adjacency) {
+    ASSERT_TRUE(by_id.contains(id));
+    for (ObjectId nb : neighbors) {
+      ASSERT_TRUE(by_id.contains(nb));
+      // Symmetry.
+      const auto& back = d.adjacency.at(nb);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), id) != back.end());
+      // Adjacent mesh segments actually touch (share a node).
+      EXPECT_LT(by_id.at(id)->geom.AsLine().DistanceTo(
+                    by_id.at(nb)->geom.AsLine()),
+                1e-6);
+      if (++checked > 2000) return;  // Bounded runtime.
+    }
+  }
+}
+
+TEST(RoadGenTest, PlanarNetwork) {
+  RoadGenConfig config;
+  config.num_avenues = 10;
+  config.num_streets = 10;
+  config.num_highways = 3;
+  const Dataset d = GenerateRoadNetwork(config);
+  EXPECT_EQ(d.name, "road-network");
+  EXPECT_EQ(d.structures.size(), 23u);
+  EXPECT_GT(d.objects.size(), 1000u);
+  // All objects lie in the thin z slab.
+  for (const SpatialObject& obj : d.objects) {
+    EXPECT_GE(obj.Centroid().z, 0.0);
+    EXPECT_LE(obj.Centroid().z, config.thickness);
+  }
+}
+
+TEST(DatasetTest, DensityIsObjectsPerVolume) {
+  Dataset d;
+  d.bounds = Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  d.objects.resize(500);
+  EXPECT_DOUBLE_EQ(d.Density(), 0.5);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,138 @@
+#include "workload/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace scout {
+namespace {
+
+Dataset SmallTissue() {
+  NeuronGenConfig config;
+  config.num_neurons = 4;
+  config.seed = 3;
+  return GenerateNeuronTissue(config);
+}
+
+TEST(QueryGenTest, QueryExtentFormulas) {
+  EXPECT_NEAR(QueryExtent(8000.0, QueryAspect::kCube), 20.0, 1e-9);
+  // Frustum depth: s with V = 7/12 s^3.
+  EXPECT_NEAR(QueryExtent(7.0 / 12.0 * 8000.0, QueryAspect::kFrustum), 20.0,
+              1e-9);
+}
+
+TEST(QueryGenTest, ProducesRequestedQueries) {
+  const Dataset d = SmallTissue();
+  QuerySequenceConfig config;
+  config.num_queries = 25;
+  config.query_volume = 80000.0;
+  Rng rng(1);
+  const GuidedSequence seq = GenerateGuidedSequence(d, config, &rng);
+  EXPECT_GE(seq.queries.size(), 20u);  // Truncation allowed but rare.
+  EXPECT_LE(seq.queries.size(), 25u);
+  EXPECT_NE(seq.structure, kInvalidStructureId);
+  for (const Region& q : seq.queries) {
+    EXPECT_TRUE(q.is_box());
+    EXPECT_NEAR(q.Volume(), 80000.0, 1.0);
+  }
+}
+
+TEST(QueryGenTest, ConsecutiveQueriesAreAdjacentChordSpaced) {
+  const Dataset d = SmallTissue();
+  QuerySequenceConfig config;
+  config.num_queries = 15;
+  config.query_volume = 80000.0;
+  Rng rng(2);
+  const GuidedSequence seq = GenerateGuidedSequence(d, config, &rng);
+  const double extent = QueryExtent(config.query_volume, config.aspect);
+  for (size_t i = 1; i < seq.queries.size(); ++i) {
+    const double dist =
+        seq.queries[i].Center().DistanceTo(seq.queries[i - 1].Center());
+    // Chord spacing: at least the step (minus tiny numerical slack); at
+    // most modestly above it (the walk overshoots by <= one increment,
+    // except at the clamped path end).
+    if (i + 1 < seq.queries.size()) {
+      EXPECT_GE(dist, extent * 0.9);
+      EXPECT_LE(dist, extent * 1.4);
+    }
+  }
+}
+
+TEST(QueryGenTest, GapIncreasesSpacing) {
+  const Dataset d = SmallTissue();
+  QuerySequenceConfig config;
+  config.num_queries = 10;
+  config.query_volume = 30000.0;
+  config.gap_distance = 25.0;
+  Rng rng(3);
+  const GuidedSequence seq = GenerateGuidedSequence(d, config, &rng);
+  const double extent = QueryExtent(config.query_volume, config.aspect);
+  for (size_t i = 1; i + 1 < seq.queries.size(); ++i) {
+    const double dist =
+        seq.queries[i].Center().DistanceTo(seq.queries[i - 1].Center());
+    EXPECT_GE(dist, (extent + 25.0) * 0.9);
+  }
+}
+
+TEST(QueryGenTest, FrustumQueriesAlignWithPath) {
+  const Dataset d = SmallTissue();
+  QuerySequenceConfig config;
+  config.num_queries = 10;
+  config.query_volume = 30000.0;
+  config.aspect = QueryAspect::kFrustum;
+  Rng rng(4);
+  const GuidedSequence seq = GenerateGuidedSequence(d, config, &rng);
+  ASSERT_GE(seq.queries.size(), 5u);
+  for (size_t i = 1; i < seq.queries.size(); ++i) {
+    ASSERT_TRUE(seq.queries[i].is_frustum());
+    const Vec3 move =
+        (seq.queries[i].Center() - seq.queries[i - 1].Center()).Normalized();
+    // The frustum looks roughly along the movement (tangent) direction.
+    EXPECT_GT(seq.queries[i].frustum().direction().Dot(move), 0.0);
+  }
+}
+
+TEST(QueryGenTest, DeterministicGivenRng) {
+  const Dataset d = SmallTissue();
+  QuerySequenceConfig config;
+  config.num_queries = 8;
+  Rng rng1(9);
+  Rng rng2(9);
+  const GuidedSequence a = GenerateGuidedSequence(d, config, &rng1);
+  const GuidedSequence b = GenerateGuidedSequence(d, config, &rng2);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  EXPECT_EQ(a.structure, b.structure);
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].Center(), b.queries[i].Center());
+  }
+}
+
+TEST(QueryGenTest, EmptyDataset) {
+  Dataset empty;
+  QuerySequenceConfig config;
+  Rng rng(1);
+  const GuidedSequence seq = GenerateGuidedSequence(empty, config, &rng);
+  EXPECT_TRUE(seq.queries.empty());
+  EXPECT_EQ(seq.structure, kInvalidStructureId);
+}
+
+TEST(QueryGenTest, CentersLieOnTheGuidingStructure) {
+  const Dataset d = SmallTissue();
+  QuerySequenceConfig config;
+  config.num_queries = 12;
+  Rng rng(6);
+  const GuidedSequence seq = GenerateGuidedSequence(d, config, &rng);
+  ASSERT_FALSE(seq.queries.empty());
+  // Every query center is close to some object of the guiding structure.
+  for (const Region& q : seq.queries) {
+    double best = 1e30;
+    for (const SpatialObject& obj : d.objects) {
+      if (obj.structure_id != seq.structure) continue;
+      best = std::min(best, obj.geom.AsLine().DistanceTo(q.Center()));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace scout

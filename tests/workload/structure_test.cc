@@ -1,0 +1,103 @@
+#include "workload/structure.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+Structure MakeY() {
+  // A Y-shaped tree: root chain 0-1-2, then two branches.
+  Structure s;
+  s.id = 1;
+  s.nodes = {
+      {Vec3(0, 0, 0), 1.0, -1}, {Vec3(10, 0, 0), 1.0, 0},
+      {Vec3(20, 0, 0), 1.0, 1}, {Vec3(30, 10, 0), 1.0, 2},
+      {Vec3(30, -10, 0), 1.0, 2},
+  };
+  return s;
+}
+
+TEST(StructureTest, BuildChildren) {
+  const Structure s = MakeY();
+  const auto children = s.BuildChildren();
+  EXPECT_EQ(children[0], std::vector<uint32_t>{1});
+  EXPECT_EQ(children[2], (std::vector<uint32_t>{3, 4}));
+  EXPECT_TRUE(children[3].empty());
+}
+
+TEST(StructureTest, SamplePathReachesLeaf) {
+  const Structure s = MakeY();
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<Vec3> path = s.SamplePath(&rng);
+    ASSERT_EQ(path.size(), 4u);  // Root chain + one of the two leaves.
+    EXPECT_EQ(path[0], Vec3(0, 0, 0));
+    const bool upper = path[3] == Vec3(30, 10, 0);
+    const bool lower = path[3] == Vec3(30, -10, 0);
+    EXPECT_TRUE(upper || lower);
+  }
+}
+
+TEST(StructureTest, SamplePathCoversBothBranches) {
+  const Structure s = MakeY();
+  Rng rng(2);
+  bool upper = false;
+  bool lower = false;
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<Vec3> path = s.SamplePath(&rng);
+    upper |= path[3].y > 0;
+    lower |= path[3].y < 0;
+  }
+  EXPECT_TRUE(upper);
+  EXPECT_TRUE(lower);
+}
+
+TEST(StructureTest, LongestPathLength) {
+  const Structure s = MakeY();
+  // Root chain 20 + branch sqrt(200).
+  EXPECT_NEAR(s.LongestPathLength(), 20.0 + std::sqrt(200.0), 1e-9);
+}
+
+TEST(PolylineWalkTest, ArcPointInterpolates) {
+  const PolylineWalk walk({Vec3(0, 0, 0), Vec3(10, 0, 0), Vec3(10, 10, 0)});
+  EXPECT_DOUBLE_EQ(walk.TotalLength(), 20.0);
+  EXPECT_EQ(walk.ArcPoint(0.0), Vec3(0, 0, 0));
+  EXPECT_EQ(walk.ArcPoint(5.0), Vec3(5, 0, 0));
+  EXPECT_EQ(walk.ArcPoint(15.0), Vec3(10, 5, 0));
+  EXPECT_EQ(walk.ArcPoint(20.0), Vec3(10, 10, 0));
+  // Clamping beyond the ends.
+  EXPECT_EQ(walk.ArcPoint(-5.0), Vec3(0, 0, 0));
+  EXPECT_EQ(walk.ArcPoint(99.0), Vec3(10, 10, 0));
+}
+
+TEST(PolylineWalkTest, ArcTangentFollowsSegments) {
+  const PolylineWalk walk({Vec3(0, 0, 0), Vec3(10, 0, 0), Vec3(10, 10, 0)});
+  EXPECT_EQ(walk.ArcTangent(5.0), Vec3(1, 0, 0));
+  EXPECT_EQ(walk.ArcTangent(15.0), Vec3(0, 1, 0));
+}
+
+TEST(PolylineWalkTest, DegenerateInputs) {
+  const PolylineWalk empty({});
+  EXPECT_EQ(empty.TotalLength(), 0.0);
+  EXPECT_EQ(empty.ArcPoint(1.0), Vec3());
+  const PolylineWalk single({Vec3(3, 3, 3)});
+  EXPECT_EQ(single.ArcPoint(5.0), Vec3(3, 3, 3));
+}
+
+TEST(EmitStructureObjectsTest, OneCylinderPerEdge) {
+  const Structure s = MakeY();
+  ObjectId next_id = 100;
+  std::vector<SpatialObject> objects;
+  EmitStructureObjects(s, &next_id, &objects);
+  EXPECT_EQ(objects.size(), 4u);  // 5 nodes, 4 edges.
+  EXPECT_EQ(next_id, 104u);
+  for (const SpatialObject& obj : objects) {
+    EXPECT_EQ(obj.structure_id, s.id);
+  }
+  // First object spans nodes 0 -> 1.
+  EXPECT_EQ(objects[0].geom.p0(), Vec3(0, 0, 0));
+  EXPECT_EQ(objects[0].geom.p1(), Vec3(10, 0, 0));
+}
+
+}  // namespace
+}  // namespace scout
