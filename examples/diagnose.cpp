@@ -3,6 +3,8 @@
 /// baseline prediction errors on one guided sequence.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "engine/experiment.h"
 #include "index/rtree.h"
@@ -14,7 +16,14 @@
 using namespace scout;
 
 int main(int argc, char** argv) {
-  double turn = argc > 1 ? atof(argv[1]) : 0.35;
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    std::printf(
+        "Usage: diagnose [turn_stddev]\n"
+        "Prints per-query SCOUT internals (candidate counts, exits, resets)\n"
+        "and baseline prediction errors on one guided sequence.\n");
+    return 0;
+  }
+  double turn = argc > 1 ? std::atof(argv[1]) : 0.35;
   NeuronGenConfig gen;
   gen.turn_stddev = turn;
   gen.seed = 7;

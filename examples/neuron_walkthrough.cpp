@@ -6,6 +6,7 @@
 /// trajectory extrapolation.
 
 #include <cstdio>
+#include <cstring>
 
 #include "engine/experiment.h"
 #include "index/rtree.h"
@@ -13,7 +14,15 @@
 #include "prefetch/trajectory_prefetcher.h"
 #include "workload/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    std::printf(
+        "Usage: neuron_walkthrough\n"
+        "Flies along a neuron branch issuing view-frustum queries while\n"
+        "SCOUT prefetches the next frame; prints a per-frame trace and the\n"
+        "comparison with trajectory extrapolation.\n");
+    return 0;
+  }
   using namespace scout;
 
   const Dataset dataset =

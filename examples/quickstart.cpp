@@ -7,6 +7,7 @@
 ///   ./build/examples/quickstart
 
 #include <cstdio>
+#include <cstring>
 
 #include "engine/experiment.h"
 #include "index/rtree.h"
@@ -15,7 +16,15 @@
 #include "prefetch/trajectory_prefetcher.h"
 #include "workload/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    std::printf(
+        "Usage: quickstart\n"
+        "Builds a small synthetic neuron-tissue dataset, indexes it with an\n"
+        "STR R-tree, and compares SCOUT against classic prefetchers on a\n"
+        "guided spatial query sequence.\n");
+    return 0;
+  }
   using namespace scout;
 
   // 1. Generate a small brain-tissue model at the paper's tissue density

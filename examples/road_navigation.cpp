@@ -4,6 +4,7 @@
 /// driven from the query contents and prefetches along it.
 
 #include <cstdio>
+#include <cstring>
 
 #include "engine/experiment.h"
 #include "index/rtree.h"
@@ -12,7 +13,15 @@
 #include "prefetch/trajectory_prefetcher.h"
 #include "workload/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    std::printf(
+        "Usage: road_navigation\n"
+        "Prefetches map data along a road-network route onto a\n"
+        "memory-constrained device; SCOUT identifies the road being driven\n"
+        "from the query contents and prefetches along it.\n");
+    return 0;
+  }
   using namespace scout;
 
   const Dataset roads = GenerateRoadNetwork(RoadGenConfig{});

@@ -7,6 +7,7 @@
 /// warm underneath it.
 
 #include <cstdio>
+#include <cstring>
 
 #include "engine/query_executor.h"
 #include "engine/experiment.h"
@@ -15,7 +16,14 @@
 #include "workload/generators.h"
 #include "workload/query_gen.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    std::printf(
+        "Usage: synapse_detection\n"
+        "Follows a neuron branch running the synapse proximity analysis on\n"
+        "each query result while SCOUT keeps the cache warm underneath it.\n");
+    return 0;
+  }
   using namespace scout;
 
   const Dataset dataset =

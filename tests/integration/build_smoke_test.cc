@@ -1,0 +1,53 @@
+/// Build smoke test: every example binary must link and survive both
+/// `--help` and its default tiny scenario without crashing. The directory
+/// holding the built examples is passed in via the SCOUT_EXAMPLES_DIR
+/// environment variable (set by CMake on the ctest registration); when the
+/// examples are not built, the tests skip rather than fail.
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+const char* kExamples[] = {
+    "quickstart",        "diagnose",        "neuron_walkthrough",
+    "synapse_detection", "road_navigation",
+};
+
+class ExampleSmokeTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  // Returns the shell command for the example, or "" to skip.
+  std::string Command(const std::string& args) const {
+    const char* dir = std::getenv("SCOUT_EXAMPLES_DIR");
+    if (dir == nullptr || *dir == '\0') return "";
+#ifdef _WIN32
+    return std::string(dir) + "\\" + GetParam() + " " + args + " > NUL 2>&1";
+#else
+    return std::string(dir) + "/" + GetParam() + " " + args +
+           " > /dev/null 2>&1";
+#endif
+  }
+
+  void RunAndExpectSuccess(const std::string& args) const {
+    const std::string cmd = Command(args);
+    if (cmd.empty()) {
+      GTEST_SKIP() << "SCOUT_EXAMPLES_DIR not set; examples not built";
+    }
+    const int rc = std::system(cmd.c_str());
+    EXPECT_EQ(rc, 0) << "example exited non-zero: " << cmd;
+  }
+};
+
+TEST_P(ExampleSmokeTest, HelpExitsZero) { RunAndExpectSuccess("--help"); }
+
+TEST_P(ExampleSmokeTest, DefaultScenarioRuns) { RunAndExpectSuccess(""); }
+
+INSTANTIATE_TEST_SUITE_P(AllExamples, ExampleSmokeTest,
+                         ::testing::ValuesIn(kExamples),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace scout
