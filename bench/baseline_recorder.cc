@@ -1,0 +1,308 @@
+/// Benchmark-baseline recorder (`make bench-record`): runs one fixed-seed
+/// scenario for every figure/ablation bench target plus wall-clock micro
+/// measurements of the hot paths (PrefetchCache ops, R-tree QueryPages,
+/// grid-hash graph build) and appends a labelled snapshot to
+/// BENCH_baseline.json. Successive PRs diff their snapshots against the
+/// committed ones, so perf changes to the query/cache core are visible
+/// in review. `--tiny` shrinks every scenario to CI-smoke size (seconds).
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/testing_support.h"
+#include "common/stopwatch.h"
+#include "graph/graph_builder.h"
+#include "prefetch/scout_opt_prefetcher.h"
+#include "storage/cache.h"
+
+using namespace scout;
+using namespace scout::bench;
+
+namespace {
+
+struct RecorderOptions {
+  bool tiny = false;
+  bool append = false;
+  std::string label = "current";
+  std::string out = "BENCH_baseline.json";
+};
+
+/// Scenario sizes. Full mode targets a ~1-2 minute recording; tiny mode
+/// targets seconds (bench-smoke CI). Sizes are part of the recording
+/// contract: changing them invalidates comparisons across snapshots.
+struct RecorderScale {
+  uint64_t neuron_objects;
+  uint32_t sequences;
+  size_t rtree_objects;
+  size_t rtree_queries;
+  size_t cache_pages;
+  size_t cache_ops;
+  size_t graph_objects;
+  size_t graph_reps;
+};
+
+constexpr RecorderScale kFullScale = {120000, 6, 200000, 1000,
+                                      4096,   1 << 20, 2048, 50};
+constexpr RecorderScale kTinyScale = {24000, 2, 20000, 100,
+                                      512,   1 << 16, 512, 5};
+
+class Recorder {
+ public:
+  Recorder(const RecorderScale& scale, bool tiny) : scale_(scale), tiny_(tiny) {}
+
+  /// Runs one guided-experiment scenario and records it as a fig row.
+  void RecordFig(const std::string& bench, const std::string& scenario,
+                 const Dataset& dataset, const SpatialIndex& index,
+                 Prefetcher* prefetcher, const QuerySequenceConfig& qcfg,
+                 const ExecutorConfig& ecfg) {
+    Stopwatch sw;
+    const ExperimentResult r = RunGuidedExperiment(
+        dataset, index, prefetcher, qcfg, ecfg, scale_.sequences, kSeed);
+    BaselineFigRow row;
+    row.bench = bench;
+    row.scenario = scenario;
+    row.prefetcher = std::string(r.prefetcher_name);
+    row.wall_ms = sw.ElapsedSeconds() * 1e3;
+    row.sim_response_us = r.total_response_us;
+    row.sim_residual_io_us = r.total_residual_us;
+    row.hit_rate_pct = r.hit_rate_pct;
+    row.speedup = r.speedup;
+    figs.push_back(row);
+    std::printf("%-24s %-18s %-10s %9.1f ms  hit %5.1f%%  speedup %.2f\n",
+                bench.c_str(), scenario.c_str(), row.prefetcher.c_str(),
+                row.wall_ms, row.hit_rate_pct, row.speedup);
+  }
+
+  void RecordMicro(const std::string& name, uint64_t ops, double wall_us) {
+    BaselineMicroRow row;
+    row.name = name;
+    row.ops = ops;
+    row.ns_per_op = ops > 0 ? wall_us * 1e3 / static_cast<double>(ops) : 0.0;
+    micro.push_back(row);
+    std::printf("%-32s %12llu ops %10.2f ns/op\n", name.c_str(),
+                static_cast<unsigned long long>(ops), row.ns_per_op);
+  }
+
+  const RecorderScale& scale() const { return scale_; }
+  bool tiny() const { return tiny_; }
+
+  std::vector<BaselineFigRow> figs;
+  std::vector<BaselineMicroRow> micro;
+
+ private:
+  RecorderScale scale_;
+  bool tiny_;
+};
+
+/// Figure/ablation scenarios: one representative fixed-seed workload per
+/// bench target (the full sweeps live in the bench binaries themselves;
+/// the recorder pins one point of each so regressions are attributable).
+void RecordFigScenarios(Recorder* rec) {
+  NeuronStack stack(rec->scale().neuron_objects, /*seed=*/1);
+  PrefetcherSet set(stack.dataset.bounds);
+  const PageStore& store = stack.rtree->store();
+
+  auto spec_of = [](const char* name) -> const MicrobenchSpec& {
+    for (const MicrobenchSpec& s : kMicrobenchmarks) {
+      if (s.name == name) return s;
+    }
+    // A silent fallback would record the wrong workload under a stale
+    // label and corrupt the perf trajectory — fail loudly instead.
+    std::fprintf(stderr, "baseline_recorder: unknown microbench spec '%s'\n",
+                 name);
+    std::abort();
+  };
+
+  const MicrobenchSpec& adhoc_stat = spec_of("adhoc-stat");
+  const MicrobenchSpec& adhoc_pattern = spec_of("adhoc-pattern");
+  const MicrobenchSpec& model_building = spec_of("model-building");
+  const MicrobenchSpec& vis_high = spec_of("vis-high-quality");
+  const MicrobenchSpec& vis_low = spec_of("vis-low-quality");
+  const MicrobenchSpec& vis_gaps = spec_of("vis-gaps-high");
+
+  rec->RecordFig("fig03_state_of_the_art", adhoc_pattern.name.data(),
+                 stack.dataset, *stack.rtree, &set.scout(),
+                 QueryConfigFor(adhoc_pattern),
+                 ExecutorConfigFor(adhoc_pattern, store));
+  rec->RecordFig("fig11_microbenchmarks", model_building.name.data(),
+                 stack.dataset, *stack.rtree, &set.scout(),
+                 QueryConfigFor(model_building),
+                 ExecutorConfigFor(model_building, store));
+  rec->RecordFig("fig11_microbenchmarks", adhoc_stat.name.data(),
+                 stack.dataset, *stack.rtree, &set.ewma(),
+                 QueryConfigFor(adhoc_stat),
+                 ExecutorConfigFor(adhoc_stat, store));
+  rec->RecordFig("fig12_gaps", vis_gaps.name.data(), stack.dataset,
+                 *stack.rtree, &set.scout(), QueryConfigFor(vis_gaps),
+                 ExecutorConfigFor(vis_gaps, store));
+
+  {
+    // fig13 sweeps the window ratio; pin ratio 1.0 on model-building.
+    ExecutorConfig ecfg = ExecutorConfigFor(model_building, store);
+    ecfg.prefetch_window_ratio = 1.0;
+    rec->RecordFig("fig13_sensitivity", "model-building@r1.0", stack.dataset,
+                   *stack.rtree, &set.scout(), QueryConfigFor(model_building),
+                   ecfg);
+  }
+  rec->RecordFig("fig14_breakdown", vis_high.name.data(), stack.dataset,
+                 *stack.rtree, &set.scout(), QueryConfigFor(vis_high),
+                 ExecutorConfigFor(vis_high, store));
+  rec->RecordFig("fig16_prediction_cost", vis_low.name.data(), stack.dataset,
+                 *stack.rtree, &set.scout(), QueryConfigFor(vis_low),
+                 ExecutorConfigFor(vis_low, store));
+
+  // fig15 (graph build) is covered by the graph_grid_hash micro row.
+
+  // fig17 (applicability) and the ablations run on the FLAT index, which
+  // is also what SCOUT-OPT's sparse construction + gap traversal need.
+  auto flat = std::move(*FlatIndex::Build(stack.dataset.objects));
+  rec->RecordFig("fig17_applicability", adhoc_stat.name.data(), stack.dataset,
+                 *flat, &set.scout(), QueryConfigFor(adhoc_stat),
+                 ExecutorConfigFor(adhoc_stat, flat->store()));
+  {
+    ScoutOptPrefetcher scout_opt{ScoutConfig{}, flat.get()};
+    rec->RecordFig("ablation_strategies", model_building.name.data(),
+                   stack.dataset, *flat, &scout_opt,
+                   QueryConfigFor(model_building),
+                   ExecutorConfigFor(model_building, flat->store()));
+  }
+}
+
+/// Records the row and folds the checksum into the output so the work
+/// cannot be optimized away (and snapshots can be sanity-compared).
+void RecordOrUse(Recorder* rec, const char* name, uint64_t ops,
+                 double wall_us, uint64_t checksum) {
+  rec->RecordMicro(name, ops, wall_us);
+  std::printf("  (%s checksum %llu)\n", name,
+              static_cast<unsigned long long>(checksum));
+}
+
+/// Hot-path micro measurements (wall clock). These are the rows the
+/// optimization track diffs for its >= 1.5x acceptance bars.
+void RecordMicroScenarios(Recorder* rec) {
+  const RecorderScale& scale = rec->scale();
+
+  {
+    // Mixed insert/refresh/evict traffic over a working set twice the
+    // cache capacity — the PrefetchCache pattern the executor generates.
+    PrefetchCache cache(scale.cache_pages * kPageBytes);
+    Rng rng(11);
+    const uint64_t working_set = scale.cache_pages * 2;
+    Stopwatch sw;
+    for (size_t i = 0; i < scale.cache_ops; ++i) {
+      cache.Insert(static_cast<PageId>(rng.NextBounded(working_set)));
+    }
+    RecordOrUse(rec, "cache_insert_evict", scale.cache_ops,
+                static_cast<double>(sw.ElapsedMicros()), cache.NumPages());
+  }
+  {
+    // Pure hit path: the cost of serving one cache hit on resident pages
+    // (hit test + LRU refresh, as the executor does per query page).
+    PrefetchCache cache(scale.cache_pages * kPageBytes);
+    for (PageId p = 0; p < scale.cache_pages; ++p) cache.Insert(p);
+    Rng rng(12);
+    uint64_t hits = 0;
+    Stopwatch sw;
+    for (size_t i = 0; i < scale.cache_ops; ++i) {
+      const PageId p = static_cast<PageId>(rng.NextBounded(scale.cache_pages));
+      if (cache.TouchIfPresent(p)) ++hits;
+    }
+    RecordOrUse(rec, "cache_hit_touch", scale.cache_ops,
+                static_cast<double>(sw.ElapsedMicros()), hits);
+  }
+  {
+    // R-tree range queries, same shape as micro_core_ops BM_RTreeRangeQuery.
+    const Aabb bounds(Vec3(0, 0, 0), Vec3(300, 300, 300));
+    auto index = std::move(
+        *RTreeIndex::Build(benchsupport::RandomObjects(
+            scale.rtree_objects, bounds, /*seed=*/4)));
+    Rng rng(5);
+    std::vector<PageId> pages;
+    uint64_t total_pages = 0;
+    Stopwatch sw;
+    for (size_t i = 0; i < scale.rtree_queries; ++i) {
+      const Region query = Region::CubeAt(
+          Vec3(rng.Uniform(30, 270), rng.Uniform(30, 270),
+               rng.Uniform(30, 270)),
+          80000.0);
+      pages.clear();
+      index->QueryPages(query, &pages);
+      total_pages += pages.size();
+    }
+    RecordOrUse(rec, "rtree_query_pages", scale.rtree_queries,
+                static_cast<double>(sw.ElapsedMicros()), total_pages);
+  }
+  {
+    // fig15: grid-hash graph construction over one query result.
+    const Aabb bounds(Vec3(0, 0, 0), Vec3(43, 43, 43));
+    const auto objects =
+        benchsupport::RandomObjects(scale.graph_objects, bounds, /*seed=*/3);
+    std::vector<GraphInput> inputs;
+    inputs.reserve(objects.size());
+    for (const auto& obj : objects) inputs.push_back(GraphInput{&obj, 0});
+    uint64_t edges = 0;
+    Stopwatch sw;
+    for (size_t r = 0; r < scale.graph_reps; ++r) {
+      SpatialGraph graph;
+      BuildGraphGridHash(inputs, bounds, 32768, &graph);
+      edges += graph.NumEdges();
+    }
+    RecordOrUse(rec, "graph_grid_hash",
+                scale.graph_reps * scale.graph_objects,
+                static_cast<double>(sw.ElapsedMicros()), edges);
+  }
+}
+
+void PrintUsage() {
+  std::printf(
+      "baseline_recorder: record a benchmark-baseline snapshot\n"
+      "  --tiny          CI-smoke scale (seconds, not minutes)\n"
+      "  --label NAME    snapshot label (default: current)\n"
+      "  --out PATH      output JSON (default: BENCH_baseline.json)\n"
+      "  --append        append a snapshot instead of rewriting the file\n"
+      "  --help          this message\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RecorderOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tiny") {
+      opt.tiny = true;
+    } else if (arg == "--append") {
+      opt.append = true;
+    } else if (arg == "--label" && i + 1 < argc) {
+      opt.label = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else if (arg == "--help") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  Recorder rec(opt.tiny ? kTinyScale : kFullScale, opt.tiny);
+  std::printf("== baseline_recorder (label=%s, %s scale) ==\n",
+              opt.label.c_str(), opt.tiny ? "tiny" : "full");
+  Stopwatch total;
+  RecordFigScenarios(&rec);
+  RecordMicroScenarios(&rec);
+
+  const std::string snapshot =
+      BaselineSnapshotJson(opt.label, rec.tiny(), rec.figs, rec.micro);
+  if (!WriteBaselineSnapshot(opt.out, opt.append, snapshot)) {
+    std::fprintf(stderr, "failed to write %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s snapshot '%s' (%zu fig rows, %zu micro rows) in %.1fs\n",
+              opt.out.c_str(), opt.label.c_str(), rec.figs.size(),
+              rec.micro.size(), total.ElapsedSeconds());
+  return 0;
+}

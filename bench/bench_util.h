@@ -1,8 +1,11 @@
 #ifndef SCOUT_BENCH_BENCH_UTIL_H_
 #define SCOUT_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -98,6 +101,130 @@ inline void PrintColumns(const std::string& corner,
   std::printf("%-22s", corner.c_str());
   for (const std::string& c : columns) std::printf(" %10s", c.c_str());
   std::printf("\n");
+}
+
+// --------------------------------------------------------------------------
+// Baseline recording (bench/baseline_recorder, `make bench-record`).
+//
+// A baseline *snapshot* is one fixed-seed run of every figure/ablation
+// scenario plus the hot-path micro measurements, stamped with a label.
+// Snapshots accumulate in BENCH_baseline.json so successive PRs have a
+// perf trajectory to diff against.
+
+/// One figure/ablation bench data point of a baseline snapshot.
+struct BaselineFigRow {
+  std::string bench;       ///< Bench target, e.g. "fig11_microbenchmarks".
+  std::string scenario;    ///< Workload within the bench.
+  std::string prefetcher;
+  double wall_ms = 0.0;            ///< Wall-clock time of the scenario.
+  int64_t sim_response_us = 0;     ///< Simulated total response time.
+  int64_t sim_residual_io_us = 0;  ///< Simulated cache-miss I/O time.
+  double hit_rate_pct = 0.0;
+  double speedup = 1.0;
+};
+
+/// One hot-path micro measurement of a baseline snapshot.
+struct BaselineMicroRow {
+  std::string name;
+  uint64_t ops = 0;
+  double ns_per_op = 0.0;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Serializes one snapshot as a JSON object (no trailing newline).
+inline std::string BaselineSnapshotJson(
+    const std::string& label, bool tiny,
+    const std::vector<BaselineFigRow>& figs,
+    const std::vector<BaselineMicroRow>& micro) {
+  std::ostringstream os;
+  os << "    {\n      \"label\": \"" << JsonEscape(label) << "\",\n"
+     << "      \"tiny\": " << (tiny ? "true" : "false") << ",\n"
+     << "      \"figs\": [\n";
+  for (size_t i = 0; i < figs.size(); ++i) {
+    const BaselineFigRow& r = figs[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "        {\"bench\": \"%s\", \"scenario\": \"%s\", "
+                  "\"prefetcher\": \"%s\", \"wall_ms\": %.3f, "
+                  "\"sim_response_us\": %lld, \"sim_residual_io_us\": %lld, "
+                  "\"hit_rate_pct\": %.2f, \"speedup\": %.3f}",
+                  JsonEscape(r.bench).c_str(), JsonEscape(r.scenario).c_str(),
+                  JsonEscape(r.prefetcher).c_str(), r.wall_ms,
+                  static_cast<long long>(r.sim_response_us),
+                  static_cast<long long>(r.sim_residual_io_us),
+                  r.hit_rate_pct, r.speedup);
+    os << buf << (i + 1 < figs.size() ? "," : "") << "\n";
+  }
+  os << "      ],\n      \"micro\": [\n";
+  for (size_t i = 0; i < micro.size(); ++i) {
+    const BaselineMicroRow& r = micro[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "        {\"name\": \"%s\", \"ops\": %llu, "
+                  "\"ns_per_op\": %.2f}",
+                  JsonEscape(r.name).c_str(),
+                  static_cast<unsigned long long>(r.ops), r.ns_per_op);
+    os << buf << (i + 1 < micro.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n    }";
+  return os.str();
+}
+
+/// Writes (or, with `append`, extends) a BENCH_baseline.json file:
+///   {"schema": 1, "snapshots": [ <snapshot>, ... ]}
+/// Append splices the new snapshot before the closing bracket of the
+/// "snapshots" array; if the file is missing or not in the expected
+/// format, it is rewritten fresh. Returns false on I/O failure.
+inline bool WriteBaselineSnapshot(const std::string& path, bool append,
+                                  const std::string& snapshot_json) {
+  std::string existing;
+  if (append) {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+  const size_t close = existing.rfind(']');
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  if (!existing.empty() && close != std::string::npos &&
+      existing.find("\"snapshots\"") != std::string::npos) {
+    // A separating comma is only valid if a snapshot already precedes the
+    // closing bracket (the array could be empty in a hand-edited file).
+    const size_t last_content = existing.find_last_not_of(" \t\n\r", close - 1);
+    const bool has_snapshot =
+        last_content != std::string::npos && existing[last_content] == '}';
+    out << existing.substr(0, close) << (has_snapshot ? ",\n" : "")
+        << snapshot_json << "\n  " << existing.substr(close);
+  } else {
+    out << "{\n  \"schema\": 1,\n  \"snapshots\": [\n"
+        << snapshot_json << "\n  ]\n}\n";
+  }
+  return static_cast<bool>(out);
 }
 
 }  // namespace scout::bench

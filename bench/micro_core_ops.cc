@@ -10,6 +10,7 @@
 #include "graph/kmeans.h"
 #include "index/flat_index.h"
 #include "index/rtree.h"
+#include "storage/cache.h"
 #include "testing_support.h"
 
 namespace scout {
@@ -93,6 +94,35 @@ void BM_GraphBruteForce(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_GraphBruteForce)->Arg(128)->Arg(512);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  // Mixed insert/refresh/evict traffic over a working set twice the
+  // capacity — the executor's steady-state PrefetchCache pattern.
+  const size_t capacity_pages = static_cast<size_t>(state.range(0));
+  PrefetchCache cache(capacity_pages * kPageBytes);
+  const uint64_t working_set = capacity_pages * 2;
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Insert(static_cast<PageId>(rng.NextBounded(working_set))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertEvict)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_CacheHitTouch(benchmark::State& state) {
+  // Pure hit path (hit test + LRU refresh) on a resident working set.
+  const size_t capacity_pages = static_cast<size_t>(state.range(0));
+  PrefetchCache cache(capacity_pages * kPageBytes);
+  for (PageId p = 0; p < capacity_pages; ++p) cache.Insert(p);
+  Rng rng(12);
+  for (auto _ : state) {
+    const PageId p = static_cast<PageId>(rng.NextBounded(capacity_pages));
+    benchmark::DoNotOptimize(cache.TouchIfPresent(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitTouch)->Arg(1024)->Arg(16384);
 
 void BM_RTreeRangeQuery(benchmark::State& state) {
   const Aabb bounds(Vec3(0, 0, 0), Vec3(300, 300, 300));

@@ -1,10 +1,55 @@
 #include "engine/experiment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "prefetch/no_prefetch.h"
 
 namespace scout {
+namespace {
+
+/// Folds one executed sequence (and its no-prefetching baseline run) into
+/// the aggregate. Callers must fold sequences in generation order so the
+/// result is independent of execution order (RunningStat additions do not
+/// commute in floating point).
+void AccumulateSequence(const SequenceRunStats& run,
+                        const SequenceRunStats& base, ExperimentResult* result,
+                        size_t* total_queries) {
+  result->seq_hit_rate.Add(run.CacheHitRatePct());
+  result->total_response_us += run.TotalResponseUs();
+  result->baseline_response_us += base.TotalResponseUs();
+  result->total_residual_us += run.TotalResidualUs();
+  result->total_graph_build_us += run.TotalGraphBuildUs();
+  result->total_prediction_us += run.TotalPredictionUs();
+  result->total_pages += run.TotalPagesTotal();
+  result->total_hits += run.TotalPagesHit();
+  result->total_result_objects += run.TotalResultObjects();
+  *total_queries += run.queries.size();
+  for (const QueryRunStats& q : run.queries) {
+    if (q.was_reset) ++result->total_resets;
+  }
+}
+
+/// Computes the derived rates once all sequences are folded in.
+void FinalizeResult(ExperimentResult* result, size_t total_queries) {
+  result->total_queries = total_queries;
+  if (result->total_pages > 0) {
+    result->hit_rate_pct = 100.0 * static_cast<double>(result->total_hits) /
+                           static_cast<double>(result->total_pages);
+  }
+  if (result->total_response_us > 0) {
+    result->speedup = static_cast<double>(result->baseline_response_us) /
+                      static_cast<double>(result->total_response_us);
+  }
+  if (total_queries > 0) {
+    result->mean_pages_per_query = static_cast<double>(result->total_pages) /
+                                   static_cast<double>(total_queries);
+  }
+}
+
+}  // namespace
 
 uint64_t ScaledCacheBytes(const PageStore& store, double fraction) {
   const uint64_t scaled =
@@ -55,35 +100,75 @@ ExperimentResult RunGuidedExperiment(const Dataset& dataset,
     const SequenceRunStats run = executor.RunSequence(sequence.queries);
     const SequenceRunStats base =
         baseline_executor.RunSequence(sequence.queries);
+    AccumulateSequence(run, base, &result, &total_queries);
+  }
+  FinalizeResult(&result, total_queries);
+  return result;
+}
 
-    result.seq_hit_rate.Add(run.CacheHitRatePct());
-    result.total_response_us += run.TotalResponseUs();
-    result.baseline_response_us += base.TotalResponseUs();
-    result.total_residual_us += run.TotalResidualUs();
-    result.total_graph_build_us += run.TotalGraphBuildUs();
-    result.total_prediction_us += run.TotalPredictionUs();
-    result.total_pages += run.TotalPagesTotal();
-    result.total_hits += run.TotalPagesHit();
-    result.total_result_objects += run.TotalResultObjects();
-    total_queries += run.queries.size();
-    for (const QueryRunStats& q : run.queries) {
-      if (q.was_reset) ++result.total_resets;
+ExperimentResult RunBatch(const Dataset& dataset, const SpatialIndex& index,
+                          const PrefetcherFactory& make_prefetcher,
+                          const QuerySequenceConfig& query_config,
+                          const ExecutorConfig& executor_config,
+                          uint32_t num_sequences, uint64_t seed,
+                          uint32_t num_workers) {
+  ExperimentResult result;
+  result.prefetcher_name = std::string(make_prefetcher()->name());
+  result.num_sequences = num_sequences;
+
+  // Pregenerate the workloads serially: sequence s is identical to the
+  // one RunGuidedExperiment generates for the same seed.
+  Rng rng(seed);
+  std::vector<GuidedSequence> sequences;
+  sequences.reserve(num_sequences);
+  for (uint32_t s = 0; s < num_sequences; ++s) {
+    Rng seq_rng = rng.Fork();
+    sequences.push_back(
+        GenerateGuidedSequence(dataset, query_config, &seq_rng));
+  }
+
+  struct SequenceOutcome {
+    SequenceRunStats run;
+    SequenceRunStats base;
+  };
+  std::vector<SequenceOutcome> outcomes(sequences.size());
+
+  // Each claimed sequence runs on a private executor stack (simulated
+  // clock, disk model, cache, prefetcher), so workers share only the
+  // read-only index and dataset.
+  std::atomic<size_t> next{0};
+  const auto work = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= sequences.size()) return;
+      if (sequences[i].queries.empty()) continue;
+      std::unique_ptr<Prefetcher> prefetcher = make_prefetcher();
+      NoPrefetcher baseline;
+      QueryExecutor executor(&index, prefetcher.get(), executor_config);
+      QueryExecutor baseline_executor(&index, &baseline, executor_config);
+      outcomes[i].run = executor.RunSequence(sequences[i].queries);
+      outcomes[i].base = baseline_executor.RunSequence(sequences[i].queries);
     }
+  };
+  const uint32_t workers =
+      std::max<uint32_t>(1, std::min(num_workers, num_sequences));
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
   }
-  result.total_queries = total_queries;
 
-  if (result.total_pages > 0) {
-    result.hit_rate_pct = 100.0 * static_cast<double>(result.total_hits) /
-                          static_cast<double>(result.total_pages);
+  // Aggregate in sequence order: bit-identical for any worker count.
+  size_t total_queries = 0;
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    if (sequences[i].queries.empty()) continue;
+    AccumulateSequence(outcomes[i].run, outcomes[i].base, &result,
+                       &total_queries);
   }
-  if (result.total_response_us > 0) {
-    result.speedup = static_cast<double>(result.baseline_response_us) /
-                     static_cast<double>(result.total_response_us);
-  }
-  if (total_queries > 0) {
-    result.mean_pages_per_query = static_cast<double>(result.total_pages) /
-                                  static_cast<double>(total_queries);
-  }
+  FinalizeResult(&result, total_queries);
   return result;
 }
 

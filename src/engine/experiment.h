@@ -2,6 +2,8 @@
 #define SCOUT_ENGINE_EXPERIMENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -77,6 +79,25 @@ ExperimentResult RunGuidedExperiment(const Dataset& dataset,
 QuerySequenceConfig QueryConfigFor(const MicrobenchSpec& spec);
 ExecutorConfig ExecutorConfigFor(const MicrobenchSpec& spec,
                                  const PageStore& store);
+
+/// Makes a fresh prefetcher instance. RunBatch builds one executor stack
+/// (clock, disk model, cache, prefetcher) per sequence, so prefetchers
+/// must be constructible from scratch rather than shared across clients.
+using PrefetcherFactory = std::function<std::unique_ptr<Prefetcher>()>;
+
+/// Multi-client entry point: runs the same guided sequences as
+/// RunGuidedExperiment (identical per-sequence workloads for a given
+/// seed) but executes independent sequences concurrently on a pool of
+/// `num_workers` threads. Every sequence gets its own simulated clock,
+/// disk, cache and prefetcher (from `make_prefetcher`), and results are
+/// aggregated in sequence order — so the outcome is bit-identical for
+/// any worker count. `num_workers` is clamped to [1, num_sequences].
+ExperimentResult RunBatch(const Dataset& dataset, const SpatialIndex& index,
+                          const PrefetcherFactory& make_prefetcher,
+                          const QuerySequenceConfig& query_config,
+                          const ExecutorConfig& executor_config,
+                          uint32_t num_sequences, uint64_t seed,
+                          uint32_t num_workers);
 
 }  // namespace scout
 

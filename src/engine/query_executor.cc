@@ -3,6 +3,46 @@
 #include <algorithm>
 
 namespace scout {
+namespace {
+
+/// Restores ascending order of a page list that arrives as a
+/// concatenation of ascending runs. Both index builders emit QueryPages
+/// results in bulk-load (= page id) order, so the common case is a single
+/// run and costs one O(n) scan instead of a full std::sort; genuinely
+/// unsorted input degrades to balanced run merging, O(n log runs).
+void MergeSortedRuns(std::vector<PageId>* pages) {
+  std::vector<PageId>& p = *pages;
+  if (p.size() < 2) return;
+  // Allocation-free fast path: already one sorted run.
+  size_t first_descent = p.size();
+  for (size_t i = 1; i < p.size(); ++i) {
+    if (p[i] < p[i - 1]) {
+      first_descent = i;
+      break;
+    }
+  }
+  if (first_descent == p.size()) return;
+  std::vector<size_t> bounds;  // Run boundaries: 0, ..., p.size().
+  bounds.push_back(0);
+  bounds.push_back(first_descent);
+  for (size_t i = first_descent + 1; i < p.size(); ++i) {
+    if (p[i] < p[i - 1]) bounds.push_back(i);
+  }
+  bounds.push_back(p.size());
+  while (bounds.size() > 2) {
+    std::vector<size_t> next;
+    next.push_back(0);
+    for (size_t i = 0; i + 2 < bounds.size(); i += 2) {
+      std::inplace_merge(p.begin() + bounds[i], p.begin() + bounds[i + 1],
+                         p.begin() + bounds[i + 2]);
+      next.push_back(bounds[i + 2]);
+    }
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+}
+
+}  // namespace
 
 /// PrefetchIo implementation that charges fetches against the window
 /// budget. The window also closes when the cache is full: a small cache
@@ -90,12 +130,11 @@ SequenceRunStats QueryExecutor::RunSequence(std::span<const Region> queries) {
     // --- Execute the query: cache hits first, misses from disk. ---
     pages.clear();
     index_->QueryPages(region, &pages);
-    std::sort(pages.begin(), pages.end());
+    MergeSortedRuns(&pages);
     q.pages_total = pages.size();
 
     for (PageId page : pages) {
-      if (cache_.Contains(page)) {
-        cache_.Touch(page);
+      if (cache_.TouchIfPresent(page)) {
         ++q.pages_hit;
       } else {
         q.residual_io_us += disk_.ReadPage(page);

@@ -97,6 +97,19 @@ bool Frustum::Intersects(const Aabb& box) const {
   return true;
 }
 
+bool Frustum::ContainsBox(const Aabb& box) const {
+  if (box.IsEmpty()) return false;
+  for (const Plane& plane : planes_) {
+    // The corner least aligned with the plane normal (n-vertex); if it is
+    // inside the plane, every corner is.
+    const Vec3 n(plane.normal.x >= 0 ? box.min().x : box.max().x,
+                 plane.normal.y >= 0 ? box.min().y : box.max().y,
+                 plane.normal.z >= 0 ? box.min().z : box.max().z);
+    if (plane.normal.Dot(n) + plane.d < 0.0) return false;
+  }
+  return true;
+}
+
 std::array<Vec3, 8> Frustum::Corners() const {
   std::array<Vec3, 8> corners;
   const Vec3 near_center = apex_ + dir_ * near_;

@@ -42,6 +42,10 @@ class Frustum {
   /// rare false positives, never false negatives).
   bool Intersects(const Aabb& box) const;
 
+  /// Exact full-containment test: true iff every corner of the box lies
+  /// inside all six planes (the frustum is their intersection).
+  bool ContainsBox(const Aabb& box) const;
+
   /// Bounding box of the eight corners.
   Aabb Bounds() const;
 

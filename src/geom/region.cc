@@ -19,6 +19,11 @@ bool Region::Intersects(const Aabb& other) const {
   return frustum().Intersects(other);
 }
 
+bool Region::ContainsBox(const Aabb& other) const {
+  if (is_box()) return box().Contains(other);
+  return frustum().ContainsBox(other);
+}
+
 double Region::Volume() const {
   if (is_box()) return box().Volume();
   return frustum().Volume();

@@ -47,6 +47,11 @@ class Region {
   /// Conservative region-box overlap test (never false negative).
   bool Intersects(const Aabb& box) const;
 
+  /// Conservative full-containment test (never a false positive): true
+  /// only if the whole box lies inside the region. Index traversals use
+  /// it to bulk-accept subtrees without per-entry tests.
+  bool ContainsBox(const Aabb& box) const;
+
   double Volume() const;
 
   /// Representative center of the region (cube center / frustum axis

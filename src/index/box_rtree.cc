@@ -24,6 +24,8 @@ void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
     node.is_leaf = true;
     node.first_child = static_cast<uint32_t>(start);
     node.count = static_cast<uint32_t>(end - start);
+    node.entry_begin = static_cast<uint32_t>(start);
+    node.entry_end = static_cast<uint32_t>(end);
     for (size_t i = start; i < end; ++i) node.bounds.Extend(entry_boxes_[i]);
     level.push_back(static_cast<uint32_t>(nodes_.size()));
     nodes_.push_back(node);
@@ -37,6 +39,8 @@ void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
       node.is_leaf = false;
       node.first_child = level[start];
       node.count = static_cast<uint32_t>(end - start);
+      node.entry_begin = nodes_[level[start]].entry_begin;
+      node.entry_end = nodes_[level[end - 1]].entry_end;
       for (size_t i = start; i < end; ++i) {
         node.bounds.Extend(nodes_[level[i]].bounds);
       }
@@ -48,41 +52,70 @@ void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
   root_ = level[0];
 }
 
-template <typename Visitor>
-void BoxRTree::Visit(const Visitor& visit_entry, const Region* region,
-                     const Aabb* box) const {
+template <typename Overlaps, typename Contains>
+void BoxRTree::Walk(const Overlaps& overlaps, const Contains& contains,
+                    std::vector<uint32_t>* out) const {
   if (leaf_count_ == 0) return;
-  auto overlaps = [&](const Aabb& b) {
-    return region != nullptr ? region->Intersects(b) : box->Intersects(b);
-  };
-  std::vector<uint32_t> stack;
-  stack.push_back(root_);
-  while (!stack.empty()) {
-    const Node& node = nodes_[stack.back()];
-    stack.pop_back();
+  out->reserve(out->size() + kFanout);
+  // Iterative DFS over a fixed stack (no per-query allocation). Children
+  // are pushed in reverse so entries are emitted in bulk-load order.
+  uint32_t stack[kMaxTraversalStack];
+  size_t top = 0;
+  stack[top++] = root_;
+  while (top > 0) {
+    const Node& node = nodes_[stack[--top]];
     if (!overlaps(node.bounds)) continue;
+    if (contains(node.bounds)) {
+      // Whole subtree inside the query: batch-append its entry run.
+      out->insert(out->end(), entry_payloads_.begin() + node.entry_begin,
+                  entry_payloads_.begin() + node.entry_end);
+      continue;
+    }
     if (node.is_leaf) {
       for (uint32_t i = 0; i < node.count; ++i) {
         const uint32_t entry = node.first_child + i;
         if (overlaps(entry_boxes_[entry])) {
-          visit_entry(entry_payloads_[entry]);
+          out->push_back(entry_payloads_[entry]);
         }
       }
     } else {
-      // Children of an internal node are contiguous node indices.
-      for (uint32_t i = 0; i < node.count; ++i) {
-        stack.push_back(node.first_child + i);
+      assert(top + node.count <= kMaxTraversalStack);
+      for (uint32_t i = node.count; i > 0; --i) {
+        stack[top++] = node.first_child + i - 1;
       }
     }
   }
 }
 
 void BoxRTree::Query(const Region& region, std::vector<uint32_t>* out) const {
-  Visit([&](uint32_t payload) { out->push_back(payload); }, &region, nullptr);
+  if (region.is_box()) {
+    // Skip the per-node variant dispatch for the common cube aspect.
+    Query(region.box(), out);
+    return;
+  }
+  Walk([&](const Aabb& b) { return region.Intersects(b); },
+       [&](const Aabb& b) { return region.ContainsBox(b); }, out);
 }
 
 void BoxRTree::Query(const Aabb& box, std::vector<uint32_t>* out) const {
-  Visit([&](uint32_t payload) { out->push_back(payload); }, nullptr, &box);
+  if (box.IsEmpty()) return;
+  // Entry and node boxes are never empty (they bound real objects), and
+  // the query box was just checked, so the per-box IsEmpty gates inside
+  // Aabb::Intersects/Contains can be hoisted out of the walk.
+  const Vec3 qmin = box.min();
+  const Vec3 qmax = box.max();
+  Walk(
+      [&](const Aabb& b) {
+        return qmin.x <= b.max().x && qmax.x >= b.min().x &&
+               qmin.y <= b.max().y && qmax.y >= b.min().y &&
+               qmin.z <= b.max().z && qmax.z >= b.min().z;
+      },
+      [&](const Aabb& b) {
+        return qmin.x <= b.min().x && qmax.x >= b.max().x &&
+               qmin.y <= b.min().y && qmax.y >= b.max().y &&
+               qmin.z <= b.min().z && qmax.z >= b.max().z;
+      },
+      out);
 }
 
 bool BoxRTree::Nearest(const Vec3& p, uint32_t* payload) const {

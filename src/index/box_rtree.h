@@ -1,6 +1,7 @@
 #ifndef SCOUT_INDEX_BOX_RTREE_H_
 #define SCOUT_INDEX_BOX_RTREE_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -26,10 +27,15 @@ class BoxRTree {
   bool empty() const { return leaf_count_ == 0; }
   size_t NumEntries() const { return leaf_count_; }
 
-  /// Appends payloads of all entries whose box intersects the region.
+  /// Appends payloads of all entries whose box intersects the region, in
+  /// bulk-load entry order (so callers that pack entries with ascending
+  /// payloads — both index builders do — get sorted page ids for free).
+  /// Subtrees fully contained in the region are batch-appended without
+  /// per-entry tests.
   void Query(const Region& region, std::vector<uint32_t>* out) const;
 
-  /// Appends payloads of all entries whose box intersects `box`.
+  /// Appends payloads of all entries whose box intersects `box`, in
+  /// bulk-load entry order.
   void Query(const Aabb& box, std::vector<uint32_t>* out) const;
 
   /// Payload of the entry whose box is nearest to `p` (by box distance;
@@ -46,12 +52,25 @@ class BoxRTree {
     // into nodes_ (internal) or into entry arrays (leaf node).
     uint32_t first_child = 0;
     uint32_t count = 0;
+    // Entries covered by this subtree: [entry_begin, entry_end). The STR
+    // packing makes every subtree cover a contiguous entry run, which is
+    // what enables batch appends of fully-contained subtrees.
+    uint32_t entry_begin = 0;
+    uint32_t entry_end = 0;
     bool is_leaf = false;
   };
 
-  template <typename Visitor>
-  void Visit(const Visitor& visit_entry, const Region* region,
-             const Aabb* box) const;
+  // Upper bound on the explicit traversal stack: at most
+  // ceil(32 / log2(kFanout)) + 1 levels for 2^32 entries, each holding at
+  // most kFanout pending siblings. Tied to kFanout so raising the fanout
+  // cannot silently overflow Walk's fixed stack in release builds.
+  static constexpr size_t kMaxTreeLevels =
+      (32 + std::bit_width(kFanout) - 2) / (std::bit_width(kFanout) - 1) + 1;
+  static constexpr size_t kMaxTraversalStack = kMaxTreeLevels * kFanout;
+
+  template <typename Overlaps, typename Contains>
+  void Walk(const Overlaps& overlaps, const Contains& contains,
+            std::vector<uint32_t>* out) const;
 
   std::vector<Node> nodes_;
   std::vector<Aabb> entry_boxes_;

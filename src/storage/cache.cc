@@ -1,41 +1,127 @@
 #include "storage/cache.h"
 
+#include <algorithm>
+#include <bit>
+
 namespace scout {
 
+void PrefetchCache::EnsureStorage() {
+  if (!table_.empty() || capacity_pages_ == 0) return;
+  slots_.resize(capacity_pages_);
+  // Load factor <= 0.5 keeps linear-probe clusters short.
+  const size_t table_size =
+      std::bit_ceil(std::max<size_t>(capacity_pages_ * 2, 8));
+  table_.assign(table_size, kEmptyWord);
+  mask_ = table_size - 1;
+  shift_ = 64 - std::countr_zero(table_size);
+  for (size_t i = 0; i + 1 < slots_.size(); ++i) {
+    slots_[i].next = static_cast<uint32_t>(i + 1);
+  }
+  slots_.back().next = kNil;
+  free_head_ = 0;
+}
+
+void PrefetchCache::LinkFront(uint32_t slot) {
+  slots_[slot].prev = kNil;
+  slots_[slot].next = head_;
+  if (head_ != kNil) slots_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void PrefetchCache::Unlink(uint32_t slot) {
+  const Slot& s = slots_[slot];
+  if (s.prev != kNil) slots_[s.prev].next = s.next;
+  if (s.next != kNil) slots_[s.next].prev = s.prev;
+  if (head_ == slot) head_ = s.next;
+  if (tail_ == slot) tail_ = s.prev;
+}
+
+void PrefetchCache::RemoveTableEntry(size_t pos) {
+  table_[pos] = kEmptyWord;
+  size_t hole = pos;
+  size_t j = pos;
+  while (true) {
+    j = (j + 1) & mask_;
+    if (table_[j] == kEmptyWord) return;
+    const size_t ideal = HashPos(EntryPage(table_[j]));
+    // The entry at j may fill the hole iff the hole lies on its probe
+    // path, i.e. strictly closer (cyclically) to its ideal position.
+    if (((hole - ideal) & mask_) < ((j - ideal) & mask_)) {
+      table_[hole] = table_[j];
+      table_[j] = kEmptyWord;
+      hole = j;
+    }
+  }
+}
+
+void PrefetchCache::EvictTail() {
+  const uint32_t victim = tail_;
+  RemoveTableEntry(FindPos(slots_[victim].page));
+  Unlink(victim);
+  slots_[victim].page = kInvalidPageId;
+  slots_[victim].next = free_head_;
+  free_head_ = victim;
+  --num_pages_;
+  ++evictions_;
+}
+
 bool PrefetchCache::Insert(PageId page) {
-  if (kPageBytes > capacity_bytes_) return false;
-  auto it = entries_.find(page);
-  if (it != entries_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  if (capacity_pages_ == 0) return false;
+  EnsureStorage();
+  size_t pos = FindPos(page);
+  if (table_[pos] != kEmptyWord) {
+    MoveToFront(EntrySlot(table_[pos]));
     return true;
   }
-  while (size_bytes() + kPageBytes > capacity_bytes_) {
-    const PageId victim = lru_.back();
-    lru_.pop_back();
-    entries_.erase(victim);
-    ++evictions_;
+  if (num_pages_ >= capacity_pages_) {
+    EvictTail();
+    pos = FindPos(page);  // Eviction backward-shifts table entries.
   }
-  lru_.push_front(page);
-  entries_[page] = lru_.begin();
+  const uint32_t slot = free_head_;
+  free_head_ = slots_[slot].next;
+  slots_[slot].page = page;
+  LinkFront(slot);
+  table_[pos] = PackEntry(page, slot);
+  ++num_pages_;
   return true;
 }
 
 void PrefetchCache::Touch(PageId page) {
-  auto it = entries_.find(page);
-  if (it == entries_.end()) return;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  if (table_.empty()) return;
+  const size_t pos = FindPos(page);
+  if (table_[pos] != kEmptyWord) MoveToFront(EntrySlot(table_[pos]));
 }
 
 void PrefetchCache::Erase(PageId page) {
-  auto it = entries_.find(page);
-  if (it == entries_.end()) return;
-  lru_.erase(it->second);
-  entries_.erase(it);
+  if (table_.empty()) return;
+  const size_t pos = FindPos(page);
+  if (table_[pos] == kEmptyWord) return;
+  const uint32_t slot = EntrySlot(table_[pos]);
+  RemoveTableEntry(pos);
+  Unlink(slot);
+  slots_[slot].page = kInvalidPageId;
+  slots_[slot].next = free_head_;
+  free_head_ = slot;
+  --num_pages_;
 }
 
 void PrefetchCache::Clear() {
-  lru_.clear();
-  entries_.clear();
+  if (table_.empty()) {
+    num_pages_ = 0;
+    return;
+  }
+  std::fill(table_.begin(), table_.end(), kEmptyWord);
+  for (size_t i = 0; i + 1 < slots_.size(); ++i) {
+    slots_[i].page = kInvalidPageId;
+    slots_[i].next = static_cast<uint32_t>(i + 1);
+  }
+  slots_.back().page = kInvalidPageId;
+  slots_.back().next = kNil;
+  free_head_ = 0;
+  head_ = kNil;
+  tail_ = kNil;
+  num_pages_ = 0;
 }
 
 }  // namespace scout

@@ -2,8 +2,7 @@
 #define SCOUT_STORAGE_CACHE_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "storage/page.h"
 
@@ -14,16 +13,25 @@ namespace scout {
 /// scaled-down capacity). Pages inserted by the prefetcher are served to
 /// subsequent queries as cache hits; the cache-hit rate is the paper's
 /// primary accuracy metric.
+///
+/// Layout: one fixed slab of slots (page id + intrusive doubly-linked LRU
+/// order, slots never move) plus an open-addressed table of slot handles
+/// (linear probing, backward-shift deletion). No per-entry allocation and
+/// a single probe per Insert/Touch/Erase; storage is allocated lazily on
+/// the first insert so idle caches stay cheap.
 class PrefetchCache {
  public:
   explicit PrefetchCache(uint64_t capacity_bytes)
-      : capacity_bytes_(capacity_bytes) {}
+      : capacity_bytes_(capacity_bytes),
+        capacity_pages_(capacity_bytes / kPageBytes) {}
 
   PrefetchCache(const PrefetchCache&) = delete;
   PrefetchCache& operator=(const PrefetchCache&) = delete;
 
   /// True if the page is currently cached (does not touch LRU order).
-  bool Contains(PageId page) const { return entries_.contains(page); }
+  bool Contains(PageId page) const {
+    return !table_.empty() && table_[FindPos(page)] != kEmptyWord;
+  }
 
   /// Inserts a page (kPageBytes); evicts least-recently-used pages if the
   /// capacity is exceeded. Inserting an existing page refreshes its LRU
@@ -33,6 +41,17 @@ class PrefetchCache {
   /// Marks a page as recently used (call on every cache hit).
   void Touch(PageId page);
 
+  /// Combined hit test + LRU refresh in a single table probe: returns
+  /// true and marks the page recently used iff it is cached. This is the
+  /// executor's hot path for serving query pages.
+  bool TouchIfPresent(PageId page) {
+    if (table_.empty()) return false;
+    const uint64_t word = table_[FindPos(page)];
+    if (word == kEmptyWord) return false;
+    MoveToFront(EntrySlot(word));
+    return true;
+  }
+
   /// Removes a single page if present.
   void Erase(PageId page);
 
@@ -41,19 +60,83 @@ class PrefetchCache {
   void Clear();
 
   uint64_t capacity_bytes() const { return capacity_bytes_; }
-  uint64_t size_bytes() const {
-    return static_cast<uint64_t>(entries_.size()) * kPageBytes;
-  }
-  size_t NumPages() const { return entries_.size(); }
-  bool Full() const { return size_bytes() + kPageBytes > capacity_bytes_; }
+  uint64_t size_bytes() const { return num_pages_ * kPageBytes; }
+  size_t NumPages() const { return num_pages_; }
+
+  /// True when no further page fits. A capacity below one page is always
+  /// full (and never underflows: all arithmetic is in whole pages).
+  bool Full() const { return num_pages_ >= capacity_pages_; }
 
   uint64_t evictions() const { return evictions_; }
 
  private:
+  /// Slot handle / LRU-link sentinel ("no slot").
+  static constexpr uint32_t kNil = 0xffffffffu;
+  /// Empty hash-table word. Valid entries always carry a slot handle
+  /// below capacity, so the all-ones word is unambiguous.
+  static constexpr uint64_t kEmptyWord = ~0ull;
+
+  struct Slot {
+    PageId page = kInvalidPageId;
+    uint32_t prev = kNil;  ///< Towards MRU.
+    uint32_t next = kNil;  ///< Towards LRU; free-list link when free.
+  };
+
+  /// Hash-table words pack (page << 32 | slot) so a probe compares pages
+  /// without dereferencing the slab.
+  static constexpr uint64_t PackEntry(PageId page, uint32_t slot) {
+    return (static_cast<uint64_t>(page) << 32) | slot;
+  }
+  static constexpr PageId EntryPage(uint64_t word) {
+    return static_cast<PageId>(word >> 32);
+  }
+  static constexpr uint32_t EntrySlot(uint64_t word) {
+    return static_cast<uint32_t>(word);
+  }
+
+  /// Allocates the slab and hash table on first use.
+  void EnsureStorage();
+
+  size_t HashPos(PageId page) const {
+    // Fibonacci multiplicative hash onto the power-of-two table.
+    return static_cast<size_t>((page * 0x9e3779b97f4a7c15ull) >> shift_);
+  }
+
+  /// Probe position holding `page`, or the empty position where it would
+  /// be inserted. Requires storage to be allocated.
+  size_t FindPos(PageId page) const {
+    size_t pos = HashPos(page);
+    while (table_[pos] != kEmptyWord && EntryPage(table_[pos]) != page) {
+      pos = (pos + 1) & mask_;
+    }
+    return pos;
+  }
+
+  /// Empties table position `pos` and backward-shifts the cluster behind
+  /// it so linear probing stays correct without tombstones.
+  void RemoveTableEntry(size_t pos);
+
+  void LinkFront(uint32_t slot);
+  void Unlink(uint32_t slot);
+  void MoveToFront(uint32_t slot) {
+    if (head_ == slot) return;
+    Unlink(slot);
+    LinkFront(slot);
+  }
+
+  /// Evicts the LRU page (tail). Requires a non-empty cache.
+  void EvictTail();
+
   uint64_t capacity_bytes_;
-  // LRU list: front = most recent. Map holds iterators into the list.
-  std::list<PageId> lru_;
-  std::unordered_map<PageId, std::list<PageId>::iterator> entries_;
+  uint64_t capacity_pages_;
+  std::vector<Slot> slots_;      ///< Fixed slab, one slot per capacity page.
+  std::vector<uint64_t> table_;  ///< Open-addressed packed (page, slot).
+  size_t mask_ = 0;              ///< table_.size() - 1.
+  int shift_ = 0;                ///< 64 - log2(table_.size()).
+  uint32_t head_ = kNil;         ///< MRU slot.
+  uint32_t tail_ = kNil;         ///< LRU slot.
+  uint32_t free_head_ = kNil;    ///< Free-slot list through Slot::next.
+  uint64_t num_pages_ = 0;
   uint64_t evictions_ = 0;
 };
 

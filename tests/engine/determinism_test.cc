@@ -1,0 +1,153 @@
+/// Determinism regression tests: the whole engine runs on simulated time,
+/// so identical seeds must yield identical results — two RunSequence runs
+/// produce identical SequenceRunStats (excluding the wall_* diagnostic
+/// fields, which measure host time), and RunBatch is independent of the
+/// worker count and equivalent to RunGuidedExperiment.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/experiment.h"
+#include "index/rtree.h"
+#include "prefetch/scout_prefetcher.h"
+#include "workload/generators.h"
+
+namespace scout {
+namespace {
+
+/// Simulated-time equality of per-query stats. The wall_* fields are
+/// wall-clock diagnostics and legitimately differ between runs.
+void ExpectSameQueryStats(const QueryRunStats& a, const QueryRunStats& b,
+                          size_t query) {
+  SCOPED_TRACE(::testing::Message() << "query " << query);
+  EXPECT_EQ(a.pages_total, b.pages_total);
+  EXPECT_EQ(a.pages_hit, b.pages_hit);
+  EXPECT_EQ(a.result_objects, b.result_objects);
+  EXPECT_EQ(a.residual_io_us, b.residual_io_us);
+  EXPECT_EQ(a.response_us, b.response_us);
+  EXPECT_EQ(a.window_us, b.window_us);
+  EXPECT_EQ(a.observe_us, b.observe_us);
+  EXPECT_EQ(a.graph_build_us, b.graph_build_us);
+  EXPECT_EQ(a.prediction_us, b.prediction_us);
+  EXPECT_EQ(a.prefetch_pages, b.prefetch_pages);
+  EXPECT_EQ(a.graph_vertices, b.graph_vertices);
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+  EXPECT_EQ(a.graph_memory_bytes, b.graph_memory_bytes);
+  EXPECT_EQ(a.num_candidates, b.num_candidates);
+  EXPECT_EQ(a.was_reset, b.was_reset);
+}
+
+void ExpectSameExperimentResult(const ExperimentResult& a,
+                                const ExperimentResult& b) {
+  EXPECT_EQ(a.prefetcher_name, b.prefetcher_name);
+  EXPECT_EQ(a.hit_rate_pct, b.hit_rate_pct);
+  EXPECT_EQ(a.speedup, b.speedup);
+  EXPECT_EQ(a.total_response_us, b.total_response_us);
+  EXPECT_EQ(a.baseline_response_us, b.baseline_response_us);
+  EXPECT_EQ(a.total_residual_us, b.total_residual_us);
+  EXPECT_EQ(a.total_graph_build_us, b.total_graph_build_us);
+  EXPECT_EQ(a.total_prediction_us, b.total_prediction_us);
+  EXPECT_EQ(a.total_pages, b.total_pages);
+  EXPECT_EQ(a.total_hits, b.total_hits);
+  EXPECT_EQ(a.total_result_objects, b.total_result_objects);
+  EXPECT_EQ(a.num_sequences, b.num_sequences);
+  EXPECT_EQ(a.total_queries, b.total_queries);
+  EXPECT_EQ(a.total_resets, b.total_resets);
+  EXPECT_EQ(a.mean_pages_per_query, b.mean_pages_per_query);
+  EXPECT_EQ(a.seq_hit_rate.count(), b.seq_hit_rate.count());
+  EXPECT_EQ(a.seq_hit_rate.mean(), b.seq_hit_rate.mean());
+  EXPECT_EQ(a.seq_hit_rate.stddev(), b.seq_hit_rate.stddev());
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(
+        GenerateNeuronTissue(NeuronConfigForObjectCount(12000, /*seed=*/3)));
+    index_ = RTreeIndex::Build(dataset_->objects)->release();
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    index_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static QuerySequenceConfig QueryConfig() {
+    QuerySequenceConfig qcfg;
+    qcfg.num_queries = 15;
+    qcfg.query_volume = 20000.0;
+    return qcfg;
+  }
+
+  static ExecutorConfig ExecConfig() {
+    ExecutorConfig ecfg;
+    ecfg.cache_bytes = ScaledCacheBytes(index_->store());
+    ecfg.prefetch_window_ratio = 1.4;
+    return ecfg;
+  }
+
+  static Dataset* dataset_;
+  static RTreeIndex* index_;
+};
+
+Dataset* DeterminismTest::dataset_ = nullptr;
+RTreeIndex* DeterminismTest::index_ = nullptr;
+
+TEST_F(DeterminismTest, RunSequenceIsBitIdenticalAcrossRuns) {
+  Rng rng(42);
+  const GuidedSequence sequence =
+      GenerateGuidedSequence(*dataset_, QueryConfig(), &rng);
+  ASSERT_FALSE(sequence.queries.empty());
+
+  auto run_once = [&]() {
+    ScoutPrefetcher scout{ScoutConfig{}};
+    QueryExecutor executor(index_, &scout, ExecConfig());
+    return executor.RunSequence(sequence.queries);
+  };
+  const SequenceRunStats first = run_once();
+  const SequenceRunStats second = run_once();
+
+  ASSERT_EQ(first.queries.size(), second.queries.size());
+  for (size_t i = 0; i < first.queries.size(); ++i) {
+    ExpectSameQueryStats(first.queries[i], second.queries[i], i);
+  }
+  EXPECT_EQ(first.CacheHitRatePct(), second.CacheHitRatePct());
+  EXPECT_EQ(first.TotalResponseUs(), second.TotalResponseUs());
+}
+
+TEST_F(DeterminismTest, RunBatchMatchesRunGuidedExperiment) {
+  constexpr uint32_t kSequences = 4;
+  constexpr uint64_t kSeed = 9001;
+  ScoutPrefetcher scout{ScoutConfig{}};
+  const ExperimentResult guided =
+      RunGuidedExperiment(*dataset_, *index_, &scout, QueryConfig(),
+                          ExecConfig(), kSequences, kSeed);
+  const ExperimentResult batch = RunBatch(
+      *dataset_, *index_,
+      [] { return std::make_unique<ScoutPrefetcher>(ScoutConfig{}); },
+      QueryConfig(), ExecConfig(), kSequences, kSeed, /*num_workers=*/1);
+  ExpectSameExperimentResult(guided, batch);
+}
+
+TEST_F(DeterminismTest, RunBatchIsIndependentOfWorkerCount) {
+  constexpr uint32_t kSequences = 6;
+  constexpr uint64_t kSeed = 7777;
+  const auto factory = [] {
+    return std::make_unique<ScoutPrefetcher>(ScoutConfig{});
+  };
+  const ExperimentResult one = RunBatch(*dataset_, *index_, factory,
+                                        QueryConfig(), ExecConfig(),
+                                        kSequences, kSeed, /*num_workers=*/1);
+  for (uint32_t workers : {2u, 3u, 8u}) {
+    const ExperimentResult many =
+        RunBatch(*dataset_, *index_, factory, QueryConfig(), ExecConfig(),
+                 kSequences, kSeed, workers);
+    SCOPED_TRACE(::testing::Message() << workers << " workers");
+    ExpectSameExperimentResult(one, many);
+  }
+}
+
+}  // namespace
+}  // namespace scout

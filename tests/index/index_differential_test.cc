@@ -1,0 +1,104 @@
+/// Differential oracle test for the index layer: RTreeIndex and FlatIndex
+/// lay out the same objects on different pages, but for any query region
+/// the *object coverage* of their result pages must be identical — and
+/// must match a brute-force scan over all objects (the ground-truth
+/// oracle). Runs 1k randomized queries (cubes and frustums) over seeded
+/// random datasets, guarding the traversal rework of the query core.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/flat_index.h"
+#include "index/rtree.h"
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::MakeRandomObjects;
+
+/// Object ids whose bounds the region intersects, collected through the
+/// pages the index reports (page -> object coverage).
+std::set<ObjectId> CoveredObjects(const SpatialIndex& index,
+                                  const Region& region) {
+  std::vector<PageId> pages;
+  index.QueryPages(region, &pages);
+  // The traversal contract: ascending page ids, no duplicates.
+  EXPECT_TRUE(std::is_sorted(pages.begin(), pages.end()));
+  EXPECT_TRUE(std::adjacent_find(pages.begin(), pages.end()) == pages.end());
+  std::set<ObjectId> ids;
+  for (PageId page : pages) {
+    for (const SpatialObject& obj : index.store().page(page).objects) {
+      if (region.Intersects(obj.Bounds())) ids.insert(obj.id);
+    }
+  }
+  return ids;
+}
+
+/// Ground truth: brute-force scan over every object.
+std::set<ObjectId> BruteForceObjects(const std::vector<SpatialObject>& objects,
+                                     const Region& region) {
+  std::set<ObjectId> ids;
+  for (const SpatialObject& obj : objects) {
+    if (region.Intersects(obj.Bounds())) ids.insert(obj.id);
+  }
+  return ids;
+}
+
+class IndexDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexDifferentialTest, RTreeMatchesFlatAndOracleOnRandomQueries) {
+  const uint64_t dataset_seed = GetParam();
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(120, 120, 120));
+  const std::vector<SpatialObject> objects =
+      MakeRandomObjects(15000, bounds, dataset_seed);
+
+  auto rtree_or = RTreeIndex::Build(objects);
+  auto flat_or = FlatIndex::Build(objects);
+  ASSERT_TRUE(rtree_or.ok());
+  ASSERT_TRUE(flat_or.ok());
+  const auto& rtree = *rtree_or.value();
+  const auto& flat = *flat_or.value();
+
+  Rng rng(dataset_seed * 7919 + 1);
+  constexpr int kQueriesPerDataset = 340;
+  size_t nonempty = 0;
+  for (int q = 0; q < kQueriesPerDataset; ++q) {
+    const Vec3 center(rng.Uniform(-10, 130), rng.Uniform(-10, 130),
+                      rng.Uniform(-10, 130));
+    // Volumes from tiny (sub-page) to large (thousands of objects).
+    const double volume = rng.Uniform(10.0, 40000.0);
+    Region region;
+    if (q % 3 == 0) {
+      Vec3 dir(rng.Gaussian(0, 1), rng.Gaussian(0, 1), rng.Gaussian(0, 1));
+      if (dir == Vec3()) dir = Vec3(1, 0, 0);
+      region = Region::FrustumAt(center, dir, volume);
+    } else {
+      region = Region::CubeAt(center, volume);
+    }
+
+    const std::set<ObjectId> via_rtree = CoveredObjects(rtree, region);
+    const std::set<ObjectId> via_flat = CoveredObjects(flat, region);
+    const std::set<ObjectId> oracle = BruteForceObjects(objects, region);
+
+    ASSERT_EQ(via_rtree, via_flat)
+        << "rtree/flat coverage diverged on query " << q << " (seed "
+        << dataset_seed << ")";
+    ASSERT_EQ(via_rtree, oracle)
+        << "index coverage missed objects on query " << q << " (seed "
+        << dataset_seed << ")";
+    if (!oracle.empty()) ++nonempty;
+  }
+  // The query mix must actually exercise the indexes.
+  EXPECT_GT(nonempty, static_cast<size_t>(kQueriesPerDataset / 2));
+}
+
+// 3 datasets x 340 queries = 1020 randomized differential checks.
+INSTANTIATE_TEST_SUITE_P(SeededDatasets, IndexDifferentialTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace scout

@@ -82,8 +82,53 @@ TEST(CacheTest, FullSignal) {
 
 TEST(CacheTest, ZeroCapacityRejectsInserts) {
   PrefetchCache cache(0);
+  EXPECT_TRUE(cache.Full());  // Nothing can ever fit.
   EXPECT_FALSE(cache.Insert(1));
   EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  cache.Touch(1);  // No-ops must not crash on an unallocated cache.
+  cache.Erase(1);
+  cache.Clear();
+  EXPECT_EQ(cache.NumPages(), 0u);
+}
+
+TEST(CacheTest, SubPageCapacityIsAlwaysFullAndRejectsInserts) {
+  // A capacity below one page can never hold anything; Full() must say so
+  // without underflowing (all capacity arithmetic is in whole pages).
+  PrefetchCache cache(kPageBytes - 1);
+  EXPECT_TRUE(cache.Full());
+  EXPECT_FALSE(cache.Insert(7));
+  EXPECT_FALSE(cache.Contains(7));
+  EXPECT_EQ(cache.NumPages(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Touch(7);
+  cache.Erase(7);
+  cache.Clear();
+  EXPECT_TRUE(cache.Full());
+}
+
+TEST(CacheTest, OnePageCapacityKeepsOnlyTheNewestPage) {
+  PrefetchCache cache(kPageBytes);
+  EXPECT_FALSE(cache.Full());
+  EXPECT_TRUE(cache.Insert(1));
+  EXPECT_TRUE(cache.Full());
+  EXPECT_TRUE(cache.Insert(2));  // Evicts 1.
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_EQ(cache.NumPages(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Insert(2));  // Refresh, no eviction.
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(CacheTest, OddCapacityRoundsDownToWholePages) {
+  PrefetchCache cache(2 * kPageBytes + kPageBytes / 2);
+  EXPECT_TRUE(cache.Insert(1));
+  EXPECT_TRUE(cache.Insert(2));
+  EXPECT_TRUE(cache.Full());  // 2.5 pages of capacity hold 2 pages.
+  cache.Insert(3);
+  EXPECT_EQ(cache.NumPages(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
 }
 
 TEST(CacheTest, ManyInsertionsBoundedBySize) {
