@@ -8,6 +8,7 @@
 #include "geom/hilbert.h"
 #include "graph/graph_builder.h"
 #include "graph/kmeans.h"
+#include "graph/traversal.h"
 #include "index/flat_index.h"
 #include "index/rtree.h"
 #include "storage/cache.h"
@@ -80,6 +81,32 @@ void BM_GraphGridHash(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_GraphGridHash)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_GraphCsrTraverse(benchmark::State& state) {
+  // Full exit-finding traversal (LabelComponents consumer shape) over the
+  // finalized CSR adjacency — the read side of the observe hot path.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(43, 43, 43));
+  const auto objects = benchsupport::RandomObjects(n, bounds, 3);
+  std::vector<GraphInput> inputs;
+  for (const auto& obj : objects) inputs.push_back(GraphInput{&obj, 0});
+  SpatialGraph graph;
+  BuildGraphGridHash(inputs, bounds, 32768, &graph);
+  uint32_t num_components = 0;
+  const std::vector<uint32_t> component_of =
+      LabelComponents(graph, &num_components);
+  const Region region(Aabb(Vec3(2, 2, 2), Vec3(41, 41, 41)));
+  std::vector<ExitPoint> exits;
+  for (auto _ : state) {
+    exits.clear();
+    const TraversalStats stats =
+        FindExits(graph, component_of, region, {}, &exits);
+    benchmark::DoNotOptimize(stats.edges_traversed);
+    benchmark::DoNotOptimize(exits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GraphCsrTraverse)->Arg(512)->Arg(2048);
 
 void BM_GraphBruteForce(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

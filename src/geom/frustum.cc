@@ -75,6 +75,18 @@ void Frustum::ComputePlanes() {
     planes_[2 + i].normal = n;
     planes_[2 + i].d = -n.Dot(apex_);
   }
+
+  // Precompute each plane's p-vertex sign mask and the corner hull, so
+  // the box tests need no per-call normal-sign branches and directory
+  // walks can reject far-away boxes on the bounds alone.
+  for (int i = 0; i < 6; ++i) {
+    const Vec3& n = planes_[i].normal;
+    pmask_[i] = static_cast<uint8_t>((n.x >= 0 ? 1 : 0) |
+                                     (n.y >= 0 ? 2 : 0) |
+                                     (n.z >= 0 ? 4 : 0));
+  }
+  bounds_ = Aabb();
+  for (const Vec3& c : Corners()) bounds_.Extend(c);
 }
 
 bool Frustum::Contains(const Vec3& p) const {
@@ -86,26 +98,48 @@ bool Frustum::Contains(const Vec3& p) const {
 
 bool Frustum::Intersects(const Aabb& box) const {
   if (box.IsEmpty()) return false;
-  for (const Plane& plane : planes_) {
-    // Find the box corner most aligned with the plane normal (p-vertex);
-    // if even that corner is outside, the whole box is outside.
-    const Vec3 p(plane.normal.x >= 0 ? box.max().x : box.min().x,
-                 plane.normal.y >= 0 ? box.max().y : box.min().y,
-                 plane.normal.z >= 0 ? box.max().z : box.min().z);
+  const Vec3& bmin = box.min();
+  const Vec3& bmax = box.max();
+  for (int i = 0; i < 6; ++i) {
+    // The box corner most aligned with the plane normal (the p-vertex,
+    // via the precomputed sign mask); if even that corner is outside,
+    // the whole box is outside.
+    const Plane& plane = planes_[i];
+    const uint8_t m = pmask_[i];
+    const Vec3 p((m & 1) ? bmax.x : bmin.x, (m & 2) ? bmax.y : bmin.y,
+                 (m & 4) ? bmax.z : bmin.z);
     if (plane.normal.Dot(p) + plane.d < 0.0) return false;
   }
   return true;
 }
 
+bool Frustum::IntersectsPrefiltered(const Aabb& box) const {
+  if (box.IsEmpty()) return false;
+  const Vec3& bmin = box.min();
+  const Vec3& bmax = box.max();
+  // AABB prefilter: the frustum lies inside bounds_, so a box disjoint
+  // from bounds_ cannot intersect it; the first comparison already
+  // rejects most directory-walk candidates.
+  if (bmax.x < bounds_.min().x || bmin.x > bounds_.max().x ||
+      bmax.y < bounds_.min().y || bmin.y > bounds_.max().y ||
+      bmax.z < bounds_.min().z || bmin.z > bounds_.max().z) {
+    return false;
+  }
+  return Intersects(box);
+}
+
 bool Frustum::ContainsBox(const Aabb& box) const {
   if (box.IsEmpty()) return false;
-  for (const Plane& plane : planes_) {
-    // The corner least aligned with the plane normal (n-vertex); if it is
-    // inside the plane, every corner is.
-    const Vec3 n(plane.normal.x >= 0 ? box.min().x : box.max().x,
-                 plane.normal.y >= 0 ? box.min().y : box.max().y,
-                 plane.normal.z >= 0 ? box.min().z : box.max().z);
-    if (plane.normal.Dot(n) + plane.d < 0.0) return false;
+  const Vec3& bmin = box.min();
+  const Vec3& bmax = box.max();
+  for (int i = 0; i < 6; ++i) {
+    // The corner least aligned with the plane normal (the n-vertex,
+    // inverted sign mask); if it is inside the plane, every corner is.
+    const Plane& plane = planes_[i];
+    const uint8_t m = pmask_[i];
+    const Vec3 nv((m & 1) ? bmin.x : bmax.x, (m & 2) ? bmin.y : bmax.y,
+                  (m & 4) ? bmin.z : bmax.z);
+    if (plane.normal.Dot(nv) + plane.d < 0.0) return false;
   }
   return true;
 }
@@ -125,12 +159,6 @@ std::array<Vec3, 8> Frustum::Corners() const {
     }
   }
   return corners;
-}
-
-Aabb Frustum::Bounds() const {
-  Aabb box;
-  for (const Vec3& c : Corners()) box.Extend(c);
-  return box;
 }
 
 double Frustum::Volume() const {

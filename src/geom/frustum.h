@@ -2,6 +2,7 @@
 #define SCOUT_GEOM_FRUSTUM_H_
 
 #include <array>
+#include <cstdint>
 
 #include "geom/aabb.h"
 #include "geom/vec3.h"
@@ -15,7 +16,10 @@ namespace scout {
 /// rectangle (square cross-section).
 class Frustum {
  public:
-  Frustum() = default;
+  /// Unit default frustum (apex at the origin looking along +z, far
+  /// distance 1). Planes and cached bounds are fully initialized, so a
+  /// default-constructed frustum behaves like any other.
+  Frustum() { ComputePlanes(); }
 
   /// Builds a frustum from `apex` looking along `dir` (need not be
   /// normalized). The cross-section is square, growing linearly from
@@ -33,21 +37,36 @@ class Frustum {
   const Vec3& direction() const { return dir_; }
   double near_distance() const { return near_; }
   double far_distance() const { return far_; }
+  double near_half_extent() const { return near_half_; }
+  double far_half_extent() const { return far_half_; }
 
   /// Exact point-containment test against the six planes.
   bool Contains(const Vec3& p) const;
 
   /// Conservative frustum-box overlap: false only if the box is entirely
   /// outside one of the six planes (the standard culling test; may report
-  /// rare false positives, never false negatives).
+  /// rare false positives, never false negatives). The loop picks each
+  /// plane's p-vertex through a precomputed sign mask instead of
+  /// re-testing normal signs per call.
   bool Intersects(const Aabb& box) const;
 
+  /// Tighter conservative overlap test: Intersects() preceded by an AABB
+  /// prefilter on the frustum's corner hull, so boxes away from the
+  /// frustum are rejected with as little as one comparison. Still never a
+  /// false negative, but it filters the rare plane-test false positives
+  /// (boxes that straddle the near/far slab far outside the hull), so its
+  /// accept set is a strict subset of Intersects(). Index walks keep
+  /// using Intersects() until the perf baselines are re-seeded — swapping
+  /// the test changes query results and therefore simulated outcomes.
+  bool IntersectsPrefiltered(const Aabb& box) const;
+
   /// Exact full-containment test: true iff every corner of the box lies
-  /// inside all six planes (the frustum is their intersection).
+  /// inside all six planes (the frustum is their intersection). Uses the
+  /// precomputed n-vertex (min-dot corner) per plane.
   bool ContainsBox(const Aabb& box) const;
 
-  /// Bounding box of the eight corners.
-  Aabb Bounds() const;
+  /// Bounding box of the eight corners (precomputed at construction).
+  const Aabb& Bounds() const { return bounds_; }
 
   /// Exact volume of the frustum (prismatoid formula).
   double Volume() const;
@@ -76,6 +95,11 @@ class Frustum {
   double near_half_ = 0.5;
   double far_half_ = 1.0;
   std::array<Plane, 6> planes_;
+  // Bit i of pmask_[p] is set iff planes_[p].normal's i-th component is
+  // >= 0; selects the p-vertex (and, inverted, the n-vertex) of a box
+  // without re-testing normal signs per call.
+  std::array<uint8_t, 6> pmask_{};
+  Aabb bounds_;  // Corner hull, cached for Bounds() and the prefilter.
 };
 
 }  // namespace scout

@@ -1,6 +1,5 @@
 #include "graph/graph_builder.h"
 
-#include <algorithm>
 #include <unordered_map>
 
 #include "geom/grid.h"
@@ -11,6 +10,7 @@ namespace {
 
 // Adds all inputs as vertices; returns the count.
 VertexId AddVertices(std::span<const GraphInput> inputs, SpatialGraph* graph) {
+  graph->ReserveVertices(inputs.size());
   for (const GraphInput& in : inputs) {
     GraphVertex v;
     v.object_id = in.object->id;
@@ -20,6 +20,66 @@ VertexId AddVertices(std::span<const GraphInput> inputs, SpatialGraph* graph) {
   }
   return static_cast<VertexId>(inputs.size());
 }
+
+// 64-bit finalizer (splitmix64) used to hash grid-cell keys and packed
+// edge keys into the open-addressed tables below.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline size_t NextPow2(size_t v) {
+  size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Open-addressed set of undirected edges packed as (min << 32) | max,
+// used to dedup cell-pair edges during the sweep (min < max always, so
+// the all-ones key is free to mark empty slots). Linear probing, grows by
+// rehashing at ~70% load.
+class EdgeSet {
+ public:
+  explicit EdgeSet(size_t expected) {
+    capacity_ = NextPow2(expected * 2);
+    slots_.assign(capacity_, kEmpty);
+  }
+
+  // Returns true if the edge was not present yet.
+  bool Insert(uint64_t key) {
+    if ((size_ + 1) * 10 >= capacity_ * 7) Grow();
+    uint64_t* slot = FindSlot(slots_.data(), capacity_, key);
+    if (*slot == key) return false;
+    *slot = key;
+    ++size_;
+    return true;
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = ~0ull;
+
+  static uint64_t* FindSlot(uint64_t* slots, size_t capacity, uint64_t key) {
+    const size_t mask = capacity - 1;
+    size_t i = Mix64(key) & mask;
+    while (slots[i] != kEmpty && slots[i] != key) i = (i + 1) & mask;
+    return &slots[i];
+  }
+
+  void Grow() {
+    std::vector<uint64_t> grown(capacity_ * 2, kEmpty);
+    for (uint64_t key : slots_) {
+      if (key != kEmpty) *FindSlot(grown.data(), grown.size(), key) = key;
+    }
+    slots_.swap(grown);
+    capacity_ = slots_.size();
+  }
+
+  std::vector<uint64_t> slots_;
+  size_t capacity_;
+  size_t size_ = 0;
+};
 
 }  // namespace
 
@@ -31,36 +91,91 @@ GraphBuildStats BuildGraphGridHash(std::span<const GraphInput> inputs,
   AddVertices(inputs, graph);
 
   const UniformGrid grid = UniformGrid::WithTotalCells(bounds, total_cells);
+  const uint32_t n = static_cast<uint32_t>(inputs.size());
 
-  // Map cell -> vertices that touch it. A hash map keeps memory
-  // proportional to occupied cells, not total cells.
-  std::unordered_map<int64_t, std::vector<VertexId>> buckets;
-  buckets.reserve(inputs.size() * 2);
-  std::vector<int64_t> cells;
-  for (VertexId v = 0; v < inputs.size(); ++v) {
-    cells.clear();
-    grid.CellsAlongSegment(graph->vertex(v).line, &cells);
+  // Hash every vertex line to the cells it traverses, into one contiguous
+  // (cell, vertex) arena: cell ids are appended per vertex and
+  // cell_end[v] marks the end of vertex v's run. Reading the lines out of
+  // the vertex array once into a flat segment array keeps the DDA walks
+  // streaming over 48-byte segments instead of striding 72-byte vertices.
+  std::vector<Segment> lines(n);
+  for (uint32_t v = 0; v < n; ++v) lines[v] = graph->vertex(v).line;
+
+  std::vector<int64_t> cell_arena;
+  cell_arena.reserve(static_cast<size_t>(n) * 4);
+  std::vector<uint32_t> cell_end(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    grid.CellsAlongSegment(lines[v], &cell_arena);
     ++stats.objects_hashed;
-    for (int64_t cell : cells) {
-      buckets[cell].push_back(v);
-      ++stats.cell_inserts;
+    cell_end[v] = static_cast<uint32_t>(cell_arena.size());
+  }
+  stats.cell_inserts = cell_arena.size();
+
+  // Assign each distinct occupied cell a dense id through a flat
+  // open-addressed table (memory stays proportional to occupied cells,
+  // like the hash-map it replaces, but with no per-bucket allocations).
+  const size_t table_cap = NextPow2(cell_arena.size() * 2);
+  const size_t table_mask = table_cap - 1;
+  std::vector<int64_t> table_keys(table_cap, -1);
+  std::vector<uint32_t> table_ids(table_cap);
+  std::vector<uint32_t> dense(cell_arena.size());
+  std::vector<uint32_t> cell_counts;
+  for (size_t i = 0; i < cell_arena.size(); ++i) {
+    const int64_t cell = cell_arena[i];
+    size_t slot = Mix64(static_cast<uint64_t>(cell)) & table_mask;
+    while (table_keys[slot] != -1 && table_keys[slot] != cell) {
+      slot = (slot + 1) & table_mask;
+    }
+    if (table_keys[slot] == -1) {
+      table_keys[slot] = cell;
+      table_ids[slot] = static_cast<uint32_t>(cell_counts.size());
+      cell_counts.push_back(0);
+    }
+    dense[i] = table_ids[slot];
+    ++cell_counts[dense[i]];
+  }
+
+  // Counting-sort the arena into per-cell member runs. Vertices are
+  // scanned in ascending order and the DDA emits each cell of a segment
+  // once, so every run comes out sorted and duplicate-free — the
+  // per-bucket sort + unique of the old map-based builder is implicit.
+  const size_t num_cells = cell_counts.size();
+  std::vector<uint32_t> cell_offsets(num_cells + 1, 0);
+  for (size_t c = 0; c < num_cells; ++c) {
+    cell_offsets[c + 1] = cell_offsets[c] + cell_counts[c];
+  }
+  std::vector<VertexId> members(cell_arena.size());
+  {
+    std::vector<uint32_t> cursor(cell_offsets.begin(), cell_offsets.end() - 1);
+    uint32_t begin = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint32_t i = begin; i < cell_end[v]; ++i) {
+        members[cursor[dense[i]]++] = v;
+      }
+      begin = cell_end[v];
     }
   }
 
   // Objects mapped to the same cell are connected pairwise (Figure 4).
-  for (auto& [cell, members] : buckets) {
-    (void)cell;
-    std::sort(members.begin(), members.end());
-    members.erase(std::unique(members.begin(), members.end()), members.end());
-    for (size_t i = 0; i < members.size(); ++i) {
-      for (size_t j = i + 1; j < members.size(); ++j) {
+  // Cell-pair edges are dedup'ed during the sweep; the work counters
+  // still count every considered pair (identical to the pre-CSR builder,
+  // which created all of them and dedup'ed afterwards).
+  EdgeSet seen(static_cast<size_t>(n) * 2);
+  for (size_t c = 0; c < num_cells; ++c) {
+    const uint32_t begin = cell_offsets[c];
+    const uint32_t end = cell_offsets[c + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      const uint64_t hi = static_cast<uint64_t>(members[i]) << 32;
+      for (uint32_t j = i + 1; j < end; ++j) {
         ++stats.pair_comparisons;
-        graph->AddEdge(members[i], members[j]);
         ++stats.edges_created;
+        if (seen.Insert(hi | members[j])) {
+          graph->AddEdge(members[i], members[j]);
+        }
       }
     }
   }
-  graph->DedupEdges();
+  graph->Finalize();
   return stats;
 }
 
@@ -79,7 +194,7 @@ GraphBuildStats BuildGraphBruteForce(std::span<const GraphInput> inputs,
       }
     }
   }
-  graph->DedupEdges();
+  graph->Finalize();
   return stats;
 }
 
@@ -102,7 +217,7 @@ GraphBuildStats BuildGraphExplicit(
     graph->AddEdge(ia->second, ib->second);
     ++stats.edges_created;
   }
-  graph->DedupEdges();
+  graph->Finalize();
   return stats;
 }
 

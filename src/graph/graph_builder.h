@@ -16,12 +16,16 @@ namespace scout {
 /// Work counters produced while building / traversing graphs. The engine
 /// converts these into simulated CPU time through a CostModel, and tests
 /// use them to verify algorithmic behaviour (e.g. sparse construction
-/// doing strictly less work).
+/// doing strictly less work). The counters are part of the deterministic
+/// simulation contract: for identical inputs they must not change across
+/// implementations (graph_stats_guard_test pins them), so `edges_created`
+/// keeps counting every considered pair even though the builders now
+/// dedup edges during the sweep instead of afterwards.
 struct GraphBuildStats {
   uint64_t objects_hashed = 0;   ///< Objects mapped to grid cells.
   uint64_t cell_inserts = 0;     ///< (object, cell) insertions.
   uint64_t pair_comparisons = 0; ///< Pairwise connections considered.
-  uint64_t edges_created = 0;    ///< Edges added (before dedup).
+  uint64_t edges_created = 0;    ///< Edge creations (pre-dedup count).
 
   GraphBuildStats& operator+=(const GraphBuildStats& o) {
     objects_hashed += o.objects_hashed;
@@ -49,7 +53,11 @@ struct GraphInput {
 /// bounds) is partitioned into ~`total_cells` equi-volume cells; every
 /// object's line simplification is mapped to the cells it traverses and
 /// objects sharing a cell are connected. Returns stats for cost
-/// accounting.
+/// accounting. The returned graph is finalized (CSR, read-only).
+///
+/// Implementation: one contiguous (cell, vertex) arena + a flat
+/// open-addressed cell table (no per-bucket vectors), with cell-pair
+/// edges dedup'ed during the sweep through an open-addressed edge set.
 ///
 /// The resolution knob reproduces Figure 13(e): too coarse creates excess
 /// edges (false structures), too fine leaves the graph disconnected.

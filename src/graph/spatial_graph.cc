@@ -4,29 +4,62 @@
 
 namespace scout {
 
-void SpatialGraph::DedupEdges() {
-  size_t directed = 0;
-  for (auto& list : adjacency_) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
-    directed += list.size();
+void SpatialGraph::Finalize() {
+  // Idempotent: a second call must not rebuild from the (now released)
+  // edge buffer and silently drop the adjacency in NDEBUG builds.
+  if (finalized_) return;
+  const size_t n = vertices_.size();
+  offsets_.assign(n + 1, 0);
+
+  // Dedup: edges are packed (min << 32) | max, so one sort + unique over
+  // the flat buffer removes parallel edges in both orientations.
+  std::sort(pending_edges_.begin(), pending_edges_.end());
+  pending_edges_.erase(
+      std::unique(pending_edges_.begin(), pending_edges_.end()),
+      pending_edges_.end());
+  num_edges_ = pending_edges_.size();
+
+  // Count degrees, then prefix-sum into CSR offsets.
+  for (uint64_t e : pending_edges_) {
+    ++offsets_[(e >> 32) + 1];
+    ++offsets_[(e & 0xffffffffu) + 1];
   }
-  num_edges_ = directed / 2;
+  for (size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  neighbors_.resize(2 * num_edges_);
+
+  // Two scatter passes over the sorted edges leave every neighbor run
+  // sorted without a per-run sort: pass 1 appends each vertex's smaller
+  // neighbors (for fixed max, mins ascend in the sorted order), pass 2
+  // its larger neighbors (for fixed min, maxes are contiguous ascending),
+  // and every pass-1 value < v < every pass-2 value.
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint64_t e : pending_edges_) {
+    neighbors_[cursor[e & 0xffffffffu]++] = static_cast<VertexId>(e >> 32);
+  }
+  for (uint64_t e : pending_edges_) {
+    neighbors_[cursor[e >> 32]++] = static_cast<VertexId>(e & 0xffffffffu);
+  }
+
+  pending_edges_.clear();
+  pending_edges_.shrink_to_fit();
+  finalized_ = true;
 }
 
 size_t SpatialGraph::MemoryBytes() const {
-  size_t bytes = vertices_.size() * sizeof(GraphVertex);
-  bytes += adjacency_.size() * sizeof(std::vector<VertexId>);
-  for (const auto& list : adjacency_) {
-    bytes += list.capacity() * sizeof(VertexId);
-  }
+  size_t bytes = vertices_.capacity() * sizeof(GraphVertex);
+  bytes += offsets_.capacity() * sizeof(uint32_t);
+  bytes += neighbors_.capacity() * sizeof(VertexId);
+  bytes += pending_edges_.capacity() * sizeof(uint64_t);
   return bytes;
 }
 
 void SpatialGraph::Clear() {
   vertices_.clear();
-  adjacency_.clear();
+  pending_edges_.clear();
+  offsets_.clear();
+  neighbors_.clear();
   num_edges_ = 0;
+  finalized_ = false;
 }
 
 std::vector<uint32_t> LabelComponents(const SpatialGraph& graph,

@@ -1,7 +1,10 @@
 #ifndef SCOUT_GRAPH_SPATIAL_GRAPH_H_
 #define SCOUT_GRAPH_SPATIAL_GRAPH_H_
 
+#include <cassert>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "geom/segment.h"
@@ -25,55 +28,84 @@ struct GraphVertex {
 
 /// The approximate graph SCOUT builds from a query result: vertices are
 /// objects, edges connect objects that hashed to a common grid cell (or
-/// that are explicitly adjacent, for mesh datasets). Stored as a compact
-/// adjacency list; memory usage is part of the paper's evaluation
-/// (§8.2: ~24% of result size for SCOUT, ~6% for SCOUT-OPT).
+/// that are explicitly adjacent, for mesh datasets).
+///
+/// The adjacency is stored in CSR form (an offsets array plus one flat
+/// neighbor array) because the graph is built once per query and then
+/// only read: construction buffers undirected edges, and Finalize()
+/// compacts them into sorted, dedup'ed per-vertex neighbor runs. The
+/// two-phase contract is strict: AddVertex/AddEdge only before
+/// Finalize(), neighbors() only after. Memory usage is part of the
+/// paper's evaluation (§8.2: ~24% of result size for SCOUT, ~6% for
+/// SCOUT-OPT); MemoryBytes() reports the CSR arrays exactly.
 class SpatialGraph {
  public:
   SpatialGraph() = default;
 
-  /// Adds a vertex and returns its dense id.
+  /// Pre-sizes the vertex array (so MemoryBytes reports no growth slack).
+  void ReserveVertices(size_t n) { vertices_.reserve(n); }
+
+  /// Adds a vertex and returns its dense id. Only valid before Finalize().
   VertexId AddVertex(const GraphVertex& v) {
+    assert(!finalized_);
     vertices_.push_back(v);
-    adjacency_.emplace_back();
     return static_cast<VertexId>(vertices_.size() - 1);
   }
 
-  /// Adds an undirected edge. Duplicate edges may be inserted during grid
-  /// hashing; call DedupEdges() once after construction.
+  /// Buffers an undirected edge. Self-loops are ignored; duplicates are
+  /// removed by Finalize(). Only valid before Finalize().
   void AddEdge(VertexId a, VertexId b) {
+    assert(!finalized_);
     if (a == b) return;
-    adjacency_[a].push_back(b);
-    adjacency_[b].push_back(a);
-    num_edges_ += 1;
+    if (a > b) std::swap(a, b);
+    pending_edges_.push_back((static_cast<uint64_t>(a) << 32) | b);
   }
 
-  /// Sorts adjacency lists and removes duplicate edges.
-  void DedupEdges();
+  /// Builds the CSR adjacency from the buffered edges: per-vertex
+  /// neighbor runs, sorted ascending, duplicate edges removed. After the
+  /// first call the graph is read-only; further calls are no-ops.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
 
   size_t NumVertices() const { return vertices_.size(); }
-  /// Number of undirected edges (after DedupEdges this is exact).
-  size_t NumEdges() const { return num_edges_; }
 
-  const GraphVertex& vertex(VertexId v) const { return vertices_[v]; }
-  const std::vector<VertexId>& neighbors(VertexId v) const {
-    return adjacency_[v];
+  /// Number of undirected edges. Exact (dedup'ed) after Finalize();
+  /// before that it counts buffered edges, duplicates included.
+  size_t NumEdges() const {
+    return finalized_ ? num_edges_ : pending_edges_.size();
   }
 
-  /// Approximate heap footprint of the adjacency structure in bytes
-  /// (vertices + edge endpoints), for the memory-overhead experiment.
+  const GraphVertex& vertex(VertexId v) const { return vertices_[v]; }
+
+  /// Neighbors of `v` in ascending order. Only valid after Finalize().
+  std::span<const VertexId> neighbors(VertexId v) const {
+    assert(finalized_);
+    return std::span<const VertexId>(neighbors_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Heap footprint of the graph in bytes (vertices + CSR offsets +
+  /// neighbor array), for the §8.2 memory-overhead experiment.
   size_t MemoryBytes() const;
 
   void Clear();
 
  private:
   std::vector<GraphVertex> vertices_;
-  std::vector<std::vector<VertexId>> adjacency_;
+  // Construction buffer: undirected edges packed as (min << 32) | max.
+  // Finalize() releases it.
+  std::vector<uint64_t> pending_edges_;
+  // CSR adjacency: neighbors of v live at neighbors_[offsets_[v] ..
+  // offsets_[v + 1]).
+  std::vector<uint32_t> offsets_;
+  std::vector<VertexId> neighbors_;
   size_t num_edges_ = 0;
+  bool finalized_ = false;
 };
 
 /// Connected-component labeling. Returns the component id of every vertex
-/// (ids are dense, in [0, *num_components)).
+/// (ids are dense, in [0, *num_components)). Requires a finalized graph.
 std::vector<uint32_t> LabelComponents(const SpatialGraph& graph,
                                       uint32_t* num_components);
 

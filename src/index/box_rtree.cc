@@ -93,8 +93,11 @@ void BoxRTree::Query(const Region& region, std::vector<uint32_t>* out) const {
     Query(region.box(), out);
     return;
   }
-  Walk([&](const Aabb& b) { return region.Intersects(b); },
-       [&](const Aabb& b) { return region.ContainsBox(b); }, out);
+  // Frustum aspect: bind the frustum once so the walk hits the p-vertex
+  // fast path directly instead of re-dispatching the variant per node.
+  const Frustum& frustum = region.frustum();
+  Walk([&](const Aabb& b) { return frustum.Intersects(b); },
+       [&](const Aabb& b) { return frustum.ContainsBox(b); }, out);
 }
 
 void BoxRTree::Query(const Aabb& box, std::vector<uint32_t>* out) const {

@@ -43,6 +43,7 @@ GraphBuildStats ScoutPrefetcher::BuildResultGraph(
     GraphBuildStats stats;
     std::unordered_map<ObjectId, VertexId> by_object;
     by_object.reserve(result.objects.size() * 2);
+    graph->ReserveVertices(result.objects.size());
     for (const GraphInput& in : result.objects) {
       GraphVertex v;
       v.object_id = in.object->id;
@@ -64,7 +65,7 @@ GraphBuildStats ScoutPrefetcher::BuildResultGraph(
       }
       ++stats.objects_hashed;
     }
-    graph->DedupEdges();
+    graph->Finalize();
     return stats;
   }
   if (config_.use_brute_force_graph) {

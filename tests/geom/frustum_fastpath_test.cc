@@ -1,0 +1,188 @@
+/// Property tests of the precomputed p-vertex/n-vertex frustum-box fast
+/// paths: agreement with a plane-by-plane reference that re-derives the
+/// six planes from the public parameters and picks p-vertices by
+/// branching on normal signs per call (the pre-optimization formulation),
+/// on boxes inside / outside / straddling every plane. Also pins the
+/// relations between Intersects, IntersectsPrefiltered, ContainsBox and
+/// corner containment.
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/frustum.h"
+
+namespace scout {
+namespace {
+
+struct RefPlane {
+  Vec3 normal;
+  double d = 0.0;
+};
+
+// Re-derives the six planes exactly as Frustum::ComputePlanes does, from
+// the public accessors (the lateral basis mirrors MakeBasis).
+std::array<RefPlane, 6> ReferencePlanes(const Frustum& f) {
+  const Vec3 dir = f.direction();
+  const Vec3 helper = std::abs(dir.x) < 0.9 ? Vec3(1, 0, 0) : Vec3(0, 1, 0);
+  const Vec3 right = dir.Cross(helper).Normalized();
+  const Vec3 up = right.Cross(dir).Normalized();
+
+  std::array<RefPlane, 6> planes;
+  planes[0].normal = dir;
+  planes[0].d = -dir.Dot(f.apex() + dir * f.near_distance());
+  planes[1].normal = -dir;
+  planes[1].d = dir.Dot(f.apex() + dir * f.far_distance());
+  const double slope = f.far_half_extent() / f.far_distance();
+  const std::array<Vec3, 4> lateral = {right, -right, up, -up};
+  for (int i = 0; i < 4; ++i) {
+    const Vec3 n = (dir * slope - lateral[i]).Normalized();
+    planes[2 + i].normal = n;
+    planes[2 + i].d = -n.Dot(f.apex());
+  }
+  return planes;
+}
+
+// The pre-optimization box test: per plane, pick the p-vertex by testing
+// the normal's signs on every call.
+bool ReferenceIntersects(const std::array<RefPlane, 6>& planes,
+                         const Aabb& box) {
+  if (box.IsEmpty()) return false;
+  for (const RefPlane& plane : planes) {
+    const Vec3 p(plane.normal.x >= 0 ? box.max().x : box.min().x,
+                 plane.normal.y >= 0 ? box.max().y : box.min().y,
+                 plane.normal.z >= 0 ? box.max().z : box.min().z);
+    if (plane.normal.Dot(p) + plane.d < 0.0) return false;
+  }
+  return true;
+}
+
+std::vector<Frustum> TestFrustums() {
+  return {
+      Frustum(Vec3(0, 0, 0), Vec3(0, 0, 1), 1.0, 5.0, 0.5, 2.5),
+      Frustum(Vec3(10, -4, 2), Vec3(1, 1, 0), 2.0, 9.0, 1.0, 4.5),
+      Frustum::WithVolume(Vec3(5, 5, 5), Vec3(1, 2, 3), 4000.0),
+      Frustum::WithVolume(Vec3(-8, 3, 0), Vec3(-1, 0.2, -0.5), 800.0),
+  };
+}
+
+// Boxes of many sizes centered inside, outside and straddling every
+// plane: centers are sampled around each plane's boundary along its
+// normal, plus uniform samples over an enclosing volume.
+std::vector<Aabb> TestBoxes(const Frustum& f, Rng* rng) {
+  const std::array<RefPlane, 6> planes = ReferencePlanes(f);
+  std::vector<Aabb> boxes;
+  const double scale =
+      std::max(1.0, f.far_distance() - f.near_distance());
+  for (const RefPlane& plane : planes) {
+    // A point on the plane, offset into the frustum's axis region so the
+    // samples exercise the actual boundary, not the plane at infinity.
+    const Vec3 anchor =
+        f.Centroid() - plane.normal * (plane.normal.Dot(f.Centroid()) +
+                                       plane.d);
+    for (double offset : {-0.8, -0.2, -0.01, 0.0, 0.01, 0.2, 0.8}) {
+      for (double half : {0.05, 0.4, 1.5}) {
+        const Vec3 center = anchor + plane.normal * (offset * scale) +
+                            Vec3(rng->Gaussian(0, 0.3 * scale),
+                                 rng->Gaussian(0, 0.3 * scale),
+                                 rng->Gaussian(0, 0.3 * scale));
+        boxes.push_back(Aabb::FromCenterHalfExtents(
+            center, Vec3(half, half, half) * scale));
+      }
+    }
+  }
+  const Aabb around = f.Bounds().Expanded(2.0 * scale);
+  for (int i = 0; i < 400; ++i) {
+    const Vec3 c(rng->Uniform(around.min().x, around.max().x),
+                 rng->Uniform(around.min().y, around.max().y),
+                 rng->Uniform(around.min().z, around.max().z));
+    const Vec3 half(rng->Uniform(0.01, 1.0) * scale,
+                    rng->Uniform(0.01, 1.0) * scale,
+                    rng->Uniform(0.01, 1.0) * scale);
+    boxes.push_back(Aabb::FromCenterHalfExtents(c, half));
+  }
+  return boxes;
+}
+
+TEST(FrustumFastPathTest, PVertexMaskAgreesWithPlaneByPlaneReference) {
+  Rng rng(2024);
+  for (const Frustum& f : TestFrustums()) {
+    const std::array<RefPlane, 6> planes = ReferencePlanes(f);
+    int hits = 0;
+    const std::vector<Aabb> boxes = TestBoxes(f, &rng);
+    for (const Aabb& box : boxes) {
+      const bool expected = ReferenceIntersects(planes, box);
+      EXPECT_EQ(f.Intersects(box), expected)
+          << box.ToString() << " vs reference";
+      hits += expected;
+    }
+    // Sanity: the sample covered both outcomes.
+    EXPECT_GT(hits, 20);
+    EXPECT_LT(hits, static_cast<int>(boxes.size()) - 20);
+  }
+}
+
+TEST(FrustumFastPathTest, PrefilteredIsBoundsOverlapAndPlanes) {
+  Rng rng(2025);
+  for (const Frustum& f : TestFrustums()) {
+    for (const Aabb& box : TestBoxes(f, &rng)) {
+      EXPECT_EQ(f.IntersectsPrefiltered(box),
+                f.Bounds().Intersects(box) && f.Intersects(box))
+          << box.ToString();
+    }
+  }
+}
+
+// The prefilter may only remove plane-test false positives: wherever a
+// point of the frustum is actually covered, both tests must say yes.
+TEST(FrustumFastPathTest, PrefilteredNeverFalseNegative) {
+  Rng rng(2026);
+  for (const Frustum& f : TestFrustums()) {
+    const Aabb bounds = f.Bounds();
+    int inside = 0;
+    for (int i = 0; i < 3000; ++i) {
+      const Vec3 p(rng.Uniform(bounds.min().x, bounds.max().x),
+                   rng.Uniform(bounds.min().y, bounds.max().y),
+                   rng.Uniform(bounds.min().z, bounds.max().z));
+      if (!f.Contains(p)) continue;
+      ++inside;
+      const Aabb tiny =
+          Aabb::FromCenterHalfExtents(p, Vec3(0.01, 0.01, 0.01));
+      EXPECT_TRUE(f.Intersects(tiny)) << p.ToString();
+      EXPECT_TRUE(f.IntersectsPrefiltered(tiny)) << p.ToString();
+    }
+    EXPECT_GT(inside, 100);
+  }
+}
+
+TEST(FrustumFastPathTest, ContainsBoxMatchesAllCornersAndImpliesIntersects) {
+  Rng rng(2027);
+  for (const Frustum& f : TestFrustums()) {
+    int contained = 0;
+    for (const Aabb& box : TestBoxes(f, &rng)) {
+      const Vec3& mn = box.min();
+      const Vec3& mx = box.max();
+      bool all_corners = true;
+      for (int c = 0; c < 8; ++c) {
+        const Vec3 corner(c & 1 ? mx.x : mn.x, c & 2 ? mx.y : mn.y,
+                          c & 4 ? mx.z : mn.z);
+        all_corners = all_corners && f.Contains(corner);
+      }
+      // The n-vertex is the min-dot corner per plane, so the fast path is
+      // exactly the all-corners test.
+      EXPECT_EQ(f.ContainsBox(box), all_corners) << box.ToString();
+      if (f.ContainsBox(box)) {
+        ++contained;
+        EXPECT_TRUE(f.Intersects(box)) << box.ToString();
+        EXPECT_TRUE(f.IntersectsPrefiltered(box)) << box.ToString();
+      }
+    }
+    EXPECT_GT(contained, 0);
+  }
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,235 @@
+/// Differential tests of the graph layer: the grid-hash builder against
+/// the brute-force oracle (edge recall/precision), the CSR adjacency
+/// against a reference vector<vector> build (exact neighbor-set
+/// equality), and LabelComponents against a reference union-find — all on
+/// randomized fixed-seed inputs, so the flat-table/CSR rewrite stays
+/// pinned to the semantics of the straightforward implementations.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/grid.h"
+#include "graph/graph_builder.h"
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::MakeFiber;
+using testing::MakeRandomObjects;
+
+std::vector<GraphInput> ToInputs(const std::vector<SpatialObject>& objects) {
+  std::vector<GraphInput> inputs;
+  inputs.reserve(objects.size());
+  for (const SpatialObject& obj : objects) {
+    inputs.push_back(GraphInput{&obj, 0});
+  }
+  return inputs;
+}
+
+// Mixed workload: several wiggly fibers (chained, touching segments) plus
+// scattered clutter, like a query result over neuron tissue.
+std::vector<SpatialObject> FibersAndClutter(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SpatialObject> objects;
+  for (int f = 0; f < 6; ++f) {
+    const Vec3 start(rng.Uniform(2, 20), rng.Uniform(2, 20),
+                     rng.Uniform(2, 20));
+    const Vec3 dir(rng.Gaussian(0, 1), rng.Gaussian(0, 1),
+                   rng.Gaussian(0, 1));
+    const std::vector<SpatialObject> fiber =
+        MakeFiber(start, dir, 12, 2.0, objects.size(),
+                  static_cast<StructureId>(f), /*seed=*/seed + f);
+    objects.insert(objects.end(), fiber.begin(), fiber.end());
+  }
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(40, 40, 40));
+  std::vector<SpatialObject> clutter =
+      MakeRandomObjects(60, bounds, seed + 100);
+  for (SpatialObject& obj : clutter) {
+    obj.id += objects.size();
+    objects.push_back(obj);
+  }
+  return objects;
+}
+
+std::set<std::pair<VertexId, VertexId>> EdgeSetOf(const SpatialGraph& g) {
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      edges.emplace(std::min(v, u), std::max(v, u));
+    }
+  }
+  return edges;
+}
+
+// Every pair of objects whose segments touch (the brute-force oracle at
+// epsilon ~ 0) shares at least one grid cell, so the grid-hash graph must
+// contain every oracle edge: recall is exact, not statistical.
+TEST(GraphDifferentialTest, GridHashRecallsAllTouchingPairs) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    const std::vector<SpatialObject> objects = FibersAndClutter(seed);
+    const std::vector<GraphInput> inputs = ToInputs(objects);
+    Aabb bounds;
+    for (const SpatialObject& obj : objects) bounds.Extend(obj.Bounds());
+    bounds = bounds.Expanded(1.0);
+
+    SpatialGraph grid;
+    BuildGraphGridHash(inputs, bounds, 32768, &grid);
+    SpatialGraph oracle;
+    BuildGraphBruteForce(inputs, /*epsilon=*/1e-9, &oracle);
+    ASSERT_GT(oracle.NumEdges(), 0u) << "oracle found nothing at seed "
+                                     << seed;
+
+    const auto grid_edges = EdgeSetOf(grid);
+    for (const auto& e : EdgeSetOf(oracle)) {
+      EXPECT_TRUE(grid_edges.contains(e))
+          << "touching pair (" << e.first << ", " << e.second
+          << ") missing from grid-hash graph at seed " << seed;
+    }
+  }
+}
+
+// Precision bound: objects connected by grid hashing shared a cell, so
+// their segments are within one cell diagonal of each other.
+TEST(GraphDifferentialTest, GridHashEdgesAreWithinCellDiagonal) {
+  const std::vector<SpatialObject> objects = FibersAndClutter(44);
+  const std::vector<GraphInput> inputs = ToInputs(objects);
+  Aabb bounds;
+  for (const SpatialObject& obj : objects) bounds.Extend(obj.Bounds());
+  bounds = bounds.Expanded(1.0);
+  const int64_t total_cells = 32768;
+
+  SpatialGraph grid;
+  BuildGraphGridHash(inputs, bounds, total_cells, &grid);
+  const Vec3 cell = UniformGrid::WithTotalCells(bounds, total_cells)
+                        .CellSize();
+  const double diagonal = cell.Norm();
+  for (const auto& [a, b] : EdgeSetOf(grid)) {
+    EXPECT_LE(
+        grid.vertex(a).line.DistanceTo(grid.vertex(b).line), diagonal)
+        << "edge (" << a << ", " << b << ")";
+  }
+}
+
+// The CSR adjacency must equal a reference vector<vector> adjacency built
+// from the same randomized edge stream (duplicates, both orientations,
+// self-loops): sorted, dedup'ed, self-loop-free neighbor runs.
+TEST(GraphDifferentialTest, CsrMatchesReferenceAdjacency) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    Rng rng(seed);
+    const uint32_t n = 2 + static_cast<uint32_t>(rng.NextBounded(120));
+    const uint32_t m = static_cast<uint32_t>(rng.NextBounded(600));
+
+    SpatialGraph g;
+    for (uint32_t v = 0; v < n; ++v) {
+      GraphVertex vertex;
+      vertex.object_id = v;
+      g.AddVertex(vertex);
+    }
+    std::vector<std::vector<VertexId>> reference(n);
+    std::set<std::pair<VertexId, VertexId>> unique_edges;
+    for (uint32_t e = 0; e < m; ++e) {
+      const VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+      g.AddEdge(a, b);
+      if (a == b) continue;
+      reference[a].push_back(b);
+      reference[b].push_back(a);
+      unique_edges.emplace(std::min(a, b), std::max(a, b));
+    }
+    g.Finalize();
+
+    EXPECT_EQ(g.NumEdges(), unique_edges.size());
+    for (VertexId v = 0; v < n; ++v) {
+      std::sort(reference[v].begin(), reference[v].end());
+      reference[v].erase(
+          std::unique(reference[v].begin(), reference[v].end()),
+          reference[v].end());
+      const auto got = g.neighbors(v);
+      ASSERT_EQ(got.size(), reference[v].size()) << "vertex " << v;
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), reference[v].begin()))
+          << "vertex " << v;
+    }
+  }
+}
+
+// LabelComponents on the CSR graph must produce the same partition as a
+// reference union-find over the raw edge list, with dense first-seen ids.
+TEST(GraphDifferentialTest, LabelComponentsMatchesUnionFind) {
+  for (uint64_t seed : {13u, 14u}) {
+    Rng rng(seed);
+    const uint32_t n = 2 + static_cast<uint32_t>(rng.NextBounded(200));
+    const uint32_t m = static_cast<uint32_t>(rng.NextBounded(220));
+
+    SpatialGraph g;
+    for (uint32_t v = 0; v < n; ++v) g.AddVertex(GraphVertex{});
+    std::vector<uint32_t> parent(n);
+    for (uint32_t v = 0; v < n; ++v) parent[v] = v;
+    auto find = [&](uint32_t v) {
+      while (parent[v] != v) v = parent[v] = parent[parent[v]];
+      return v;
+    };
+    for (uint32_t e = 0; e < m; ++e) {
+      const VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+      g.AddEdge(a, b);
+      if (a != b) parent[find(a)] = find(b);
+    }
+    g.Finalize();
+
+    uint32_t num_components = 0;
+    const std::vector<uint32_t> label = LabelComponents(g, &num_components);
+    // Same partition…
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint32_t u = v + 1; u < n; ++u) {
+        EXPECT_EQ(label[v] == label[u], find(v) == find(u))
+            << "vertices " << v << ", " << u;
+      }
+    }
+    // …with dense ids assigned in first-seen vertex order.
+    uint32_t next_expected = 0;
+    std::vector<char> seen(num_components, 0);
+    for (uint32_t v = 0; v < n; ++v) {
+      ASSERT_LT(label[v], num_components);
+      if (!seen[label[v]]) {
+        EXPECT_EQ(label[v], next_expected++);
+        seen[label[v]] = 1;
+      }
+    }
+    EXPECT_EQ(next_expected, num_components);
+  }
+}
+
+// The component labeling is invariant under the order edges were added:
+// Finalize canonicalizes the adjacency, so a scrambled insertion order
+// yields bit-identical labels.
+TEST(GraphDifferentialTest, LabelsInvariantUnderEdgeInsertionOrder) {
+  Rng rng(21);
+  const uint32_t n = 150;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (uint32_t e = 0; e < 300; ++e) {
+    edges.emplace_back(static_cast<VertexId>(rng.NextBounded(n)),
+                       static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  auto build = [&](const std::vector<std::pair<VertexId, VertexId>>& list) {
+    SpatialGraph g;
+    for (uint32_t v = 0; v < n; ++v) g.AddVertex(GraphVertex{});
+    for (const auto& [a, b] : list) g.AddEdge(a, b);
+    g.Finalize();
+    uint32_t count = 0;
+    return LabelComponents(g, &count);
+  };
+  const std::vector<uint32_t> forward = build(edges);
+  std::vector<std::pair<VertexId, VertexId>> scrambled(edges.rbegin(),
+                                                       edges.rend());
+  // Also flip every orientation.
+  for (auto& [a, b] : scrambled) std::swap(a, b);
+  EXPECT_EQ(forward, build(scrambled));
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,109 @@
+/// Deterministic work-counter guard (tier1): pins the exact
+/// GraphBuildStats counters of the grid-hash builder for a fixed-seed
+/// scenario. The counters feed CostModel::GraphBuildCost, i.e. simulated
+/// prediction time, so an algorithmic regression (or an accidental
+/// semantics change in a rewrite) fails this test loudly instead of
+/// hiding inside ±10% wall-clock noise. If a future PR deliberately
+/// changes the algorithm's work profile, it must re-pin these constants
+/// and re-seed the perf baselines in the same change.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+using testing::MakeFiber;
+using testing::MakeRandomObjects;
+
+// Fixed-seed scenario: four fibers threading through uniform clutter.
+std::vector<SpatialObject> GuardScenario() {
+  std::vector<SpatialObject> objects;
+  for (int f = 0; f < 4; ++f) {
+    const std::vector<SpatialObject> fiber =
+        MakeFiber(Vec3(3.0 + 4.0 * f, 2.0, 2.0 + 3.0 * f), Vec3(1, 0.3, 0.2),
+                  20, 2.0, objects.size(), static_cast<StructureId>(f),
+                  /*seed=*/60 + f);
+    objects.insert(objects.end(), fiber.begin(), fiber.end());
+  }
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  std::vector<SpatialObject> clutter =
+      MakeRandomObjects(120, bounds, /*seed=*/17);
+  for (SpatialObject& obj : clutter) {
+    obj.id += objects.size();
+    objects.push_back(obj);
+  }
+  return objects;
+}
+
+TEST(GraphStatsGuardTest, GridHashCountersArePinned) {
+  const std::vector<SpatialObject> objects = GuardScenario();
+  std::vector<GraphInput> inputs;
+  for (const SpatialObject& obj : objects) {
+    inputs.push_back(GraphInput{&obj, 0});
+  }
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  SpatialGraph graph;
+  const GraphBuildStats stats =
+      BuildGraphGridHash(inputs, bounds, 32768, &graph);
+
+  // Golden values for this exact scenario, recorded on the CI toolchain
+  // (x86-64, -O2). The cell counts derive from FP grid walks, so a
+  // toolchain with different FP contraction (e.g. fused FMA) could move
+  // a boundary-grazing segment by one cell — like the committed
+  // simulated results in BENCH_baseline.json, the exact values assume
+  // that codegen. Across reruns and refactors on one toolchain they are
+  // exact, and they may only shrink with an intentional algorithm
+  // change (see file comment).
+  EXPECT_EQ(stats.objects_hashed, 200u);
+  EXPECT_EQ(stats.cell_inserts, 555u);
+  EXPECT_EQ(stats.pair_comparisons, 83u);
+  EXPECT_EQ(stats.edges_created, 83u);
+  EXPECT_EQ(graph.NumVertices(), 200u);
+  // 83 considered pairs contain one duplicate (a pair sharing two cells).
+  EXPECT_EQ(graph.NumEdges(), 82u);
+}
+
+TEST(GraphStatsGuardTest, CountersDeterministicAcrossReruns) {
+  const std::vector<SpatialObject> objects = GuardScenario();
+  std::vector<GraphInput> inputs;
+  for (const SpatialObject& obj : objects) {
+    inputs.push_back(GraphInput{&obj, 0});
+  }
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  GraphBuildStats first;
+  for (int run = 0; run < 3; ++run) {
+    SpatialGraph graph;
+    const GraphBuildStats stats =
+        BuildGraphGridHash(inputs, bounds, 32768, &graph);
+    if (run == 0) {
+      first = stats;
+    } else {
+      EXPECT_EQ(stats.objects_hashed, first.objects_hashed);
+      EXPECT_EQ(stats.cell_inserts, first.cell_inserts);
+      EXPECT_EQ(stats.pair_comparisons, first.pair_comparisons);
+      EXPECT_EQ(stats.edges_created, first.edges_created);
+    }
+  }
+}
+
+TEST(GraphStatsGuardTest, BruteForceCountersAreAnalytic) {
+  const std::vector<SpatialObject> objects = GuardScenario();
+  std::vector<GraphInput> inputs;
+  for (const SpatialObject& obj : objects) {
+    inputs.push_back(GraphInput{&obj, 0});
+  }
+  SpatialGraph graph;
+  const GraphBuildStats stats =
+      BuildGraphBruteForce(inputs, /*epsilon=*/0.5, &graph);
+  const uint64_t n = objects.size();
+  EXPECT_EQ(stats.pair_comparisons, n * (n - 1) / 2);
+  // Brute force enumerates each unordered pair once, so created edges
+  // are already unique: Finalize must not drop any.
+  EXPECT_EQ(graph.NumEdges(), stats.edges_created);
+}
+
+}  // namespace
+}  // namespace scout

@@ -20,30 +20,52 @@ TEST(SpatialGraphTest, AddVerticesAndEdges) {
   EXPECT_EQ(g.NumVertices(), 3u);
   g.AddEdge(a, b);
   g.AddEdge(b, c);
-  g.DedupEdges();
+  g.Finalize();
+  EXPECT_TRUE(g.finalized());
   EXPECT_EQ(g.NumEdges(), 2u);
   EXPECT_EQ(g.neighbors(b).size(), 2u);
   EXPECT_EQ(g.neighbors(a).size(), 1u);
+  EXPECT_EQ(g.neighbors(a)[0], b);
 }
 
 TEST(SpatialGraphTest, SelfLoopsIgnored) {
   SpatialGraph g;
   const VertexId a = g.AddVertex(V(0));
   g.AddEdge(a, a);
-  g.DedupEdges();
+  g.Finalize();
   EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.neighbors(a).empty());
 }
 
-TEST(SpatialGraphTest, DedupRemovesParallelEdges) {
+TEST(SpatialGraphTest, FinalizeRemovesParallelEdges) {
   SpatialGraph g;
   const VertexId a = g.AddVertex(V(0));
   const VertexId b = g.AddVertex(V(1));
   g.AddEdge(a, b);
   g.AddEdge(a, b);
-  g.AddEdge(b, a);
-  g.DedupEdges();
+  g.AddEdge(b, a);  // Same undirected edge in the other orientation.
+  EXPECT_EQ(g.NumEdges(), 3u);  // Buffered count, duplicates included.
+  g.Finalize();
   EXPECT_EQ(g.NumEdges(), 1u);
   EXPECT_EQ(g.neighbors(a).size(), 1u);
+  EXPECT_EQ(g.neighbors(b).size(), 1u);
+}
+
+TEST(SpatialGraphTest, NeighborsAreSortedAscending) {
+  SpatialGraph g;
+  for (int i = 0; i < 6; ++i) g.AddVertex(V(i));
+  // Insert edges of vertex 3 in scrambled order and both orientations.
+  g.AddEdge(3, 5);
+  g.AddEdge(0, 3);
+  g.AddEdge(4, 3);
+  g.AddEdge(3, 1);
+  g.Finalize();
+  const auto nb = g.neighbors(3);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 1u);
+  EXPECT_EQ(nb[2], 4u);
+  EXPECT_EQ(nb[3], 5u);
 }
 
 TEST(SpatialGraphTest, MemoryBytesGrowsWithContent) {
@@ -51,23 +73,50 @@ TEST(SpatialGraphTest, MemoryBytesGrowsWithContent) {
   const size_t empty = g.MemoryBytes();
   for (int i = 0; i < 100; ++i) g.AddVertex(V(i));
   for (int i = 0; i + 1 < 100; ++i) g.AddEdge(i, i + 1);
+  g.Finalize();
   EXPECT_GT(g.MemoryBytes(), empty + 100 * sizeof(GraphVertex));
 }
 
-TEST(SpatialGraphTest, ClearResets) {
+TEST(SpatialGraphTest, MemoryBytesReportsCsrTightly) {
+  SpatialGraph g;
+  g.ReserveVertices(10);
+  for (int i = 0; i < 10; ++i) g.AddVertex(V(i));
+  for (int i = 0; i + 1 < 10; ++i) g.AddEdge(i, i + 1);
+  g.Finalize();
+  // 10 vertices + 11 offsets + 2 * 9 directed neighbor entries. The
+  // lower bound is exact; the upper bound allows a little allocator
+  // slack (shrink_to_fit is non-binding, assign/resize may round up) but
+  // still fails if the construction buffer or per-vertex vectors were
+  // left behind.
+  const size_t csr_bytes = 10 * sizeof(GraphVertex) +
+                           11 * sizeof(uint32_t) + 18 * sizeof(VertexId);
+  EXPECT_GE(g.MemoryBytes(), csr_bytes);
+  EXPECT_LE(g.MemoryBytes(), csr_bytes + 128);
+}
+
+TEST(SpatialGraphTest, ClearResetsAndAllowsRebuild) {
   SpatialGraph g;
   g.AddVertex(V(0));
   g.AddVertex(V(1));
   g.AddEdge(0, 1);
+  g.Finalize();
   g.Clear();
   EXPECT_EQ(g.NumVertices(), 0u);
   EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_FALSE(g.finalized());
+  // A cleared graph accepts a fresh build cycle.
+  g.AddVertex(V(2));
+  g.AddVertex(V(3));
+  g.AddEdge(0, 1);
+  g.Finalize();
+  EXPECT_EQ(g.NumEdges(), 1u);
 }
 
 TEST(ComponentsTest, ChainIsOneComponent) {
   SpatialGraph g;
   for (int i = 0; i < 10; ++i) g.AddVertex(V(i));
   for (int i = 0; i + 1 < 10; ++i) g.AddEdge(i, i + 1);
+  g.Finalize();
   uint32_t count = 0;
   const std::vector<uint32_t> label = LabelComponents(g, &count);
   EXPECT_EQ(count, 1u);
@@ -83,6 +132,7 @@ TEST(ComponentsTest, DisjointPiecesGetDistinctLabels) {
   g.AddEdge(3, 4);
   g.AddEdge(6, 7);
   g.AddEdge(7, 8);
+  g.Finalize();
   uint32_t count = 0;
   const std::vector<uint32_t> label = LabelComponents(g, &count);
   EXPECT_EQ(count, 4u);
@@ -95,6 +145,7 @@ TEST(ComponentsTest, DisjointPiecesGetDistinctLabels) {
 
 TEST(ComponentsTest, EmptyGraph) {
   SpatialGraph g;
+  g.Finalize();
   uint32_t count = 7;
   EXPECT_TRUE(LabelComponents(g, &count).empty());
   EXPECT_EQ(count, 0u);

@@ -19,7 +19,7 @@ SpatialGraph ChainGraph(const std::vector<SpatialObject>& fiber) {
     g.AddVertex(v);
   }
   for (VertexId i = 0; i + 1 < g.NumVertices(); ++i) g.AddEdge(i, i + 1);
-  g.DedupEdges();
+  g.Finalize();
   return g;
 }
 
@@ -51,6 +51,7 @@ TEST(TraversalTest, ExitDirectionPointsOutward) {
   GraphVertex v;
   v.line = Segment(Vec3(9, 5, 5), Vec3(12, 5, 5));  // Leaves through x=10.
   g.AddVertex(v);
+  g.Finalize();
   const Region region = Region(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)));
   std::vector<uint32_t> comp = {0};
   std::vector<ExitPoint> exits;
@@ -62,20 +63,24 @@ TEST(TraversalTest, ExitDirectionPointsOutward) {
 
 TEST(TraversalTest, SeededTraversalOnlyVisitsReachable) {
   // Two disjoint chains; seeding in one must not visit the other.
-  std::vector<SpatialObject> fiber_a =
+  // (Everything is added before the single Finalize(): the CSR graph is
+  // read-only afterwards.)
+  std::vector<SpatialObject> objects =
       MakeFiber(Vec3(0, 2, 2), Vec3(1, 0, 0), 10, 2.0, 0, 0);
-  SpatialGraph g = ChainGraph(fiber_a);
-  // Second chain: vertices 10..19, no edges to the first.
   const std::vector<SpatialObject> fiber_b =
       MakeFiber(Vec3(0, 8, 8), Vec3(1, 0, 0), 10, 2.0, 100, 1);
-  for (const SpatialObject& obj : fiber_b) {
+  objects.insert(objects.end(), fiber_b.begin(), fiber_b.end());
+  SpatialGraph g;
+  for (const SpatialObject& obj : objects) {
     GraphVertex v;
     v.object_id = obj.id;
     v.line = obj.geom.AsLine();
     g.AddVertex(v);
   }
+  // Chain edges within each fiber; none across: vertices 0..9 and 10..19.
+  for (VertexId i = 0; i + 1 < 10; ++i) g.AddEdge(i, i + 1);
   for (VertexId i = 10; i + 1 < 20; ++i) g.AddEdge(i, i + 1);
-  g.DedupEdges();
+  g.Finalize();
 
   uint32_t num_components = 0;
   const std::vector<uint32_t> comp = LabelComponents(g, &num_components);
@@ -138,6 +143,7 @@ TEST(TraversalTest, EnteringVerticesFiltersBySourceSide) {
   GraphVertex from_top;
   from_top.line = Segment(Vec3(5, 12, 5), Vec3(5, 8, 5));
   g.AddVertex(from_top);
+  g.Finalize();
 
   const Region region = Region(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10)));
   const Aabb source(Vec3(-10, 0, 0), Vec3(0, 10, 10));  // Left of region.
