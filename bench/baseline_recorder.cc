@@ -98,28 +98,16 @@ class Recorder {
 /// Figure/ablation scenarios: one representative fixed-seed workload per
 /// bench target (the full sweeps live in the bench binaries themselves;
 /// the recorder pins one point of each so regressions are attributable).
-void RecordFigScenarios(Recorder* rec) {
-  NeuronStack stack(rec->scale().neuron_objects, /*seed=*/1);
+void RecordFigScenarios(Recorder* rec, NeuronStack& stack) {
   PrefetcherSet set(stack.dataset.bounds);
   const PageStore& store = stack.rtree->store();
 
-  auto spec_of = [](const char* name) -> const MicrobenchSpec& {
-    for (const MicrobenchSpec& s : kMicrobenchmarks) {
-      if (s.name == name) return s;
-    }
-    // A silent fallback would record the wrong workload under a stale
-    // label and corrupt the perf trajectory — fail loudly instead.
-    std::fprintf(stderr, "baseline_recorder: unknown microbench spec '%s'\n",
-                 name);
-    std::abort();
-  };
-
-  const MicrobenchSpec& adhoc_stat = spec_of("adhoc-stat");
-  const MicrobenchSpec& adhoc_pattern = spec_of("adhoc-pattern");
-  const MicrobenchSpec& model_building = spec_of("model-building");
-  const MicrobenchSpec& vis_high = spec_of("vis-high-quality");
-  const MicrobenchSpec& vis_low = spec_of("vis-low-quality");
-  const MicrobenchSpec& vis_gaps = spec_of("vis-gaps-high");
+  const MicrobenchSpec& adhoc_stat = SpecOf("adhoc-stat");
+  const MicrobenchSpec& adhoc_pattern = SpecOf("adhoc-pattern");
+  const MicrobenchSpec& model_building = SpecOf("model-building");
+  const MicrobenchSpec& vis_high = SpecOf("vis-high-quality");
+  const MicrobenchSpec& vis_low = SpecOf("vis-low-quality");
+  const MicrobenchSpec& vis_gaps = SpecOf("vis-gaps-high");
 
   rec->RecordFig("fig03_state_of_the_art", adhoc_pattern.name.data(),
                  stack.dataset, *stack.rtree, &set.scout(),
@@ -166,6 +154,46 @@ void RecordFigScenarios(Recorder* rec) {
                    stack.dataset, *flat, &scout_opt,
                    QueryConfigFor(model_building),
                    ExecutorConfigFor(model_building, flat->store()));
+  }
+}
+
+/// Multi-client shared-cache serving (fig_multiclient): N sessions, each
+/// running one guided sequence, interleaved over ONE shared PrefetchCache
+/// by the deterministic simulated-time scheduler. The hit rate pools all
+/// sessions; successive PRs diff these rows to see how shared-cache
+/// serving scales with concurrent users. Appended after the single-client
+/// rows so their positions (and values) stay comparable across snapshots.
+void RecordMultiClientScenarios(Recorder* rec, NeuronStack& stack) {
+  const MicrobenchSpec& model_building = SpecOf("model-building");
+  const QuerySequenceConfig qcfg = QueryConfigFor(model_building);
+  const ExecutorConfig ecfg =
+      ExecutorConfigFor(model_building, stack.rtree->store());
+  const PrefetcherFactory factory = [] {
+    return std::make_unique<ScoutPrefetcher>(ScoutConfig{});
+  };
+
+  for (const uint32_t n : {1u, 2u, 4u, 8u}) {
+    Stopwatch sw;
+    const SharedCacheResult r = RunSharedCacheExperiment(
+        stack.dataset, *stack.rtree, factory, qcfg, ecfg, n, kSeed,
+        /*num_workers=*/1);
+    BaselineFigRow row;
+    row.bench = "fig_multiclient";
+    row.scenario =
+        std::string(model_building.name) + "@N" + std::to_string(n);
+    row.prefetcher = r.combined.prefetcher_name;
+    row.wall_ms = sw.ElapsedSeconds() * 1e3;
+    row.sim_response_us = r.combined.total_response_us;
+    row.sim_residual_io_us = r.combined.total_residual_us;
+    row.hit_rate_pct = r.combined.hit_rate_pct;
+    row.speedup = r.combined.speedup;
+    rec->figs.push_back(row);
+    std::printf(
+        "%-24s %-18s %-10s %9.1f ms  hit %5.1f%%  speedup %.2f  "
+        "(cross %4.1f%%, evictions %llu)\n",
+        row.bench.c_str(), row.scenario.c_str(), row.prefetcher.c_str(),
+        row.wall_ms, row.hit_rate_pct, row.speedup, r.cross_hit_share_pct,
+        static_cast<unsigned long long>(r.evictions));
   }
 }
 
@@ -292,7 +320,11 @@ int main(int argc, char** argv) {
   std::printf("== baseline_recorder (label=%s, %s scale) ==\n",
               opt.label.c_str(), opt.tiny ? "tiny" : "full");
   Stopwatch total;
-  RecordFigScenarios(&rec);
+  {
+    NeuronStack stack(rec.scale().neuron_objects, /*seed=*/1);
+    RecordFigScenarios(&rec, stack);
+    RecordMultiClientScenarios(&rec, stack);
+  }
   RecordMicroScenarios(&rec);
 
   const std::string snapshot =

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -84,6 +85,18 @@ class PrefetcherSet {
   LayeredPrefetcher layered_;
   ScoutPrefetcher scout_;
 };
+
+/// Looks up a Figure-10 microbenchmark spec by name. A silent fallback
+/// would record the wrong workload under a stale label and corrupt the
+/// perf trajectory — fail loudly instead.
+inline const MicrobenchSpec& SpecOf(std::string_view name) {
+  for (const MicrobenchSpec& s : kMicrobenchmarks) {
+    if (s.name == name) return s;
+  }
+  std::fprintf(stderr, "bench: unknown microbench spec '%.*s'\n",
+               static_cast<int>(name.size()), name.data());
+  std::abort();
+}
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());

@@ -1,0 +1,91 @@
+/// Multi-client shared-cache scaling (paper §8 outlook: many scientists
+/// exploring one dataset concurrently). For N ∈ {1, 2, 4, 8} sessions
+/// this bench serves the *same* guided sequences two ways:
+///   - shared:  one PrefetchCache of fixed capacity, all sessions
+///     interleaved on the deterministic simulated-time scheduler
+///     (MultiClientEngine);
+///   - private: RunBatch, every sequence with its own cache of the same
+///     capacity (the PR-2 multi-process deployment model).
+/// The delta separates *constructive sharing* (cross-session hits: one
+/// session served by another's prefetch) from *contention* (evictions
+/// inflicted across sessions squeezing everyone's hit rate).
+
+#include <cstring>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "engine/multi_client_engine.h"
+
+using namespace scout;
+using namespace scout::bench;
+
+namespace {
+
+PrefetcherFactory ScoutFactory() {
+  return [] { return std::make_unique<ScoutPrefetcher>(ScoutConfig{}); };
+}
+
+void RunScenario(const char* name, const Dataset& dataset,
+                 const SpatialIndex& index, const MicrobenchSpec& spec) {
+  const QuerySequenceConfig qcfg = QueryConfigFor(spec);
+  const ExecutorConfig ecfg = ExecutorConfigFor(spec, index.store());
+
+  PrintHeader(std::string("fig_multiclient: ") + name +
+              " — shared cache vs private caches");
+  PrintColumns("sessions N", {"shared%", "private%", "cross%", "evict/S",
+                              "sharedSp", "privSp"});
+  for (const uint32_t n : {1u, 2u, 4u, 8u}) {
+    const SharedCacheResult shared = RunSharedCacheExperiment(
+        dataset, index, ScoutFactory(), qcfg, ecfg, n, kSeed,
+        /*num_workers=*/1);
+    const ExperimentResult priv =
+        RunBatch(dataset, index, ScoutFactory(), qcfg, ecfg,
+                 /*num_sequences=*/n, kSeed, /*num_workers=*/1);
+    PrintRow("N=" + std::to_string(n),
+             {shared.combined.hit_rate_pct, priv.hit_rate_pct,
+              shared.cross_hit_share_pct,
+              static_cast<double>(shared.evictions) / n,
+              shared.combined.speedup, priv.speedup},
+             2);
+  }
+}
+
+void PrintUsage() {
+  std::printf(
+      "fig_multiclient: shared-cache multi-client serving scaling\n"
+      "  --tiny   small dataset (CI smoke)\n"
+      "  --help   this message\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  NeuronStack stack(tiny ? 40000 : 345000);
+
+  RunScenario("model-building", stack.dataset, *stack.rtree,
+              SpecOf("model-building"));
+  RunScenario("vis-high-quality", stack.dataset, *stack.rtree,
+              SpecOf("vis-high-quality"));
+
+  std::printf(
+      "\nshared%% / private%% = pooled cache-hit rate with one shared cache\n"
+      "vs per-session private caches of the same capacity; cross%% = share\n"
+      "of shared-cache hits served from another session's prefetch\n"
+      "(constructive sharing); evict/S = shared-cache evictions per\n"
+      "session (contention); Sp = speedup vs no prefetching.\n");
+  return 0;
+}

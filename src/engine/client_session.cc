@@ -1,0 +1,37 @@
+#include "engine/client_session.h"
+
+#include <utility>
+
+namespace scout {
+
+ClientSession::ClientSession(uint32_t id, const SpatialIndex* index,
+                             std::unique_ptr<Prefetcher> prefetcher,
+                             const ExecutorConfig& config,
+                             PrefetchCache* shared_cache,
+                             GuidedSequence sequence)
+    : id_(id),
+      prefetcher_(std::move(prefetcher)),
+      executor_(index, prefetcher_.get(), config, shared_cache),
+      sequence_(std::move(sequence)) {
+  prefetcher_->BindSession(id_);
+  stats_.queries.reserve(sequence_.queries.size());
+}
+
+void ClientSession::Reset() {
+  stats_.queries.clear();
+  next_step_ = 0;
+  next_time_ = 0;
+  executor_.BeginSequence();
+}
+
+void ClientSession::ExecuteNext(const QueryExecutor::PreparedQuery& prep) {
+  const Region& region = sequence_.queries[next_step_];
+  const QueryRunStats q = executor_.ExecuteQuery(region, prep);
+  // The user sees the response, then computes on the result for the
+  // prefetch-window duration before issuing the next query (Figure 2).
+  next_time_ += q.response_us + q.window_us;
+  stats_.queries.push_back(q);
+  ++next_step_;
+}
+
+}  // namespace scout

@@ -1,0 +1,66 @@
+#ifndef SCOUT_ENGINE_CLIENT_SESSION_H_
+#define SCOUT_ENGINE_CLIENT_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/query_executor.h"
+#include "workload/query_gen.h"
+
+namespace scout {
+
+/// One client's query stream in a multi-client serving engine: the
+/// session owns everything per-stream — its guided sequence, prefetcher
+/// (bound via Prefetcher::BindSession so no candidate-graph or RNG state
+/// leaks across sessions), shared-cache executor (simulated clock + disk
+/// channel) and accumulated stats — while the prefetch cache itself is
+/// shared across sessions and owned by the engine.
+///
+/// A session's timeline follows the paper's Figure 2 cycle: the user
+/// issues a query at next_time(), waits response_us for the result,
+/// computes on it for window_us (the prefetch window), then issues the
+/// next query. The engine interleaves sessions by executing whichever
+/// session's next query has the lowest simulated timestamp.
+class ClientSession {
+ public:
+  /// `shared_cache` is owned by the engine; `prefetcher` is owned here
+  /// and bound to `id`.
+  ClientSession(uint32_t id, const SpatialIndex* index,
+                std::unique_ptr<Prefetcher> prefetcher,
+                const ExecutorConfig& config, PrefetchCache* shared_cache,
+                GuidedSequence sequence);
+
+  uint32_t id() const { return id_; }
+  const GuidedSequence& sequence() const { return sequence_; }
+
+  /// Simulated time at which this session issues its next query.
+  SimMicros next_time() const { return next_time_; }
+  bool Done() const { return next_step_ >= sequence_.queries.size(); }
+  size_t next_step() const { return next_step_; }
+
+  /// Rewinds the session to a cold start: step 0, simulated time 0,
+  /// executor/prefetcher sequence state reset. The shared cache is NOT
+  /// touched (the engine clears it once per run).
+  void Reset();
+
+  /// Executes the session's next query against the shared cache using
+  /// its precomputed pure part, records the stats and advances the
+  /// session's timeline by the query's response + prefetch window.
+  void ExecuteNext(const QueryExecutor::PreparedQuery& prep);
+
+  /// Stats of the queries executed since the last Reset.
+  const SequenceRunStats& stats() const { return stats_; }
+
+ private:
+  uint32_t id_;
+  std::unique_ptr<Prefetcher> prefetcher_;
+  QueryExecutor executor_;
+  GuidedSequence sequence_;
+  SequenceRunStats stats_;
+  size_t next_step_ = 0;
+  SimMicros next_time_ = 0;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_ENGINE_CLIENT_SESSION_H_

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 #include <vector>
 
+#include "engine/multi_client_engine.h"
+#include "engine/worker_pool.h"
 #include "prefetch/no_prefetch.h"
 
 namespace scout {
@@ -150,16 +151,8 @@ ExperimentResult RunBatch(const Dataset& dataset, const SpatialIndex& index,
       outcomes[i].base = baseline_executor.RunSequence(sequences[i].queries);
     }
   };
-  const uint32_t workers =
-      std::max<uint32_t>(1, std::min(num_workers, num_sequences));
-  if (workers <= 1) {
-    work();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (uint32_t w = 0; w < workers; ++w) pool.emplace_back(work);
-    for (std::thread& t : pool) t.join();
-  }
+  internal::RunOnPool(
+      std::max<uint32_t>(1, std::min(num_workers, num_sequences)), work);
 
   // Aggregate in sequence order: bit-identical for any worker count.
   size_t total_queries = 0;
@@ -169,6 +162,48 @@ ExperimentResult RunBatch(const Dataset& dataset, const SpatialIndex& index,
                        &total_queries);
   }
   FinalizeResult(&result, total_queries);
+  return result;
+}
+
+SharedCacheResult RunSharedCacheExperiment(
+    const Dataset& dataset, const SpatialIndex& index,
+    const PrefetcherFactory& make_prefetcher,
+    const QuerySequenceConfig& query_config,
+    const ExecutorConfig& executor_config, uint32_t num_sessions,
+    uint64_t seed, uint32_t num_workers) {
+  MultiClientEngine engine(dataset, index, make_prefetcher, query_config,
+                           executor_config, num_sessions, seed);
+  const MultiClientOutcome outcome = engine.Run(num_workers);
+
+  SharedCacheResult result;
+  result.combined.prefetcher_name = outcome.prefetcher_name;
+  result.combined.num_sequences = engine.num_sessions();
+
+  // Fold sessions in id order — the aggregation twin of RunBatch's
+  // sequence-order fold, so the pooled result is schedule-independent.
+  size_t total_queries = 0;
+  for (size_t s = 0; s < outcome.runs.size(); ++s) {
+    const SequenceRunStats& run = outcome.runs[s];
+    result.session_hit_rate_pct.push_back(run.CacheHitRatePct());
+    result.session_response_us.push_back(run.TotalResponseUs());
+    if (run.queries.empty()) continue;
+    AccumulateSequence(run, outcome.baselines[s], &result.combined,
+                       &total_queries);
+  }
+  FinalizeResult(&result.combined, total_queries);
+
+  result.session_cache = outcome.cache_stats;
+  for (const CacheSessionStats& s : outcome.cache_stats) {
+    result.hits_own += s.hits_own;
+    result.hits_cross += s.hits_cross;
+    result.evictions += s.evictions_caused;
+  }
+  const uint64_t hits = result.hits_own + result.hits_cross;
+  if (hits > 0) {
+    result.cross_hit_share_pct =
+        100.0 * static_cast<double>(result.hits_cross) /
+        static_cast<double>(hits);
+  }
   return result;
 }
 

@@ -99,6 +99,41 @@ ExperimentResult RunBatch(const Dataset& dataset, const SpatialIndex& index,
                           uint32_t num_sequences, uint64_t seed,
                           uint32_t num_workers);
 
+/// Outcome of serving N sessions over one shared prefetch cache.
+/// `combined` pools all sessions exactly like RunBatch pools sequences
+/// (folded in session-id order); the sharing fields split the shared
+/// cache's behavior into constructive sharing (cross-session hits: a
+/// session served by another session's prefetch) vs contention
+/// (evictions inflicted across sessions).
+struct SharedCacheResult {
+  ExperimentResult combined;
+  std::vector<double> session_hit_rate_pct;     ///< Per session.
+  std::vector<SimMicros> session_response_us;   ///< Per session.
+  std::vector<CacheSessionStats> session_cache;  ///< Per session.
+  uint64_t hits_own = 0;
+  uint64_t hits_cross = 0;
+  uint64_t evictions = 0;
+  /// Share of all cache hits served from another session's prefetch.
+  double cross_hit_share_pct = 0.0;
+};
+
+/// Multi-client shared-cache entry point: serves `num_sessions` query
+/// streams (session s's workload = fork s of Rng(seed), identical to the
+/// sequences RunBatch runs) interleaved over ONE shared PrefetchCache of
+/// `executor_config.cache_bytes`, under the deterministic simulated-time
+/// scheduler of MultiClientEngine. Bit-identical for any `num_workers`
+/// and across reruns. One deliberate policy difference vs the private
+/// caches of RunBatch: a full *shared* cache evicts LRU pages on
+/// prefetch (capacity contention between sessions) where a full private
+/// cache halts prefetching (paper §7.4.4) — with a cache that never
+/// fills, num_sessions = 1 is bit-identical to RunBatch(num_sequences = 1).
+SharedCacheResult RunSharedCacheExperiment(
+    const Dataset& dataset, const SpatialIndex& index,
+    const PrefetcherFactory& make_prefetcher,
+    const QuerySequenceConfig& query_config,
+    const ExecutorConfig& executor_config, uint32_t num_sessions,
+    uint64_t seed, uint32_t num_workers);
+
 }  // namespace scout
 
 #endif  // SCOUT_ENGINE_EXPERIMENT_H_

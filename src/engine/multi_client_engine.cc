@@ -1,0 +1,120 @@
+#include "engine/multi_client_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "engine/worker_pool.h"
+#include "prefetch/no_prefetch.h"
+
+namespace scout {
+
+using internal::RunOnPool;
+
+MultiClientEngine::MultiClientEngine(const Dataset& dataset,
+                                     const SpatialIndex& index,
+                                     const PrefetcherFactory& make_prefetcher,
+                                     const QuerySequenceConfig& query_config,
+                                     const ExecutorConfig& executor_config,
+                                     uint32_t num_sessions, uint64_t seed)
+    : index_(&index),
+      config_(executor_config),
+      shared_cache_(executor_config.cache_bytes) {
+  prefetcher_name_ = std::string(make_prefetcher()->name());
+  num_sessions = std::max<uint32_t>(1, num_sessions);
+  sessions_.reserve(num_sessions);
+  Rng rng(seed);
+  for (uint32_t s = 0; s < num_sessions; ++s) {
+    Rng seq_rng = rng.Fork();
+    sessions_.push_back(std::make_unique<ClientSession>(
+        s, index_, make_prefetcher(), config_, &shared_cache_,
+        GenerateGuidedSequence(dataset, query_config, &seq_rng)));
+  }
+}
+
+MultiClientOutcome MultiClientEngine::Run(uint32_t num_workers) {
+  const uint32_t n = num_sessions();
+  num_workers = std::max<uint32_t>(1, num_workers);
+
+  // Cold start: one shared-cache generation per run. Sessions must never
+  // carry state across the epoch boundary, so they reset afterwards.
+  shared_cache_.Clear();
+  shared_cache_.ConfigureSharing(n);
+  for (auto& session : sessions_) session->Reset();
+
+  // ---- Phase 1 (parallel, pure): precompute every query's result pages
+  // and objects. These depend only on (index, region), so any execution
+  // order yields byte-identical slots.
+  std::vector<std::vector<QueryExecutor::PreparedQuery>> preps(n);
+  std::vector<std::pair<uint32_t, uint32_t>> flat;  // (session, step).
+  for (uint32_t s = 0; s < n; ++s) {
+    const size_t steps = sessions_[s]->sequence().queries.size();
+    preps[s].resize(steps);
+    for (size_t i = 0; i < steps; ++i) {
+      flat.emplace_back(s, static_cast<uint32_t>(i));
+    }
+  }
+  {
+    // Phase 1's task shape is (session, step), so the clamp is against
+    // the flat task count, not the session count.
+    const uint32_t workers = static_cast<uint32_t>(std::min<size_t>(
+        num_workers, std::max<size_t>(1, flat.size())));
+    std::atomic<size_t> next{0};
+    RunOnPool(workers, [&]() {
+      while (true) {
+        const size_t t = next.fetch_add(1);
+        if (t >= flat.size()) return;
+        const auto [s, i] = flat[t];
+        QueryExecutor::Prepare(*index_,
+                               sessions_[s]->sequence().queries[i],
+                               &preps[s][i]);
+      }
+    });
+  }
+
+  // ---- Phase 2 (parallel, pure): no-prefetch baselines on private
+  // executor stacks. A baseline never touches the shared cache.
+  std::vector<SequenceRunStats> baselines(n);
+  {
+    const uint32_t workers = std::min(num_workers, n);
+    std::atomic<uint32_t> next{0};
+    RunOnPool(workers, [&]() {
+      while (true) {
+        const uint32_t s = next.fetch_add(1);
+        if (s >= n) return;
+        NoPrefetcher none;
+        QueryExecutor baseline(index_, &none, config_);
+        baselines[s] = baseline.RunSequence(
+            sessions_[s]->sequence().queries, preps[s]);
+      }
+    });
+  }
+
+  // ---- Apply loop (serial, deterministic): interleave sessions by
+  // lowest next-query timestamp, ties by session id. All shared-cache
+  // and disk effects happen here, in schedule order — hit and eviction
+  // order is a pure function of this schedule.
+  while (true) {
+    ClientSession* pick = nullptr;
+    for (auto& session : sessions_) {
+      if (session->Done()) continue;
+      if (pick == nullptr || session->next_time() < pick->next_time()) {
+        pick = session.get();
+      }
+    }
+    if (pick == nullptr) break;
+    shared_cache_.SetActiveSession(pick->id());
+    pick->ExecuteNext(preps[pick->id()][pick->next_step()]);
+  }
+  shared_cache_.SetActiveSession(PrefetchCache::kNoSession);
+
+  MultiClientOutcome outcome;
+  outcome.prefetcher_name = prefetcher_name_;
+  outcome.runs.reserve(n);
+  for (auto& session : sessions_) outcome.runs.push_back(session->stats());
+  outcome.baselines = std::move(baselines);
+  outcome.cache_stats = shared_cache_.session_stats();
+  return outcome;
+}
+
+}  // namespace scout

@@ -1,0 +1,82 @@
+#ifndef SCOUT_ENGINE_MULTI_CLIENT_ENGINE_H_
+#define SCOUT_ENGINE_MULTI_CLIENT_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/client_session.h"
+#include "engine/experiment.h"
+
+namespace scout {
+
+/// What one multi-client serving run produced, in session-id order.
+/// Baselines are the same sequences run with NoPrefetcher on private
+/// caches (the paper's speedup denominator; with residual caching off a
+/// baseline never populates a cache, so private vs shared is moot).
+struct MultiClientOutcome {
+  std::string prefetcher_name;
+  std::vector<SequenceRunStats> runs;
+  std::vector<SequenceRunStats> baselines;
+  /// Shared-cache attribution: hits_own/hits_cross measure constructive
+  /// sharing, evictions_caused/pages_evicted measure contention.
+  std::vector<CacheSessionStats> cache_stats;
+};
+
+/// Serves N client sessions over ONE shared PrefetchCache (paper §8
+/// outlook: many scientists exploring the same dataset concurrently).
+///
+/// Determinism contract: all engine state advances on simulated time.
+/// The scheduler is a deterministic interleaver — the next event is
+/// always the session with the lowest next-query SimClock timestamp,
+/// ties broken by lowest session id — and every shared-cache/disk effect
+/// is applied serially in that schedule order (single-writer apply
+/// loop). Worker threads only ever compute the *pure* per-query work
+/// (index lookups + result filtering + the no-prefetch baselines), whose
+/// results are independent of execution order. Outcomes are therefore
+/// bit-identical for any worker count, any number of reruns, and any
+/// host machine — the same contract the single-stream engine keeps.
+///
+/// Granularity caveat: a session's step (query execution + prediction +
+/// its whole prefetch window) is applied *atomically* at its query-issue
+/// timestamp. Two sessions whose windows overlap in simulated time do
+/// not interleave individual page fetches; whichever query was issued
+/// earlier lands its full window first, so a session may hit pages a
+/// peer fetched later within an overlapping window than a page-granular
+/// timeline would allow. This biases cross-session hit rates upward by
+/// at most one window of slack; making fetches event-granular is a
+/// future refinement that would re-seed the fig_multiclient baselines.
+class MultiClientEngine {
+ public:
+  /// Pregenerates session s's workload as fork s of Rng(seed) — exactly
+  /// the sequences RunBatch/RunGuidedExperiment generate for the same
+  /// seed, so shared-cache serving is apples-to-apples comparable with
+  /// private-cache runs. The shared cache holds `executor_config.cache_bytes`.
+  MultiClientEngine(const Dataset& dataset, const SpatialIndex& index,
+                    const PrefetcherFactory& make_prefetcher,
+                    const QuerySequenceConfig& query_config,
+                    const ExecutorConfig& executor_config,
+                    uint32_t num_sessions, uint64_t seed);
+
+  /// Runs every session to completion, interleaved over the shared
+  /// cache. Rerunnable: each call cold-starts the cache and sessions.
+  /// `num_workers` caps the thread count of the pure phases (clamped
+  /// per phase to the task count) and does not affect results.
+  MultiClientOutcome Run(uint32_t num_workers);
+
+  uint32_t num_sessions() const {
+    return static_cast<uint32_t>(sessions_.size());
+  }
+  const PrefetchCache& shared_cache() const { return shared_cache_; }
+
+ private:
+  const SpatialIndex* index_;
+  ExecutorConfig config_;
+  std::string prefetcher_name_;
+  PrefetchCache shared_cache_;
+  std::vector<std::unique_ptr<ClientSession>> sessions_;
+};
+
+}  // namespace scout
+
+#endif  // SCOUT_ENGINE_MULTI_CLIENT_ENGINE_H_

@@ -1,6 +1,7 @@
 #include "engine/query_executor.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace scout {
 namespace {
@@ -57,20 +58,26 @@ class QueryExecutor::WindowIo : public PrefetchIo {
   }
 
   bool IsCached(PageId page) const override {
-    return executor_->cache_.Contains(page);
+    return executor_->cache_->Contains(page);
   }
 
   bool FetchPage(PageId page) override {
-    if (executor_->cache_.Contains(page)) return true;
+    if (executor_->cache_->Contains(page)) return true;
     if (remaining_ <= 0) return false;
-    if (executor_->cache_.Full()) {
-      remaining_ = 0;  // Prefetching halts once the cache is full.
+    if (executor_->cache_->Full() && executor_->owns_cache()) {
+      // Single-stream mode: prefetching halts once the cache is full
+      // (paper §7.4.4 — a small cache stops prefetching prematurely).
+      // A *shared* serving cache is a long-lived resource instead:
+      // prefetches displace the LRU page (Insert evicts), so capacity
+      // pressure between sessions shows up as cross-session evictions,
+      // not as silently halted windows.
+      remaining_ = 0;
       return false;
     }
     // A read started while the window is open completes even if the user
     // issues the next query meanwhile; the window then closes.
     const SimMicros cost = executor_->disk_.ReadPage(page);
-    executor_->cache_.Insert(page);
+    executor_->cache_->Insert(page);
     remaining_ -= cost;
     ++pages_fetched_;
     return true;
@@ -86,6 +93,32 @@ class QueryExecutor::WindowIo : public PrefetchIo {
   size_t pages_fetched_ = 0;
 };
 
+void QueryExecutor::Prepare(const SpatialIndex& index, const Region& region,
+                            PreparedQuery* prep) {
+  prep->pages.clear();
+  prep->objects.clear();
+  index.QueryPages(region, &prep->pages);
+  MergeSortedRuns(&prep->pages);
+
+  for (PageId page : prep->pages) {
+    const Page& p = index.store().page(page);
+    if (region.ContainsBox(p.bounds)) {
+      // Containment fast path: the page's bounding box (and therefore
+      // every object bound inside it) lies fully inside the region, so
+      // the per-object Intersects test cannot fail — batch-append.
+      for (const SpatialObject& obj : p.objects) {
+        prep->objects.push_back(GraphInput{&obj, page});
+      }
+      continue;
+    }
+    for (const SpatialObject& obj : p.objects) {
+      if (region.Intersects(obj.Bounds())) {
+        prep->objects.push_back(GraphInput{&obj, page});
+      }
+    }
+  }
+}
+
 QueryExecutor::QueryExecutor(const SpatialIndex* index,
                              Prefetcher* prefetcher,
                              const ExecutorConfig& config)
@@ -93,7 +126,18 @@ QueryExecutor::QueryExecutor(const SpatialIndex* index,
       prefetcher_(prefetcher),
       config_(config),
       disk_(config.disk, &clock_),
-      cache_(config.cache_bytes) {}
+      owned_cache_(std::make_unique<PrefetchCache>(config.cache_bytes)),
+      cache_(owned_cache_.get()) {}
+
+QueryExecutor::QueryExecutor(const SpatialIndex* index,
+                             Prefetcher* prefetcher,
+                             const ExecutorConfig& config,
+                             PrefetchCache* shared_cache)
+    : index_(index),
+      prefetcher_(prefetcher),
+      config_(config),
+      disk_(config.disk, &clock_),
+      cache_(shared_cache) {}
 
 SimMicros QueryExecutor::ColdReadCost(
     const std::vector<PageId>& sorted_pages) const {
@@ -108,98 +152,101 @@ SimMicros QueryExecutor::ColdReadCost(
   return cost;
 }
 
+void QueryExecutor::BeginSequence() {
+  // Cold start, as between the paper's measurement runs (§7.1: caches and
+  // disk buffers cleared after each sequence). A borrowed shared cache is
+  // deliberately left alone: its contents belong to all sessions and its
+  // lifecycle to the serving engine.
+  if (owned_cache_) owned_cache_->Clear();
+  disk_.Reset();
+  clock_.Reset();
+  carried_overflow_ = 0;
+  prefetcher_->BeginSequence();
+}
+
+QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
+                                          const PreparedQuery& prep) {
+  QueryRunStats q;
+
+  // --- Execute the query: cache hits first, misses from disk. ---
+  q.pages_total = prep.pages.size();
+  for (PageId page : prep.pages) {
+    if (cache_->TouchIfPresent(page)) {
+      ++q.pages_hit;
+    } else {
+      q.residual_io_us += disk_.ReadPage(page);
+      if (config_.cache_residual_reads) cache_->Insert(page);
+    }
+  }
+  q.result_objects = prep.objects.size();
+
+  q.response_us = q.residual_io_us + carried_overflow_;
+  carried_overflow_ = 0;
+  // Graph building is part of the user-visible response (the Figure 14
+  // breakdown): it is interleaved with result retrieval, so it extends
+  // query execution, not the idle window.
+  // (Added below once the breakdown is known.)
+
+  // --- Prediction computation + prefetch window (Figure 2). ---
+  const SimMicros d_cold = ColdReadCost(prep.pages);
+  q.window_us = static_cast<SimMicros>(config_.prefetch_window_ratio *
+                                       static_cast<double>(d_cold));
+
+  QueryResultView view;
+  view.region = &region;
+  view.objects = std::span<const GraphInput>(prep.objects);
+  view.pages = std::span<const PageId>(prep.pages);
+  q.observe_us = prefetcher_->Observe(view);
+
+  const ObserveBreakdown& breakdown = prefetcher_->last_observe();
+  q.graph_build_us = breakdown.graph_build_us;
+  q.prediction_us = breakdown.prediction_us;
+  q.graph_vertices = breakdown.graph_vertices;
+  q.graph_edges = breakdown.graph_edges;
+  q.graph_memory_bytes = breakdown.graph_memory_bytes;
+  q.num_candidates = breakdown.num_candidates;
+  q.was_reset = breakdown.was_reset;
+  q.wall_graph_build_us = breakdown.wall_graph_build_us;
+  q.wall_prediction_us = breakdown.wall_prediction_us;
+
+  q.response_us += q.graph_build_us;
+
+  SimMicros budget = q.window_us;
+  if (config_.charge_prediction) {
+    // Only the prediction (traversal) competes with the prefetch
+    // window; graph building overlaps result retrieval (paper §4,
+    // Figure 2) and is charged to the response above.
+    const SimMicros predict_part = q.observe_us - q.graph_build_us;
+    budget = std::max<SimMicros>(0, q.window_us - predict_part);
+    carried_overflow_ = std::max<SimMicros>(0, predict_part - q.window_us);
+  }
+
+  WindowIo io(this, budget);
+  prefetcher_->RunPrefetch(&io);
+  q.prefetch_pages = io.pages_fetched();
+  return q;
+}
+
 SequenceRunStats QueryExecutor::RunSequence(std::span<const Region> queries) {
   SequenceRunStats stats;
   stats.queries.reserve(queries.size());
-
-  // Cold start, as between the paper's measurement runs (§7.1: caches and
-  // disk buffers cleared after each sequence).
-  cache_.Clear();
-  disk_.Reset();
-  clock_.Reset();
-  prefetcher_->BeginSequence();
-
-  SimMicros carried_overflow = 0;  // Prediction overflow delays the next
-                                   // query's response.
-
-  std::vector<PageId> pages;
-  std::vector<GraphInput> result_objects;
+  BeginSequence();
+  PreparedQuery prep;
   for (const Region& region : queries) {
-    QueryRunStats q;
+    Prepare(*index_, region, &prep);
+    stats.queries.push_back(ExecuteQuery(region, prep));
+  }
+  return stats;
+}
 
-    // --- Execute the query: cache hits first, misses from disk. ---
-    pages.clear();
-    index_->QueryPages(region, &pages);
-    MergeSortedRuns(&pages);
-    q.pages_total = pages.size();
-
-    for (PageId page : pages) {
-      if (cache_.TouchIfPresent(page)) {
-        ++q.pages_hit;
-      } else {
-        q.residual_io_us += disk_.ReadPage(page);
-        if (config_.cache_residual_reads) cache_.Insert(page);
-      }
-    }
-
-    // Collect the result objects (filter page contents by the region).
-    result_objects.clear();
-    for (PageId page : pages) {
-      const Page& p = index_->store().page(page);
-      for (const SpatialObject& obj : p.objects) {
-        if (region.Intersects(obj.Bounds())) {
-          result_objects.push_back(GraphInput{&obj, page});
-        }
-      }
-    }
-    q.result_objects = result_objects.size();
-
-    q.response_us = q.residual_io_us + carried_overflow;
-    carried_overflow = 0;
-    // Graph building is part of the user-visible response (the Figure 14
-    // breakdown): it is interleaved with result retrieval, so it extends
-    // query execution, not the idle window.
-    // (Added below once the breakdown is known.)
-
-    // --- Prediction computation + prefetch window (Figure 2). ---
-    const SimMicros d_cold = ColdReadCost(pages);
-    q.window_us = static_cast<SimMicros>(config_.prefetch_window_ratio *
-                                         static_cast<double>(d_cold));
-
-    QueryResultView view;
-    view.region = &region;
-    view.objects = std::span<const GraphInput>(result_objects);
-    view.pages = std::span<const PageId>(pages);
-    q.observe_us = prefetcher_->Observe(view);
-
-    const ObserveBreakdown& breakdown = prefetcher_->last_observe();
-    q.graph_build_us = breakdown.graph_build_us;
-    q.prediction_us = breakdown.prediction_us;
-    q.graph_vertices = breakdown.graph_vertices;
-    q.graph_edges = breakdown.graph_edges;
-    q.graph_memory_bytes = breakdown.graph_memory_bytes;
-    q.num_candidates = breakdown.num_candidates;
-    q.was_reset = breakdown.was_reset;
-    q.wall_graph_build_us = breakdown.wall_graph_build_us;
-    q.wall_prediction_us = breakdown.wall_prediction_us;
-
-    q.response_us += q.graph_build_us;
-
-    SimMicros budget = q.window_us;
-    if (config_.charge_prediction) {
-      // Only the prediction (traversal) competes with the prefetch
-      // window; graph building overlaps result retrieval (paper §4,
-      // Figure 2) and is charged to the response above.
-      const SimMicros predict_part = q.observe_us - q.graph_build_us;
-      budget = std::max<SimMicros>(0, q.window_us - predict_part);
-      carried_overflow = std::max<SimMicros>(0, predict_part - q.window_us);
-    }
-
-    WindowIo io(this, budget);
-    prefetcher_->RunPrefetch(&io);
-    q.prefetch_pages = io.pages_fetched();
-
-    stats.queries.push_back(q);
+SequenceRunStats QueryExecutor::RunSequence(
+    std::span<const Region> queries, std::span<const PreparedQuery> preps) {
+  assert(preps.size() >= queries.size());
+  SequenceRunStats stats;
+  stats.queries.reserve(queries.size());
+  BeginSequence();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    stats.queries.push_back(ExecuteQuery(queries[i], preps[i]));
   }
   return stats;
 }

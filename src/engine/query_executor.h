@@ -1,6 +1,7 @@
 #ifndef SCOUT_ENGINE_QUERY_EXECUTOR_H_
 #define SCOUT_ENGINE_QUERY_EXECUTOR_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,7 +21,8 @@ namespace scout {
 struct ExecutorConfig {
   double prefetch_window_ratio = 1.0;
   /// Prefetch cache capacity (the paper allows 4 GB for the 33 GB
-  /// dataset; scaled down here with the datasets).
+  /// dataset; scaled down here with the datasets). In shared-cache mode
+  /// this is the capacity of the one cache all sessions contend for.
   uint64_t cache_bytes = 64ull << 20;
   DiskConfig disk;
   /// Whether residual (cache-miss) reads also populate the prefetch
@@ -41,16 +43,66 @@ struct ExecutorConfig {
 /// Figure 2: execute query (cache hits + residual I/O), run the
 /// prediction computation, then prefetch during the idle window until
 /// the user issues the next query.
+///
+/// The executor either owns its prefetch cache (single-stream mode, the
+/// default) or borrows a shared one (multi-client serving): pass an
+/// external PrefetchCache to serve this stream's queries over a cache
+/// other sessions populate too. In borrowed mode the executor never
+/// clears the cache — the owning engine controls its lifetime.
 class QueryExecutor {
  public:
+  /// The pure, cache-independent part of one query: its result pages
+  /// (sorted ascending) and result objects. A PreparedQuery depends only
+  /// on (index, region), so multi-client engines precompute them on
+  /// worker threads while the deterministic apply loop serializes all
+  /// cache/disk effects.
+  struct PreparedQuery {
+    std::vector<PageId> pages;
+    std::vector<GraphInput> objects;
+  };
+
+  /// Computes the result pages (merged into ascending order) and result
+  /// objects of `region`. Pages whose bounds the region fully contains
+  /// skip the per-object filter: every object on such a page intersects
+  /// the region by containment, so the batch-append keeps result sets
+  /// exactly identical while avoiding the dominant per-object
+  /// Intersects() tests on interior pages.
+  static void Prepare(const SpatialIndex& index, const Region& region,
+                      PreparedQuery* prep);
+
+  /// Single-stream executor owning its prefetch cache.
   QueryExecutor(const SpatialIndex* index, Prefetcher* prefetcher,
                 const ExecutorConfig& config);
 
-  /// Executes one sequence cold (cache and disk state cleared first).
+  /// Shared-cache executor: serves this stream over `shared_cache`
+  /// (not owned, never cleared by the executor).
+  QueryExecutor(const SpatialIndex* index, Prefetcher* prefetcher,
+                const ExecutorConfig& config, PrefetchCache* shared_cache);
+
+  /// Resets the per-stream state for a cold sequence start: simulated
+  /// clock, disk model, carried prediction overflow and the prefetcher
+  /// (BeginSequence). Clears the cache only when the executor owns it.
+  void BeginSequence();
+
+  /// Executes one query of the running sequence: serves `prep.pages`
+  /// from the cache (misses from simulated disk), charges the prediction
+  /// computation and drains the prefetcher during the idle window
+  /// (paper's Figure 2 timeline). `prep` must be Prepare()d from
+  /// `region` on the same index.
+  QueryRunStats ExecuteQuery(const Region& region, const PreparedQuery& prep);
+
+  /// Executes one sequence cold (BeginSequence + Prepare/ExecuteQuery
+  /// per query).
   SequenceRunStats RunSequence(std::span<const Region> queries);
 
-  const PrefetchCache& cache() const { return cache_; }
+  /// Same, but with the pure per-query work precomputed (one
+  /// PreparedQuery per region, from the same index).
+  SequenceRunStats RunSequence(std::span<const Region> queries,
+                               std::span<const PreparedQuery> preps);
+
+  const PrefetchCache& cache() const { return *cache_; }
   const DiskModel& disk() const { return disk_; }
+  bool owns_cache() const { return owned_cache_ != nullptr; }
 
  private:
   class WindowIo;
@@ -64,7 +116,10 @@ class QueryExecutor {
   ExecutorConfig config_;
   SimClock clock_;
   DiskModel disk_;
-  PrefetchCache cache_;
+  std::unique_ptr<PrefetchCache> owned_cache_;  ///< Null in shared mode.
+  PrefetchCache* cache_;                        ///< Owned or borrowed.
+  SimMicros carried_overflow_ = 0;  ///< Prediction overflow delaying the
+                                    ///< next query's response.
 };
 
 }  // namespace scout

@@ -1,0 +1,29 @@
+#ifndef SCOUT_ENGINE_WORKER_POOL_H_
+#define SCOUT_ENGINE_WORKER_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace scout::internal {
+
+/// Runs `work` on `workers` threads and joins them (inline when
+/// workers <= 1). The closure claims its own tasks (typically through an
+/// atomic counter over a preallocated slot array), so any execution
+/// order yields identical results — the engine's pure fan-out primitive,
+/// shared by RunBatch and the multi-client engine's prepare/baseline
+/// phases.
+inline void RunOnPool(uint32_t workers, const std::function<void()>& work) {
+  if (workers <= 1) {
+    work();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace scout::internal
+
+#endif  // SCOUT_ENGINE_WORKER_POOL_H_

@@ -80,7 +80,17 @@ class Prefetcher {
 
   virtual std::string_view name() const = 0;
 
-  /// Resets all sequence state (new sequence, cold cache).
+  /// Binds the prefetcher to a serving session. Multi-client engines
+  /// call this once per session so per-session state (candidate graphs,
+  /// RNG streams) is owned by exactly one stream and decorrelated across
+  /// sessions deterministically; BeginSequence/Reset then only ever
+  /// rewind *this* session's state. Session 0 keeps the configured
+  /// stream, so single-session serving is bit-compatible with the
+  /// single-stream engine. Default: no-op (stateless baselines).
+  virtual void BindSession(uint32_t session_id) { (void)session_id; }
+
+  /// Resets all sequence state (new sequence, cold cache). Session-scoped:
+  /// after BindSession, this rewinds only the bound session's stream.
   virtual void BeginSequence() = 0;
 
   /// Digests the result of the query that just executed.

@@ -10,7 +10,23 @@
 namespace scout {
 
 ScoutPrefetcher::ScoutPrefetcher(const ScoutConfig& config)
-    : config_(config), rng_(config.rng_seed) {}
+    : config_(config), session_seed_(config.rng_seed), rng_(config.rng_seed) {}
+
+void ScoutPrefetcher::BindSession(uint32_t session_id) {
+  if (session_id == 0) {
+    // Session 0 keeps the configured stream: a one-session serving engine
+    // is then bit-identical to the single-stream executor.
+    session_seed_ = config_.rng_seed;
+  } else {
+    // SplitMix64 finalizer over (seed, session) so each session draws an
+    // independent deterministic stream.
+    uint64_t z = config_.rng_seed + 0x9e3779b97f4a7c15ull * session_id;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    session_seed_ = z ^ (z >> 31);
+  }
+  rng_.Seed(session_seed_);
+}
 
 void ScoutPrefetcher::BeginSequence() {
   predictions_.clear();
@@ -24,7 +40,7 @@ void ScoutPrefetcher::BeginSequence() {
   last_result_pages_ = 0;
   breakdown_ = ObserveBreakdown{};
   last_exits_.clear();
-  rng_.Seed(config_.rng_seed);
+  rng_.Seed(session_seed_);
 }
 
 double ScoutPrefetcher::RegionExtent(const Region& region) {

@@ -70,6 +70,7 @@ class ScoutPrefetcher : public Prefetcher {
   explicit ScoutPrefetcher(const ScoutConfig& config);
 
   std::string_view name() const override { return "scout"; }
+  void BindSession(uint32_t session_id) override;
   void BeginSequence() override;
   SimMicros Observe(const QueryResultView& result) override;
   void RunPrefetch(PrefetchIo* io) override;
@@ -102,6 +103,11 @@ class ScoutPrefetcher : public Prefetcher {
   static double RegionExtent(const Region& region);
 
   ScoutConfig config_;
+  /// Seed BeginSequence rewinds rng_ to. Defaults to config_.rng_seed;
+  /// BindSession replaces it with a deterministic per-session mix so
+  /// concurrent sessions draw decorrelated streams (session 0 keeps the
+  /// config seed for single-stream bit-compatibility).
+  uint64_t session_seed_;
   Rng rng_;
 
   // Sequence state.

@@ -57,9 +57,17 @@ void PrefetchCache::RemoveTableEntry(size_t pos) {
 
 void PrefetchCache::EvictTail() {
   const uint32_t victim = tail_;
+  if (!session_stats_.empty()) {
+    const uint32_t owner = slots_[victim].owner;
+    if (owner < session_stats_.size()) ++session_stats_[owner].pages_evicted;
+    if (active_session_ != kNoSession) {
+      ++session_stats_[active_session_].evictions_caused;
+    }
+  }
   RemoveTableEntry(FindPos(slots_[victim].page));
   Unlink(victim);
   slots_[victim].page = kInvalidPageId;
+  slots_[victim].owner = kNoSession;
   slots_[victim].next = free_head_;
   free_head_ = victim;
   --num_pages_;
@@ -68,9 +76,12 @@ void PrefetchCache::EvictTail() {
 
 bool PrefetchCache::Insert(PageId page) {
   if (capacity_pages_ == 0) return false;
+  const ScopedWriter guard(this);
   EnsureStorage();
   size_t pos = FindPos(page);
   if (table_[pos] != kEmptyWord) {
+    // Re-inserting a cached page only refreshes its LRU position; the
+    // original inserter keeps the ownership attribution.
     MoveToFront(EntrySlot(table_[pos]));
     return true;
   }
@@ -81,6 +92,10 @@ bool PrefetchCache::Insert(PageId page) {
   const uint32_t slot = free_head_;
   free_head_ = slots_[slot].next;
   slots_[slot].page = page;
+  slots_[slot].owner = active_session_;
+  if (!session_stats_.empty() && active_session_ != kNoSession) {
+    ++session_stats_[active_session_].inserts;
+  }
   LinkFront(slot);
   table_[pos] = PackEntry(page, slot);
   ++num_pages_;
@@ -89,24 +104,41 @@ bool PrefetchCache::Insert(PageId page) {
 
 void PrefetchCache::Touch(PageId page) {
   if (table_.empty()) return;
+  const ScopedWriter guard(this);
   const size_t pos = FindPos(page);
   if (table_[pos] != kEmptyWord) MoveToFront(EntrySlot(table_[pos]));
 }
 
 void PrefetchCache::Erase(PageId page) {
   if (table_.empty()) return;
+  const ScopedWriter guard(this);
   const size_t pos = FindPos(page);
   if (table_[pos] == kEmptyWord) return;
   const uint32_t slot = EntrySlot(table_[pos]);
   RemoveTableEntry(pos);
   Unlink(slot);
   slots_[slot].page = kInvalidPageId;
+  slots_[slot].owner = kNoSession;
   slots_[slot].next = free_head_;
   free_head_ = slot;
   --num_pages_;
 }
 
+void PrefetchCache::ConfigureSharing(uint32_t num_sessions) {
+  const ScopedWriter guard(this);
+  session_stats_.assign(num_sessions, CacheSessionStats{});
+  active_session_ = kNoSession;
+}
+
 void PrefetchCache::Clear() {
+  const ScopedWriter guard(this);
+  // Shared-mode state resets unconditionally (even on a never-used
+  // cache): a cleared cache must be indistinguishable from a fresh one,
+  // or back-to-back shared runs diverge on attribution counters.
+  ++epoch_;
+  std::fill(session_stats_.begin(), session_stats_.end(),
+            CacheSessionStats{});
+  active_session_ = kNoSession;
   if (table_.empty()) {
     num_pages_ = 0;
     return;
@@ -114,9 +146,11 @@ void PrefetchCache::Clear() {
   std::fill(table_.begin(), table_.end(), kEmptyWord);
   for (size_t i = 0; i + 1 < slots_.size(); ++i) {
     slots_[i].page = kInvalidPageId;
+    slots_[i].owner = kNoSession;
     slots_[i].next = static_cast<uint32_t>(i + 1);
   }
   slots_.back().page = kInvalidPageId;
+  slots_.back().owner = kNoSession;
   slots_.back().next = kNil;
   free_head_ = 0;
   head_ = kNil;

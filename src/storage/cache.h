@@ -4,9 +4,26 @@
 #include <cstdint>
 #include <vector>
 
+#ifndef NDEBUG
+#include <atomic>
+#include <cassert>
+#endif
+
 #include "storage/page.h"
 
 namespace scout {
+
+/// Per-session cache attribution counters in shared (multi-client) mode.
+/// Hits are attributed by who *inserted* the page: a cross hit means the
+/// session was served by another session's prefetch (constructive
+/// sharing), an eviction caused/suffered pair measures contention.
+struct CacheSessionStats {
+  uint64_t inserts = 0;           ///< Pages this session inserted.
+  uint64_t hits_own = 0;          ///< Hits on pages it inserted itself.
+  uint64_t hits_cross = 0;        ///< Hits on pages another session inserted.
+  uint64_t evictions_caused = 0;  ///< Evictions its inserts triggered.
+  uint64_t pages_evicted = 0;     ///< Its pages evicted by anyone.
+};
 
 /// Page-granular prefetch cache with LRU eviction and a byte capacity
 /// (the paper allows 4 GB of RAM for prefetched data, §7.1; benches use a
@@ -19,6 +36,15 @@ namespace scout {
 /// (linear probing, backward-shift deletion). No per-entry allocation and
 /// a single probe per Insert/Touch/Erase; storage is allocated lazily on
 /// the first insert so idle caches stay cheap.
+///
+/// Concurrency contract (shared multi-client mode): the cache is mutated
+/// by exactly one thread at a time — the engine's deterministic apply
+/// loop, which executes session steps in simulated-schedule order
+/// (lowest SimClock timestamp first, ties by session id). Hit and
+/// eviction order is therefore a pure function of the simulated schedule,
+/// never of real thread timing. Debug builds enforce the single-writer
+/// discipline with an atomic guard (tripped under TSan/Debug if two
+/// threads ever mutate concurrently).
 class PrefetchCache {
  public:
   explicit PrefetchCache(uint64_t capacity_bytes)
@@ -43,14 +69,60 @@ class PrefetchCache {
 
   /// Combined hit test + LRU refresh in a single table probe: returns
   /// true and marks the page recently used iff it is cached. This is the
-  /// executor's hot path for serving query pages.
+  /// executor's hot path for serving query pages. In shared mode the hit
+  /// is attributed to the active session (own vs cross by inserter).
   bool TouchIfPresent(PageId page) {
     if (table_.empty()) return false;
+    const ScopedWriter guard(this);
     const uint64_t word = table_[FindPos(page)];
     if (word == kEmptyWord) return false;
-    MoveToFront(EntrySlot(word));
+    const uint32_t slot = EntrySlot(word);
+    if (!session_stats_.empty() && active_session_ != kNoSession) {
+      CacheSessionStats& s = session_stats_[active_session_];
+      if (slots_[slot].owner == active_session_) {
+        ++s.hits_own;
+      } else {
+        ++s.hits_cross;
+      }
+    }
+    MoveToFront(slot);
     return true;
   }
+
+  // ----------------------------------------------------------------
+  // Shared (multi-client) mode. The engine enables sharing once per run,
+  // then brackets each session's step with SetActiveSession so inserts
+  // and hits are attributed. Single-stream users never call these and
+  // pay nothing (attribution is one predictable branch on the hot path).
+
+  /// Sentinel for "no session bound" (attribution disabled).
+  static constexpr uint32_t kNoSession = 0xffffffffu;
+
+  /// Enables per-session attribution for `num_sessions` sessions and
+  /// zeroes all attribution state. Pass 0 to disable shared mode.
+  void ConfigureSharing(uint32_t num_sessions);
+
+  /// Attributes subsequent Insert/TouchIfPresent calls to `session`
+  /// (must be < the configured session count, or kNoSession to detach).
+  /// An out-of-range id detaches attribution instead of letting the hot
+  /// paths index session_stats_ out of bounds.
+  void SetActiveSession(uint32_t session) {
+#ifndef NDEBUG
+    assert(session == kNoSession || session < session_stats_.size());
+#endif
+    active_session_ =
+        session < session_stats_.size() ? session : kNoSession;
+  }
+
+  /// Per-session attribution counters (empty unless sharing is enabled).
+  const std::vector<CacheSessionStats>& session_stats() const {
+    return session_stats_;
+  }
+
+  /// Number of completed Clear() generations. Sessions must never carry
+  /// cached-page assumptions across an epoch boundary; engines
+  /// sanity-check this when reusing a cache across runs.
+  uint64_t epoch() const { return epoch_; }
 
   /// Removes a single page if present.
   void Erase(PageId page);
@@ -78,9 +150,37 @@ class PrefetchCache {
 
   struct Slot {
     PageId page = kInvalidPageId;
-    uint32_t prev = kNil;  ///< Towards MRU.
-    uint32_t next = kNil;  ///< Towards LRU; free-list link when free.
+    uint32_t prev = kNil;   ///< Towards MRU.
+    uint32_t next = kNil;   ///< Towards LRU; free-list link when free.
+    uint32_t owner = kNoSession;  ///< Inserting session (shared mode).
   };
+
+  /// Debug-only single-writer assertion (see the class comment): every
+  /// mutating entry point claims the guard, so two threads mutating
+  /// concurrently trip the assert in Debug/TSan builds instead of
+  /// corrupting the slab silently. Compiled out in release builds.
+#ifndef NDEBUG
+  class ScopedWriter {
+   public:
+    explicit ScopedWriter(const PrefetchCache* cache) : cache_(cache) {
+      const bool was_busy =
+          cache_->writer_busy_.exchange(true, std::memory_order_acquire);
+      assert(!was_busy && "PrefetchCache: concurrent mutation detected");
+      (void)was_busy;
+    }
+    ~ScopedWriter() {
+      cache_->writer_busy_.store(false, std::memory_order_release);
+    }
+
+   private:
+    const PrefetchCache* cache_;
+  };
+#else
+  class ScopedWriter {
+   public:
+    explicit ScopedWriter(const PrefetchCache*) {}
+  };
+#endif
 
   /// Hash-table words pack (page << 32 | slot) so a probe compares pages
   /// without dereferencing the slab.
@@ -138,6 +238,15 @@ class PrefetchCache {
   uint32_t free_head_ = kNil;    ///< Free-slot list through Slot::next.
   uint64_t num_pages_ = 0;
   uint64_t evictions_ = 0;
+
+  // Shared-mode state. All of it is reinitialized by Clear() (counters
+  // zeroed, epoch bumped) so back-to-back runs stay bit-identical.
+  std::vector<CacheSessionStats> session_stats_;  ///< Empty = unshared.
+  uint32_t active_session_ = kNoSession;
+  uint64_t epoch_ = 0;
+#ifndef NDEBUG
+  mutable std::atomic<bool> writer_busy_{false};
+#endif
 };
 
 }  // namespace scout

@@ -131,6 +131,34 @@ TEST_F(DeterminismTest, RunBatchMatchesRunGuidedExperiment) {
   ExpectSameExperimentResult(guided, batch);
 }
 
+TEST_F(DeterminismTest, SharedCacheBatchRerunsBitIdentical) {
+  // The shared-cache engine extends the determinism contract to
+  // multi-client serving: back-to-back runs of the same N-session batch
+  // (PrefetchCache::Clear between them reinitializing all shared-mode
+  // state — epoch, per-session attribution) must be bit-identical, for
+  // any worker count.
+  constexpr uint32_t kSessions = 3;
+  constexpr uint64_t kSeed = 8888;
+  const auto factory = [] {
+    return std::make_unique<ScoutPrefetcher>(ScoutConfig{});
+  };
+  const SharedCacheResult first = RunSharedCacheExperiment(
+      *dataset_, *index_, factory, QueryConfig(), ExecConfig(), kSessions,
+      kSeed, /*num_workers=*/2);
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE(::testing::Message() << workers << " workers");
+    const SharedCacheResult again = RunSharedCacheExperiment(
+        *dataset_, *index_, factory, QueryConfig(), ExecConfig(), kSessions,
+        kSeed, workers);
+    ExpectSameExperimentResult(first.combined, again.combined);
+    EXPECT_EQ(first.session_hit_rate_pct, again.session_hit_rate_pct);
+    EXPECT_EQ(first.session_response_us, again.session_response_us);
+    EXPECT_EQ(first.hits_own, again.hits_own);
+    EXPECT_EQ(first.hits_cross, again.hits_cross);
+    EXPECT_EQ(first.evictions, again.evictions);
+  }
+}
+
 TEST_F(DeterminismTest, RunBatchIsIndependentOfWorkerCount) {
   constexpr uint32_t kSequences = 6;
   constexpr uint64_t kSeed = 7777;

@@ -1,0 +1,217 @@
+/// Scheduler/shared-cache tests for the multi-client serving engine: the
+/// deterministic interleaver (lowest simulated timestamp, ties by session
+/// id) plus the single-writer apply loop must make every outcome a pure
+/// function of the simulated schedule — bit-identical across worker
+/// counts, across reruns of the same engine, and equivalent to the
+/// single-stream engine when only one session is served.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/multi_client_engine.h"
+#include "index/rtree.h"
+#include "prefetch/scout_prefetcher.h"
+#include "workload/generators.h"
+
+namespace scout {
+namespace {
+
+PrefetcherFactory ScoutFactory() {
+  return [] { return std::make_unique<ScoutPrefetcher>(ScoutConfig{}); };
+}
+
+void ExpectSameCombined(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.prefetcher_name, b.prefetcher_name);
+  EXPECT_EQ(a.hit_rate_pct, b.hit_rate_pct);
+  EXPECT_EQ(a.speedup, b.speedup);
+  EXPECT_EQ(a.total_response_us, b.total_response_us);
+  EXPECT_EQ(a.baseline_response_us, b.baseline_response_us);
+  EXPECT_EQ(a.total_residual_us, b.total_residual_us);
+  EXPECT_EQ(a.total_graph_build_us, b.total_graph_build_us);
+  EXPECT_EQ(a.total_prediction_us, b.total_prediction_us);
+  EXPECT_EQ(a.total_pages, b.total_pages);
+  EXPECT_EQ(a.total_hits, b.total_hits);
+  EXPECT_EQ(a.total_result_objects, b.total_result_objects);
+  EXPECT_EQ(a.num_sequences, b.num_sequences);
+  EXPECT_EQ(a.total_queries, b.total_queries);
+  EXPECT_EQ(a.total_resets, b.total_resets);
+  EXPECT_EQ(a.mean_pages_per_query, b.mean_pages_per_query);
+  EXPECT_EQ(a.seq_hit_rate.count(), b.seq_hit_rate.count());
+  EXPECT_EQ(a.seq_hit_rate.mean(), b.seq_hit_rate.mean());
+  EXPECT_EQ(a.seq_hit_rate.stddev(), b.seq_hit_rate.stddev());
+}
+
+void ExpectSameSharedResult(const SharedCacheResult& a,
+                            const SharedCacheResult& b) {
+  ExpectSameCombined(a.combined, b.combined);
+  EXPECT_EQ(a.session_hit_rate_pct, b.session_hit_rate_pct);
+  EXPECT_EQ(a.session_response_us, b.session_response_us);
+  EXPECT_EQ(a.hits_own, b.hits_own);
+  EXPECT_EQ(a.hits_cross, b.hits_cross);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.cross_hit_share_pct, b.cross_hit_share_pct);
+  ASSERT_EQ(a.session_cache.size(), b.session_cache.size());
+  for (size_t s = 0; s < a.session_cache.size(); ++s) {
+    SCOPED_TRACE(::testing::Message() << "session " << s);
+    EXPECT_EQ(a.session_cache[s].inserts, b.session_cache[s].inserts);
+    EXPECT_EQ(a.session_cache[s].hits_own, b.session_cache[s].hits_own);
+    EXPECT_EQ(a.session_cache[s].hits_cross, b.session_cache[s].hits_cross);
+    EXPECT_EQ(a.session_cache[s].evictions_caused,
+              b.session_cache[s].evictions_caused);
+    EXPECT_EQ(a.session_cache[s].pages_evicted,
+              b.session_cache[s].pages_evicted);
+  }
+}
+
+class MultiClientTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(
+        GenerateNeuronTissue(NeuronConfigForObjectCount(12000, /*seed=*/3)));
+    index_ = RTreeIndex::Build(dataset_->objects)->release();
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    index_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static QuerySequenceConfig QueryConfig(uint32_t num_queries = 12) {
+    QuerySequenceConfig qcfg;
+    qcfg.num_queries = num_queries;
+    qcfg.query_volume = 20000.0;
+    return qcfg;
+  }
+
+  static ExecutorConfig ExecConfig() {
+    ExecutorConfig ecfg;
+    ecfg.cache_bytes = ScaledCacheBytes(index_->store());
+    ecfg.prefetch_window_ratio = 1.4;
+    return ecfg;
+  }
+
+  static Dataset* dataset_;
+  static RTreeIndex* index_;
+};
+
+Dataset* MultiClientTest::dataset_ = nullptr;
+RTreeIndex* MultiClientTest::index_ = nullptr;
+
+TEST_F(MultiClientTest, WorkerCountIndependence) {
+  constexpr uint32_t kSessions = 4;
+  constexpr uint64_t kSeed = 424242;
+  const SharedCacheResult one =
+      RunSharedCacheExperiment(*dataset_, *index_, ScoutFactory(),
+                               QueryConfig(), ExecConfig(), kSessions, kSeed,
+                               /*num_workers=*/1);
+  ASSERT_EQ(one.session_hit_rate_pct.size(), kSessions);
+  for (uint32_t workers : {2u, 4u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << workers << " workers");
+    const SharedCacheResult many = RunSharedCacheExperiment(
+        *dataset_, *index_, ScoutFactory(), QueryConfig(), ExecConfig(),
+        kSessions, kSeed, workers);
+    ExpectSameSharedResult(one, many);
+  }
+}
+
+TEST_F(MultiClientTest, EngineRerunsAreBitIdentical) {
+  // Reusing ONE engine (and therefore one shared cache across epochs)
+  // exercises the Clear()/ConfigureSharing reinitialization paths: any
+  // leaked shared-mode state between runs shows up as a diff.
+  MultiClientEngine engine(*dataset_, *index_, ScoutFactory(), QueryConfig(),
+                           ExecConfig(), /*num_sessions=*/3, /*seed=*/777);
+  const uint64_t epoch_before = engine.shared_cache().epoch();
+  const MultiClientOutcome first = engine.Run(/*num_workers=*/2);
+  const MultiClientOutcome second = engine.Run(/*num_workers=*/1);
+  EXPECT_GE(engine.shared_cache().epoch(), epoch_before + 2);
+
+  ASSERT_EQ(first.runs.size(), second.runs.size());
+  for (size_t s = 0; s < first.runs.size(); ++s) {
+    SCOPED_TRACE(::testing::Message() << "session " << s);
+    ASSERT_EQ(first.runs[s].queries.size(), second.runs[s].queries.size());
+    EXPECT_EQ(first.runs[s].TotalPagesHit(), second.runs[s].TotalPagesHit());
+    EXPECT_EQ(first.runs[s].TotalResponseUs(),
+              second.runs[s].TotalResponseUs());
+    EXPECT_EQ(first.cache_stats[s].hits_own, second.cache_stats[s].hits_own);
+    EXPECT_EQ(first.cache_stats[s].hits_cross,
+              second.cache_stats[s].hits_cross);
+    EXPECT_EQ(first.cache_stats[s].inserts, second.cache_stats[s].inserts);
+    EXPECT_EQ(first.cache_stats[s].evictions_caused,
+              second.cache_stats[s].evictions_caused);
+  }
+}
+
+TEST_F(MultiClientTest, SingleSessionMatchesRunBatch) {
+  // One session over the shared cache is the degenerate case: the same
+  // workload, prefetcher stream (session 0 keeps the config stream) and
+  // executor semantics as the single-stream engine — combined results
+  // must be bit-identical to RunBatch with one sequence. The two modes
+  // deliberately differ in ONE policy — a full shared cache evicts where
+  // a full private cache halts prefetching — so the equivalence is
+  // checked with a cache large enough to never fill, which isolates the
+  // scheduler/executor path itself.
+  constexpr uint64_t kSeed = 9001;
+  ExecutorConfig ecfg = ExecConfig();
+  ecfg.cache_bytes = 1ull << 30;
+  const ExperimentResult batch =
+      RunBatch(*dataset_, *index_, ScoutFactory(), QueryConfig(), ecfg,
+               /*num_sequences=*/1, kSeed, /*num_workers=*/1);
+  const SharedCacheResult shared = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), ecfg,
+      /*num_sessions=*/1, kSeed, /*num_workers=*/1);
+  ExpectSameCombined(batch, shared.combined);
+  // All hits of a lone session are its own: no one else shares the cache.
+  EXPECT_EQ(shared.hits_cross, 0u);
+  EXPECT_EQ(shared.cross_hit_share_pct, 0.0);
+}
+
+TEST_F(MultiClientTest, RandomizedInterleavingsAreWorkerIndependent) {
+  // Randomized scenario sweep: different seeds vary the workloads (and
+  // with them the interleaving the scheduler produces); every scenario
+  // must be bit-identical between serial and threaded execution.
+  for (const uint64_t seed : {11ull, 22ull, 33ull}) {
+    const uint32_t sessions = 2 + static_cast<uint32_t>(seed % 5);
+    const uint32_t threads = 2 + static_cast<uint32_t>(seed % 7);
+    SCOPED_TRACE(::testing::Message()
+                 << "seed " << seed << ", " << sessions << " sessions, "
+                 << threads << " threads");
+    const SharedCacheResult serial = RunSharedCacheExperiment(
+        *dataset_, *index_, ScoutFactory(), QueryConfig(/*num_queries=*/8),
+        ExecConfig(), sessions, seed, /*num_workers=*/1);
+    const SharedCacheResult threaded = RunSharedCacheExperiment(
+        *dataset_, *index_, ScoutFactory(), QueryConfig(/*num_queries=*/8),
+        ExecConfig(), sessions, seed, threads);
+    ExpectSameSharedResult(serial, threaded);
+  }
+}
+
+TEST_F(MultiClientTest, SharingAccountingIsConsistent) {
+  constexpr uint32_t kSessions = 4;
+  const SharedCacheResult r = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), ExecConfig(),
+      kSessions, /*seed=*/5150, /*num_workers=*/2);
+
+  // Every pooled cache hit is attributed to exactly one session, as own
+  // or cross; evicted pages were inserted by someone.
+  EXPECT_EQ(r.hits_own + r.hits_cross, r.combined.total_hits);
+  ASSERT_EQ(r.session_cache.size(), kSessions);
+  uint64_t evicted = 0;
+  uint64_t inserts = 0;
+  for (const CacheSessionStats& s : r.session_cache) {
+    evicted += s.pages_evicted;
+    inserts += s.inserts;
+  }
+  EXPECT_EQ(evicted, r.evictions);
+  EXPECT_GE(inserts, evicted);
+  EXPECT_GE(r.combined.total_pages, r.combined.total_hits);
+  EXPECT_EQ(r.session_hit_rate_pct.size(), kSessions);
+  EXPECT_EQ(r.session_response_us.size(), kSessions);
+  // The workload actually exercises the engine.
+  EXPECT_GT(r.combined.total_queries, 0u);
+  EXPECT_GT(r.combined.total_hits, 0u);
+}
+
+}  // namespace
+}  // namespace scout

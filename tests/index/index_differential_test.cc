@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/query_executor.h"
 #include "index/flat_index.h"
 #include "index/rtree.h"
 #include "testing/test_util.h"
@@ -99,6 +100,55 @@ TEST_P(IndexDifferentialTest, RTreeMatchesFlatAndOracleOnRandomQueries) {
 // 3 datasets x 340 queries = 1020 randomized differential checks.
 INSTANTIATE_TEST_SUITE_P(SeededDatasets, IndexDifferentialTest,
                          ::testing::Values(101u, 202u, 303u));
+
+TEST_P(IndexDifferentialTest, PreparedObjectsMatchNaiveResultFilter) {
+  // QueryExecutor::Prepare batch-appends whole pages the region fully
+  // contains, skipping the per-object Intersects filter. The result-set
+  // contract: the exact object sequence (ids AND order) of the naive
+  // page-by-page, object-by-object filter, for cubes and frustums alike.
+  const uint64_t dataset_seed = GetParam();
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(120, 120, 120));
+  const std::vector<SpatialObject> objects =
+      MakeRandomObjects(15000, bounds, dataset_seed);
+  auto rtree_or = RTreeIndex::Build(objects);
+  ASSERT_TRUE(rtree_or.ok());
+  const auto& rtree = *rtree_or.value();
+
+  Rng rng(dataset_seed * 104729 + 5);
+  size_t fast_path_pages = 0;
+  QueryExecutor::PreparedQuery prep;
+  for (int q = 0; q < 120; ++q) {
+    const Vec3 center(rng.Uniform(0, 120), rng.Uniform(0, 120),
+                      rng.Uniform(0, 120));
+    // Large volumes so queries regularly contain whole pages.
+    const double volume = rng.Uniform(1000.0, 120000.0);
+    Region region;
+    if (q % 3 == 0) {
+      Vec3 dir(rng.Gaussian(0, 1), rng.Gaussian(0, 1), rng.Gaussian(0, 1));
+      if (dir == Vec3()) dir = Vec3(1, 0, 0);
+      region = Region::FrustumAt(center, dir, volume);
+    } else {
+      region = Region::CubeAt(center, volume);
+    }
+
+    QueryExecutor::Prepare(rtree, region, &prep);
+    std::vector<ObjectId> naive;
+    for (PageId page : prep.pages) {
+      const Page& p = rtree.store().page(page);
+      if (region.ContainsBox(p.bounds)) ++fast_path_pages;
+      for (const SpatialObject& obj : p.objects) {
+        if (region.Intersects(obj.Bounds())) naive.push_back(obj.id);
+      }
+    }
+    ASSERT_EQ(prep.objects.size(), naive.size()) << "query " << q;
+    for (size_t i = 0; i < naive.size(); ++i) {
+      ASSERT_EQ(prep.objects[i].object->id, naive[i])
+          << "query " << q << " object " << i;
+    }
+  }
+  // The query mix must actually exercise the containment fast path.
+  EXPECT_GT(fast_path_pages, 0u);
+}
 
 }  // namespace
 }  // namespace scout

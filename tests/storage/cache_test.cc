@@ -140,5 +140,129 @@ TEST(CacheTest, ManyInsertionsBoundedBySize) {
   EXPECT_EQ(cache.evictions(), 992u);
 }
 
+// ---------------------------------------------------------------- shared mode
+
+TEST(CacheSharedModeTest, HitsAttributeToInsertingSession) {
+  PrefetchCache cache(8 * kPageBytes);
+  cache.ConfigureSharing(2);
+
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.SetActiveSession(1);
+  cache.Insert(3);
+
+  // Session 1 hits its own page and two of session 0's prefetches
+  // (constructive sharing).
+  EXPECT_TRUE(cache.TouchIfPresent(3));
+  EXPECT_TRUE(cache.TouchIfPresent(1));
+  EXPECT_TRUE(cache.TouchIfPresent(2));
+  EXPECT_FALSE(cache.TouchIfPresent(99));  // Misses attribute nothing.
+
+  const auto& stats = cache.session_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].inserts, 2u);
+  EXPECT_EQ(stats[1].inserts, 1u);
+  EXPECT_EQ(stats[1].hits_own, 1u);
+  EXPECT_EQ(stats[1].hits_cross, 2u);
+  EXPECT_EQ(stats[0].hits_own, 0u);
+  EXPECT_EQ(stats[0].hits_cross, 0u);
+}
+
+TEST(CacheSharedModeTest, ReinsertKeepsOriginalOwner) {
+  PrefetchCache cache(8 * kPageBytes);
+  cache.ConfigureSharing(2);
+  cache.SetActiveSession(0);
+  cache.Insert(7);
+  cache.SetActiveSession(1);
+  cache.Insert(7);  // Refresh only: ownership stays with session 0.
+  EXPECT_TRUE(cache.TouchIfPresent(7));
+  const auto& stats = cache.session_stats();
+  EXPECT_EQ(stats[1].hits_cross, 1u);
+  EXPECT_EQ(stats[1].hits_own, 0u);
+  EXPECT_EQ(stats[1].inserts, 0u);  // A refresh is not a new insert.
+  EXPECT_EQ(stats[0].inserts, 1u);
+}
+
+TEST(CacheSharedModeTest, EvictionContentionIsAttributedBothWays) {
+  PrefetchCache cache(2 * kPageBytes);
+  cache.ConfigureSharing(2);
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.SetActiveSession(1);
+  cache.Insert(3);  // Evicts session 0's LRU page 1.
+  EXPECT_FALSE(cache.Contains(1));
+  const auto& stats = cache.session_stats();
+  EXPECT_EQ(stats[1].evictions_caused, 1u);
+  EXPECT_EQ(stats[0].pages_evicted, 1u);
+  EXPECT_EQ(stats[1].pages_evicted, 0u);
+}
+
+TEST(CacheSharedModeTest, UnattributedOpsCountNothing) {
+  // Sharing configured but no active session (e.g. engine-internal
+  // maintenance): operations must work and attribute to no one.
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2);
+  cache.Insert(1);
+  EXPECT_TRUE(cache.TouchIfPresent(1));
+  for (const auto& s : cache.session_stats()) {
+    EXPECT_EQ(s.inserts, 0u);
+    EXPECT_EQ(s.hits_own, 0u);
+    EXPECT_EQ(s.hits_cross, 0u);
+  }
+}
+
+TEST(CacheSharedModeTest, ClearReinitializesAllSharedState) {
+  // The back-to-back determinism contract: after Clear, a shared cache
+  // must be indistinguishable from a freshly configured one — stats
+  // zeroed, active session detached, epoch advanced.
+  PrefetchCache cache(2 * kPageBytes);
+  cache.ConfigureSharing(2);
+  const uint64_t epoch0 = cache.epoch();
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.SetActiveSession(1);
+  cache.Insert(3);              // Eviction: all counter kinds non-zero.
+  cache.TouchIfPresent(2);
+  cache.Clear();
+
+  EXPECT_EQ(cache.epoch(), epoch0 + 1);
+  ASSERT_EQ(cache.session_stats().size(), 2u);  // Sharing stays enabled.
+  for (const auto& s : cache.session_stats()) {
+    EXPECT_EQ(s.inserts, 0u);
+    EXPECT_EQ(s.hits_own, 0u);
+    EXPECT_EQ(s.hits_cross, 0u);
+    EXPECT_EQ(s.evictions_caused, 0u);
+    EXPECT_EQ(s.pages_evicted, 0u);
+  }
+  // The active session was detached: new inserts attribute to no one.
+  cache.Insert(9);
+  EXPECT_EQ(cache.session_stats()[0].inserts, 0u);
+  EXPECT_EQ(cache.session_stats()[1].inserts, 0u);
+
+  // A second identical round over the cleared cache produces identical
+  // attribution (bit-identical back-to-back sequences).
+  cache.Clear();
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.SetActiveSession(1);
+  cache.Insert(3);
+  cache.TouchIfPresent(2);
+  EXPECT_EQ(cache.session_stats()[1].evictions_caused, 1u);
+  EXPECT_EQ(cache.session_stats()[0].pages_evicted, 1u);
+  EXPECT_EQ(cache.session_stats()[1].hits_cross, 1u);
+}
+
+TEST(CacheSharedModeTest, EpochAdvancesOnEveryClearEvenWhenEmpty) {
+  PrefetchCache cache(4 * kPageBytes);
+  const uint64_t epoch0 = cache.epoch();
+  cache.Clear();  // Never-used cache: still a new generation.
+  cache.Clear();
+  EXPECT_EQ(cache.epoch(), epoch0 + 2);
+}
+
 }  // namespace
 }  // namespace scout
