@@ -13,6 +13,7 @@
 #include "bench/testing_support.h"
 #include "common/stopwatch.h"
 #include "graph/graph_builder.h"
+#include "index/box_rtree.h"
 #include "prefetch/scout_opt_prefetcher.h"
 #include "storage/cache.h"
 
@@ -24,6 +25,7 @@ namespace {
 struct RecorderOptions {
   bool tiny = false;
   bool append = false;
+  bool force = false;
   std::string label = "current";
   std::string out = "BENCH_baseline.json";
 };
@@ -245,21 +247,63 @@ void RecordMicroScenarios(Recorder* rec) {
     auto index = std::move(
         *RTreeIndex::Build(benchsupport::RandomObjects(
             scale.rtree_objects, bounds, /*seed=*/4)));
-    Rng rng(5);
-    std::vector<PageId> pages;
-    uint64_t total_pages = 0;
+    {
+      Rng rng(5);
+      std::vector<PageId> pages;
+      uint64_t total_pages = 0;
+      Stopwatch sw;
+      for (size_t i = 0; i < scale.rtree_queries; ++i) {
+        const Region query = Region::CubeAt(
+            Vec3(rng.Uniform(30, 270), rng.Uniform(30, 270),
+                 rng.Uniform(30, 270)),
+            80000.0);
+        pages.clear();
+        index->QueryPages(query, &pages);
+        total_pages += pages.size();
+      }
+      RecordOrUse(rec, "rtree_query_pages", scale.rtree_queries,
+                  static_cast<double>(sw.ElapsedMicros()), total_pages);
+    }
+    {
+      // Frustum-aspect queries through the same index: the
+      // IntersectsPrefiltered walk the vis scenarios lean on (workload
+      // shared with micro_core_ops BM_FrustumPrefilteredQuery via
+      // benchsupport).
+      Rng rng(15);
+      std::vector<PageId> pages;
+      uint64_t total_pages = 0;
+      Stopwatch sw;
+      for (size_t i = 0; i < scale.rtree_queries; ++i) {
+        const Region query = benchsupport::NextFrustumQuery(&rng);
+        pages.clear();
+        index->QueryPages(query, &pages);
+        total_pages += pages.size();
+      }
+      RecordOrUse(rec, "frustum_prefiltered_query", scale.rtree_queries,
+                  static_cast<double>(sw.ElapsedMicros()), total_pages);
+    }
+  }
+  {
+    // Pure directory walk: box queries straight against a BoxRTree (no
+    // PageStore behind it), isolating the SoA child-AABB loop the two
+    // rows above sit on. Tree + query distribution shared with
+    // micro_core_ops BM_RTreeDirectoryWalk via benchsupport (STR-packed
+    // — an unsorted load would make every node cover the whole space
+    // and reduce the walk to a linear scan).
+    const BoxRTree tree =
+        benchsupport::DirectoryWalkTree(scale.rtree_objects);
+    Rng rng(17);
+    std::vector<uint32_t> out;
+    uint64_t total_hits = 0;
     Stopwatch sw;
     for (size_t i = 0; i < scale.rtree_queries; ++i) {
-      const Region query = Region::CubeAt(
-          Vec3(rng.Uniform(30, 270), rng.Uniform(30, 270),
-               rng.Uniform(30, 270)),
-          80000.0);
-      pages.clear();
-      index->QueryPages(query, &pages);
-      total_pages += pages.size();
+      const Aabb query = benchsupport::NextDirectoryWalkQuery(&rng);
+      out.clear();
+      tree.Query(query, &out);
+      total_hits += out.size();
     }
-    RecordOrUse(rec, "rtree_query_pages", scale.rtree_queries,
-                static_cast<double>(sw.ElapsedMicros()), total_pages);
+    RecordOrUse(rec, "rtree_directory_walk", scale.rtree_queries,
+                static_cast<double>(sw.ElapsedMicros()), total_hits);
   }
   {
     // fig15: grid-hash graph construction over one query result.
@@ -289,6 +333,8 @@ void PrintUsage() {
       "  --label NAME    snapshot label (default: current)\n"
       "  --out PATH      output JSON (default: BENCH_baseline.json)\n"
       "  --append        append a snapshot instead of rewriting the file\n"
+      "                  (refuses labels already present in the file)\n"
+      "  --force         append even if the label already exists\n"
       "  --help          this message\n");
 }
 
@@ -302,6 +348,8 @@ int main(int argc, char** argv) {
       opt.tiny = true;
     } else if (arg == "--append") {
       opt.append = true;
+    } else if (arg == "--force") {
+      opt.force = true;
     } else if (arg == "--label" && i + 1 < argc) {
       opt.label = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
@@ -314,6 +362,17 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
+  }
+
+  // Refuse duplicate labels up front, before burning minutes of
+  // recording (the checked write below re-validates at write time).
+  if (opt.append && !opt.force &&
+      BaselineContainsLabel(ReadFileOrEmpty(opt.out), opt.label)) {
+    std::fprintf(stderr,
+                 "label '%s' already exists in %s; pick a new label or pass "
+                 "--force\n",
+                 opt.label.c_str(), opt.out.c_str());
+    return 1;
   }
 
   Recorder rec(opt.tiny ? kTinyScale : kFullScale, opt.tiny);
@@ -329,8 +388,10 @@ int main(int argc, char** argv) {
 
   const std::string snapshot =
       BaselineSnapshotJson(opt.label, rec.tiny(), rec.figs, rec.micro);
-  if (!WriteBaselineSnapshot(opt.out, opt.append, snapshot)) {
-    std::fprintf(stderr, "failed to write %s\n", opt.out.c_str());
+  std::string error;
+  if (!RecordBaselineSnapshot(opt.out, opt.append, opt.force, opt.label,
+                              snapshot, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
   std::printf("wrote %s snapshot '%s' (%zu fig rows, %zu micro rows) in %.1fs\n",

@@ -205,6 +205,22 @@ inline std::string BaselineSnapshotJson(
   return os.str();
 }
 
+/// True if the serialized baseline file contents already contain a
+/// snapshot labelled `label` (exact match of the serialized label field).
+inline bool BaselineContainsLabel(const std::string& file_contents,
+                                  const std::string& label) {
+  return file_contents.find("\"label\": \"" + JsonEscape(label) + "\"") !=
+         std::string::npos;
+}
+
+inline std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::string();
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 /// Writes (or, with `append`, extends) a BENCH_baseline.json file:
 ///   {"schema": 1, "snapshots": [ <snapshot>, ... ]}
 /// Append splices the new snapshot before the closing bracket of the
@@ -213,14 +229,7 @@ inline std::string BaselineSnapshotJson(
 inline bool WriteBaselineSnapshot(const std::string& path, bool append,
                                   const std::string& snapshot_json) {
   std::string existing;
-  if (append) {
-    std::ifstream in(path);
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      existing = buf.str();
-    }
-  }
+  if (append) existing = ReadFileOrEmpty(path);
   const size_t close = existing.rfind(']');
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
@@ -238,6 +247,30 @@ inline bool WriteBaselineSnapshot(const std::string& path, bool append,
         << snapshot_json << "\n  ]\n}\n";
   }
   return static_cast<bool>(out);
+}
+
+/// The recorder's write entry point: appends (or rewrites, when `append`
+/// is false) a snapshot labelled `label`. Appending REFUSES to add a
+/// snapshot whose label already exists in the target file — a silent
+/// duplicate label would make the perf trajectory ambiguous (which
+/// "post-optimization" row is the real one?) and corrupt every diff made
+/// against it. `force` overrides the refusal for deliberate re-records.
+/// On refusal or I/O failure returns false and describes why in *error.
+inline bool RecordBaselineSnapshot(const std::string& path, bool append,
+                                   bool force, const std::string& label,
+                                   const std::string& snapshot_json,
+                                   std::string* error) {
+  if (append && !force && BaselineContainsLabel(ReadFileOrEmpty(path), label)) {
+    *error = "refusing to append: label '" + label + "' already exists in " +
+             path + " (duplicate labels corrupt the baseline trajectory; " +
+             "pick a new label or pass --force)";
+    return false;
+  }
+  if (!WriteBaselineSnapshot(path, append, snapshot_json)) {
+    *error = "failed to write " + path;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace scout::bench

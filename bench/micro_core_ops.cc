@@ -9,6 +9,7 @@
 #include "graph/graph_builder.h"
 #include "graph/kmeans.h"
 #include "graph/traversal.h"
+#include "index/box_rtree.h"
 #include "index/flat_index.h"
 #include "index/rtree.h"
 #include "storage/cache.h"
@@ -173,6 +174,46 @@ void BM_RTreeRangeQuery(benchmark::State& state) {
   (void)bounds;
 }
 BENCHMARK(BM_RTreeRangeQuery);
+
+void BM_RTreeDirectoryWalk(benchmark::State& state) {
+  // Pure directory walk: box queries against a bare BoxRTree (no page
+  // store), isolating the SoA child-AABB test loop. Tree + query
+  // distribution shared with the recorder's rtree_directory_walk row
+  // via benchsupport (STR-packed entries).
+  const size_t n = static_cast<size_t>(state.range(0));
+  const BoxRTree tree = benchsupport::DirectoryWalkTree(n);
+  Rng rng(17);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    const Aabb query = benchsupport::NextDirectoryWalkQuery(&rng);
+    out.clear();
+    tree.Query(query, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RTreeDirectoryWalk)->Arg(50000)->Arg(200000);
+
+void BM_FrustumPrefilteredQuery(benchmark::State& state) {
+  // Frustum-aspect index queries: the walk the vis scenarios run, with
+  // the AABB prefilter rejecting far-away directory nodes before the
+  // plane tests. Query distribution shared with the recorder's
+  // frustum_prefiltered_query row via benchsupport.
+  static auto index = []() {
+    return std::move(*RTreeIndex::Build(
+        benchsupport::RandomObjects(200000, Aabb(Vec3(0, 0, 0),
+                                                 Vec3(300, 300, 300)),
+                                    4)));
+  }();
+  Rng rng(15);
+  std::vector<PageId> pages;
+  for (auto _ : state) {
+    const Region query = benchsupport::NextFrustumQuery(&rng);
+    pages.clear();
+    index->QueryPages(query, &pages);
+    benchmark::DoNotOptimize(pages.data());
+  }
+}
+BENCHMARK(BM_FrustumPrefilteredQuery);
 
 void BM_FlatOrderedQuery(benchmark::State& state) {
   static auto index = []() {

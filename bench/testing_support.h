@@ -4,6 +4,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "geom/region.h"
+#include "index/box_rtree.h"
+#include "index/str_pack.h"
 #include "storage/object.h"
 
 namespace scout::benchsupport {
@@ -27,6 +30,65 @@ inline std::vector<SpatialObject> RandomObjects(size_t n, const Aabb& bounds,
     objects.push_back(obj);
   }
   return objects;
+}
+
+// ---------------------------------------------------------------------
+// Directory-walk workload, shared between the baseline recorder's
+// `rtree_directory_walk` / `frustum_prefiltered_query` rows and
+// micro_core_ops' BM_RTreeDirectoryWalk / BM_FrustumPrefilteredQuery.
+// One definition keeps the two measurement surfaces in lockstep: the
+// baseline rows are only comparable with the google-benchmark numbers
+// while the seeds, box shapes, STR packing and query distributions stay
+// identical.
+
+/// STR-packed BoxRTree over `n` random small boxes in [0,300]^3
+/// (seed 16), payload = packed position.
+inline BoxRTree DirectoryWalkTree(size_t n) {
+  Rng rng(16);
+  std::vector<Aabb> raw_boxes;
+  std::vector<Vec3> centers;
+  raw_boxes.reserve(n);
+  centers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec3 center(rng.Uniform(0, 300), rng.Uniform(0, 300),
+                      rng.Uniform(0, 300));
+    const Vec3 half(rng.Uniform(0.1, 2), rng.Uniform(0.1, 2),
+                    rng.Uniform(0.1, 2));
+    raw_boxes.push_back(Aabb::FromCenterHalfExtents(center, half));
+    centers.push_back(center);
+  }
+  const std::vector<size_t> order = StrOrder(centers, BoxRTree::kFanout);
+  std::vector<Aabb> boxes;
+  std::vector<uint32_t> payloads;
+  boxes.reserve(n);
+  payloads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    boxes.push_back(raw_boxes[order[i]]);
+    payloads.push_back(static_cast<uint32_t>(i));
+  }
+  BoxRTree tree;
+  tree.BulkLoad(std::move(boxes), std::move(payloads));
+  return tree;
+}
+
+/// Next directory-walk query box: centers in [30,270]^3, half-extents
+/// in [5,25] per axis. Callers iterate one Rng (seed 17) across queries.
+inline Aabb NextDirectoryWalkQuery(Rng* rng) {
+  return Aabb::FromCenterHalfExtents(
+      Vec3(rng->Uniform(30, 270), rng->Uniform(30, 270),
+           rng->Uniform(30, 270)),
+      Vec3(rng->Uniform(5, 25), rng->Uniform(5, 25), rng->Uniform(5, 25)));
+}
+
+/// Next frustum-aspect index query: random direction, volume 80000,
+/// centers in [30,270]^3. Callers iterate one Rng (seed 15).
+inline Region NextFrustumQuery(Rng* rng) {
+  Vec3 dir(rng->Gaussian(0, 1), rng->Gaussian(0, 1), rng->Gaussian(0, 1));
+  if (dir == Vec3()) dir = Vec3(1, 0, 0);
+  return Region::FrustumAt(
+      Vec3(rng->Uniform(30, 270), rng->Uniform(30, 270),
+           rng->Uniform(30, 270)),
+      dir, 80000.0);
 }
 
 }  // namespace scout::benchsupport

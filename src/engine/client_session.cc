@@ -24,9 +24,25 @@ void ClientSession::Reset() {
   executor_.BeginSequence();
 }
 
-void ClientSession::ExecuteNext(const QueryExecutor::PreparedQuery& prep) {
+void ClientSession::PrepareObserveChain(
+    std::span<const QueryExecutor::PreparedQuery> preps,
+    std::vector<ObservePrep>* out) const {
+  out->clear();
+  if (!prefetcher_->SupportsPreparedObserve()) return;
+  out->resize(preps.size());
+  for (size_t i = 0; i < preps.size(); ++i) {
+    QueryResultView view;
+    view.region = &sequence_.queries[i];
+    view.objects = std::span<const GraphInput>(preps[i].objects);
+    view.pages = std::span<const PageId>(preps[i].pages);
+    prefetcher_->PrepareObserve(view, &(*out)[i]);
+  }
+}
+
+void ClientSession::ExecuteNext(const QueryExecutor::PreparedQuery& prep,
+                                ObservePrep* observe_prep) {
   const Region& region = sequence_.queries[next_step_];
-  const QueryRunStats q = executor_.ExecuteQuery(region, prep);
+  const QueryRunStats q = executor_.ExecuteQuery(region, prep, observe_prep);
   // The user sees the response, then computes on the result for the
   // prefetch-window duration before issuing the next query (Figure 2).
   next_time_ += q.response_us + q.window_us;

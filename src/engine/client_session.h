@@ -46,7 +46,19 @@ class ClientSession {
   /// Executes the session's next query against the shared cache using
   /// its precomputed pure part, records the stats and advances the
   /// session's timeline by the query's response + prefetch window.
-  void ExecuteNext(const QueryExecutor::PreparedQuery& prep);
+  /// `observe_prep` (optional) carries the pure part of the prefetcher's
+  /// Observe precomputed by PrepareObserveChain.
+  void ExecuteNext(const QueryExecutor::PreparedQuery& prep,
+                   ObservePrep* observe_prep = nullptr);
+
+  /// Precomputes the pure Observe part of every step, in step order (a
+  /// session's Observes form a dependency chain; cross-session order is
+  /// free because all graph state is per-session). Leaves `out` empty
+  /// when this session's prefetcher cannot prepare ahead (its graph
+  /// build reads sequence state). Runs on worker threads: touches only
+  /// this session's prefetcher configuration and the precomputed preps.
+  void PrepareObserveChain(std::span<const QueryExecutor::PreparedQuery> preps,
+                           std::vector<ObservePrep>* out) const;
 
   /// Stats of the queries executed since the last Reset.
   const SequenceRunStats& stats() const { return stats_; }

@@ -72,6 +72,26 @@ MultiClientOutcome MultiClientEngine::Run(uint32_t num_workers) {
     });
   }
 
+  // ---- Phase 1.5 (parallel, pure): precompute each session's Observe
+  // graphs. Construction is a per-session dependency chain — a session's
+  // Observes stay in step order — but sessions are mutually independent
+  // (all graph state is per-session), so each chain runs whole on one
+  // worker and sessions fan out across workers. Prefetchers whose build
+  // reads sequence state (SCOUT-OPT with a neighborhood index) skip the
+  // phase and keep building inside the apply loop.
+  std::vector<std::vector<ObservePrep>> observe_preps(n);
+  {
+    const uint32_t workers = std::min(num_workers, n);
+    std::atomic<uint32_t> next{0};
+    RunOnPool(workers, [&]() {
+      while (true) {
+        const uint32_t s = next.fetch_add(1);
+        if (s >= n) return;
+        sessions_[s]->PrepareObserveChain(preps[s], &observe_preps[s]);
+      }
+    });
+  }
+
   // ---- Phase 2 (parallel, pure): no-prefetch baselines on private
   // executor stacks. A baseline never touches the shared cache.
   std::vector<SequenceRunStats> baselines(n);
@@ -104,7 +124,11 @@ MultiClientOutcome MultiClientEngine::Run(uint32_t num_workers) {
     }
     if (pick == nullptr) break;
     shared_cache_.SetActiveSession(pick->id());
-    pick->ExecuteNext(preps[pick->id()][pick->next_step()]);
+    const uint32_t s = pick->id();
+    const size_t step = pick->next_step();
+    ObservePrep* observe_prep =
+        observe_preps[s].empty() ? nullptr : &observe_preps[s][step];
+    pick->ExecuteNext(preps[s][step], observe_prep);
   }
   shared_cache_.SetActiveSession(PrefetchCache::kNoSession);
 

@@ -32,8 +32,10 @@ struct MultiClientOutcome {
 /// ties broken by lowest session id — and every shared-cache/disk effect
 /// is applied serially in that schedule order (single-writer apply
 /// loop). Worker threads only ever compute the *pure* per-query work
-/// (index lookups + result filtering + the no-prefetch baselines), whose
-/// results are independent of execution order. Outcomes are therefore
+/// (index lookups + result filtering, the prefetchers' Observe graph
+/// construction — chained in step order per session, fanned out across
+/// sessions — and the no-prefetch baselines), whose results are
+/// independent of execution order. Outcomes are therefore
 /// bit-identical for any worker count, any number of reruns, and any
 /// host machine — the same contract the single-stream engine keeps.
 ///

@@ -166,6 +166,12 @@ void QueryExecutor::BeginSequence() {
 
 QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
                                           const PreparedQuery& prep) {
+  return ExecuteQuery(region, prep, nullptr);
+}
+
+QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
+                                          const PreparedQuery& prep,
+                                          ObservePrep* observe_prep) {
   QueryRunStats q;
 
   // --- Execute the query: cache hits first, misses from disk. ---
@@ -196,7 +202,7 @@ QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
   view.region = &region;
   view.objects = std::span<const GraphInput>(prep.objects);
   view.pages = std::span<const PageId>(prep.pages);
-  q.observe_us = prefetcher_->Observe(view);
+  q.observe_us = prefetcher_->Observe(view, observe_prep);
 
   const ObserveBreakdown& breakdown = prefetcher_->last_observe();
   q.graph_build_us = breakdown.graph_build_us;

@@ -91,6 +91,13 @@ class QueryExecutor {
   /// `region` on the same index.
   QueryRunStats ExecuteQuery(const Region& region, const PreparedQuery& prep);
 
+  /// Same, with the pure part of the prefetcher's Observe precomputed
+  /// (PrepareObserve on a worker thread). `observe_prep` may be null or
+  /// invalid — the prefetcher then builds its graph inline; simulated
+  /// outcomes are identical either way.
+  QueryRunStats ExecuteQuery(const Region& region, const PreparedQuery& prep,
+                             ObservePrep* observe_prep);
+
   /// Executes one sequence cold (BeginSequence + Prepare/ExecuteQuery
   /// per query).
   SequenceRunStats RunSequence(std::span<const Region> queries);

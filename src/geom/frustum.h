@@ -55,9 +55,12 @@ class Frustum {
   /// frustum are rejected with as little as one comparison. Still never a
   /// false negative, but it filters the rare plane-test false positives
   /// (boxes that straddle the near/far slab far outside the hull), so its
-  /// accept set is a strict subset of Intersects(). Index walks keep
-  /// using Intersects() until the perf baselines are re-seeded — swapping
-  /// the test changes query results and therefore simulated outcomes.
+  /// accept set is a strict subset of Intersects(). This IS the query
+  /// path since the seed2 baseline re-seed: Region::Intersects and the
+  /// index directory walks apply it, which is why seed2-era simulated
+  /// results are not comparable with seed-era snapshots (README
+  /// "Semantic changes & baseline re-seeds"). Plain Intersects() remains
+  /// as the reference the differential tests diff against.
   bool IntersectsPrefiltered(const Aabb& box) const;
 
   /// Exact full-containment test: true iff every corner of the box lies

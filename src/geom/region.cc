@@ -16,7 +16,14 @@ bool Region::Contains(const Vec3& p) const {
 
 bool Region::Intersects(const Aabb& other) const {
   if (is_box()) return box().Intersects(other);
-  return frustum().Intersects(other);
+  // The AABB-prefiltered test is the query-path overlap test since the
+  // seed2 baseline re-seed: it rejects far-away boxes on the frustum's
+  // corner hull with as little as one comparison AND removes the rare
+  // plane-test false positives, so frustum result sets are a strict
+  // subset of the plain six-plane test's (never a false negative; see
+  // Frustum::IntersectsPrefiltered and README "Semantic changes &
+  // baseline re-seeds").
+  return frustum().IntersectsPrefiltered(other);
 }
 
 bool Region::ContainsBox(const Aabb& other) const {

@@ -44,7 +44,9 @@ class Region {
   /// True if the point lies inside the region.
   bool Contains(const Vec3& p) const;
 
-  /// Conservative region-box overlap test (never false negative).
+  /// Conservative region-box overlap test (never false negative). For
+  /// frustum regions this is the AABB-prefiltered test (seed2 query-path
+  /// semantics): a strict subset of the plain six-plane accept set.
   bool Intersects(const Aabb& box) const;
 
   /// Conservative full-containment test (never a false positive): true

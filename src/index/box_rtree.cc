@@ -8,18 +8,29 @@
 namespace scout {
 
 void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
-                        std::vector<uint32_t> payloads) {
+                        std::vector<uint32_t> payloads, size_t fanout) {
   assert(boxes.size() == payloads.size());
+  // A fanout below 2 cannot shrink the level list (the upper-level build
+  // would loop forever growing nodes_); clamp hard rather than relying
+  // on a compiled-out assert now that the knob is public API.
+  fanout = std::max<size_t>(2, fanout);
   nodes_.clear();
+  slot_min_x_.clear();
+  slot_min_y_.clear();
+  slot_min_z_.clear();
+  slot_max_x_.clear();
+  slot_max_y_.clear();
+  slot_max_z_.clear();
   entry_boxes_ = std::move(boxes);
   entry_payloads_ = std::move(payloads);
   leaf_count_ = entry_boxes_.size();
+  fanout_ = fanout;
   if (leaf_count_ == 0) return;
 
-  // Level 0: leaf nodes covering runs of kFanout entries.
+  // Level 0: leaf nodes covering runs of `fanout` entries.
   std::vector<uint32_t> level;
-  for (size_t start = 0; start < leaf_count_; start += kFanout) {
-    const size_t end = std::min(start + kFanout, leaf_count_);
+  for (size_t start = 0; start < leaf_count_; start += fanout) {
+    const size_t end = std::min(start + fanout, leaf_count_);
     Node node;
     node.is_leaf = true;
     node.first_child = static_cast<uint32_t>(start);
@@ -33,8 +44,8 @@ void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
   // Build upper levels until a single root remains.
   while (level.size() > 1) {
     std::vector<uint32_t> next;
-    for (size_t start = 0; start < level.size(); start += kFanout) {
-      const size_t end = std::min(start + kFanout, level.size());
+    for (size_t start = 0; start < level.size(); start += fanout) {
+      const size_t end = std::min(start + fanout, level.size());
       Node node;
       node.is_leaf = false;
       node.first_child = level[start];
@@ -50,38 +61,89 @@ void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
     level = std::move(next);
   }
   root_ = level[0];
+  // The contained-subtree stack tag claims the node index MSB.
+  assert(nodes_.size() < kContainedTag);
+
+  // Pack every node's child AABBs into contiguous SoA slots, in child
+  // order: entry boxes for leaves, child-node bounds for internal nodes.
+  // The walk only ever touches these six flat arrays (plus payloads),
+  // never the Aabb members scattered across Node structs.
+  size_t total_slots = 0;
+  for (const Node& node : nodes_) total_slots += node.count;
+  slot_min_x_.reserve(total_slots);
+  slot_min_y_.reserve(total_slots);
+  slot_min_z_.reserve(total_slots);
+  slot_max_x_.reserve(total_slots);
+  slot_max_y_.reserve(total_slots);
+  slot_max_z_.reserve(total_slots);
+  for (Node& node : nodes_) {
+    node.slot_begin = static_cast<uint32_t>(slot_min_x_.size());
+    for (uint32_t i = 0; i < node.count; ++i) {
+      const Aabb& box = node.is_leaf
+                            ? entry_boxes_[node.entry_begin + i]
+                            : nodes_[node.first_child + i].bounds;
+      slot_min_x_.push_back(box.min().x);
+      slot_min_y_.push_back(box.min().y);
+      slot_min_z_.push_back(box.min().z);
+      slot_max_x_.push_back(box.max().x);
+      slot_max_y_.push_back(box.max().y);
+      slot_max_z_.push_back(box.max().z);
+    }
+  }
 }
 
-template <typename Overlaps, typename Contains>
-void BoxRTree::Walk(const Overlaps& overlaps, const Contains& contains,
+template <typename OverlapsSlot, typename ContainsSlot>
+void BoxRTree::Walk(const OverlapsSlot& overlaps, const ContainsSlot& contains,
                     std::vector<uint32_t>* out) const {
   if (leaf_count_ == 0) return;
-  out->reserve(out->size() + kFanout);
-  // Iterative DFS over a fixed stack (no per-query allocation). Children
-  // are pushed in reverse so entries are emitted in bulk-load order.
-  uint32_t stack[kMaxTraversalStack];
+  out->reserve(out->size() + fanout_);
+  // Iterative DFS: a popped node tests all of its children in one flat
+  // SoA loop and pushes the overlapping ones in reverse, so entries come
+  // out in bulk-load order. Subtrees the query fully contains are pushed
+  // with the contained tag and batch-append their entry run on pop. The
+  // root is expanded unconditionally (its bounds are not in any slot);
+  // if the query misses the tree entirely, its child tests all fail.
+  uint32_t inline_stack[kMaxTraversalStack];
+  uint32_t* stack = inline_stack;
+  size_t capacity = kMaxTraversalStack;
+  std::vector<uint32_t> heap;  // Engaged only by the spill guard below.
   size_t top = 0;
   stack[top++] = root_;
   while (top > 0) {
-    const Node& node = nodes_[stack[--top]];
-    if (!overlaps(node.bounds)) continue;
-    if (contains(node.bounds)) {
+    const uint32_t item = stack[--top];
+    const Node& node = nodes_[item & ~kContainedTag];
+    if (item & kContainedTag) {
       // Whole subtree inside the query: batch-append its entry run.
       out->insert(out->end(), entry_payloads_.begin() + node.entry_begin,
                   entry_payloads_.begin() + node.entry_end);
       continue;
     }
+    const uint32_t base = node.slot_begin;
     if (node.is_leaf) {
       for (uint32_t i = 0; i < node.count; ++i) {
-        const uint32_t entry = node.first_child + i;
-        if (overlaps(entry_boxes_[entry])) {
-          out->push_back(entry_payloads_[entry]);
+        if (overlaps(base + i)) {
+          out->push_back(entry_payloads_[node.entry_begin + i]);
         }
       }
-    } else {
-      assert(top + node.count <= kMaxTraversalStack);
-      for (uint32_t i = node.count; i > 0; --i) {
-        stack[top++] = node.first_child + i - 1;
+      continue;
+    }
+    if (top + node.count > capacity) {
+      // Spill guard: a node is about to push more children than the
+      // remaining fixed-stack capacity. The static bound makes this
+      // unreachable for default-fanout trees (asserted); degenerate
+      // runtime fanouts fall back to a heap-backed stack.
+      assert(fanout_ != kFanout &&
+             "default-fanout tree overflowed the static traversal bound");
+      if (heap.empty()) heap.assign(stack, stack + top);
+      heap.resize(std::max<size_t>(2 * capacity, top + node.count));
+      stack = heap.data();
+      capacity = heap.size();
+    }
+    for (uint32_t i = node.count; i > 0; --i) {
+      const uint32_t slot = base + i - 1;
+      if (overlaps(slot)) {
+        const uint32_t child = node.first_child + i - 1;
+        stack[top++] = contains(slot) ? (child | kContainedTag) : child;
       }
     }
   }
@@ -95,28 +157,58 @@ void BoxRTree::Query(const Region& region, std::vector<uint32_t>* out) const {
   }
   // Frustum aspect: bind the frustum once so the walk hits the p-vertex
   // fast path directly instead of re-dispatching the variant per node.
+  // The walk applies the prefiltered test (Frustum::IntersectsPrefiltered
+  // semantics, seed2 baselines): the corner-hull AABB rejection runs
+  // directly over the flat slot arrays, and only hull survivors pay the
+  // six-plane test.
   const Frustum& frustum = region.frustum();
-  Walk([&](const Aabb& b) { return frustum.Intersects(b); },
-       [&](const Aabb& b) { return frustum.ContainsBox(b); }, out);
+  const Vec3 hmin = frustum.Bounds().min();
+  const Vec3 hmax = frustum.Bounds().max();
+  const double* sminx = slot_min_x_.data();
+  const double* sminy = slot_min_y_.data();
+  const double* sminz = slot_min_z_.data();
+  const double* smaxx = slot_max_x_.data();
+  const double* smaxy = slot_max_y_.data();
+  const double* smaxz = slot_max_z_.data();
+  const auto slot_box = [&](uint32_t s) {
+    return Aabb(Vec3(sminx[s], sminy[s], sminz[s]),
+                Vec3(smaxx[s], smaxy[s], smaxz[s]));
+  };
+  Walk(
+      [&](uint32_t s) {
+        if (smaxx[s] < hmin.x || sminx[s] > hmax.x || smaxy[s] < hmin.y ||
+            sminy[s] > hmax.y || smaxz[s] < hmin.z || sminz[s] > hmax.z) {
+          return false;
+        }
+        return frustum.Intersects(slot_box(s));
+      },
+      [&](uint32_t s) { return frustum.ContainsBox(slot_box(s)); }, out);
 }
 
 void BoxRTree::Query(const Aabb& box, std::vector<uint32_t>* out) const {
   if (box.IsEmpty()) return;
-  // Entry and node boxes are never empty (they bound real objects), and
-  // the query box was just checked, so the per-box IsEmpty gates inside
-  // Aabb::Intersects/Contains can be hoisted out of the walk.
+  // Slot boxes are never empty (they bound real objects), and the query
+  // box was just checked, so the per-box IsEmpty gates inside
+  // Aabb::Intersects/Contains can be hoisted out of the walk. The
+  // comparisons read nothing but the six flat slot arrays.
   const Vec3 qmin = box.min();
   const Vec3 qmax = box.max();
+  const double* sminx = slot_min_x_.data();
+  const double* sminy = slot_min_y_.data();
+  const double* sminz = slot_min_z_.data();
+  const double* smaxx = slot_max_x_.data();
+  const double* smaxy = slot_max_y_.data();
+  const double* smaxz = slot_max_z_.data();
   Walk(
-      [&](const Aabb& b) {
-        return qmin.x <= b.max().x && qmax.x >= b.min().x &&
-               qmin.y <= b.max().y && qmax.y >= b.min().y &&
-               qmin.z <= b.max().z && qmax.z >= b.min().z;
+      [&](uint32_t s) {
+        return qmin.x <= smaxx[s] && qmax.x >= sminx[s] &&
+               qmin.y <= smaxy[s] && qmax.y >= sminy[s] &&
+               qmin.z <= smaxz[s] && qmax.z >= sminz[s];
       },
-      [&](const Aabb& b) {
-        return qmin.x <= b.min().x && qmax.x >= b.max().x &&
-               qmin.y <= b.min().y && qmax.y >= b.max().y &&
-               qmin.z <= b.min().z && qmax.z >= b.max().z;
+      [&](uint32_t s) {
+        return qmin.x <= sminx[s] && qmax.x >= smaxx[s] &&
+               qmin.y <= sminy[s] && qmax.y >= smaxy[s] &&
+               qmin.z <= sminz[s] && qmax.z >= smaxz[s];
       },
       out);
 }

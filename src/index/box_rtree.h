@@ -15,6 +15,12 @@ namespace scout {
 /// index (payload = leaf PageId) and (b) the page directory of the FLAT
 /// index. Entries are packed in the order given, so callers pre-sort
 /// entries with StrOrder / Hilbert order for good tiles.
+///
+/// The directory is laid out for the walk, not the build: every node's
+/// child AABBs live in contiguous structure-of-arrays slots (six flat
+/// double arrays), so Query tests all children of a node in one tight
+/// loop over flat memory instead of pointer-chasing Aabb members of
+/// scattered Node structs.
 class BoxRTree {
  public:
   static constexpr size_t kFanout = 64;
@@ -22,7 +28,12 @@ class BoxRTree {
   BoxRTree() = default;
 
   /// Bulk loads from (box, payload) entries, packed in the given order.
-  void BulkLoad(std::vector<Aabb> boxes, std::vector<uint32_t> payloads);
+  /// `fanout` defaults to kFanout; other values are a tuning/testing knob
+  /// (degenerate fanouts exercise the traversal-stack spill path).
+  /// Values below 2 are clamped to 2 (a unary fanout cannot terminate
+  /// the bottom-up build).
+  void BulkLoad(std::vector<Aabb> boxes, std::vector<uint32_t> payloads,
+                size_t fanout = kFanout);
 
   bool empty() const { return leaf_count_ == 0; }
   size_t NumEntries() const { return leaf_count_; }
@@ -57,25 +68,38 @@ class BoxRTree {
     // what enables batch appends of fully-contained subtrees.
     uint32_t entry_begin = 0;
     uint32_t entry_end = 0;
+    // First SoA slot of this node's children: child i's AABB lives at
+    // slot_begin + i of the six slot_* arrays (entry boxes for leaves,
+    // child-node bounds for internal nodes).
+    uint32_t slot_begin = 0;
     bool is_leaf = false;
   };
 
-  // Upper bound on the explicit traversal stack: at most
+  // Inline capacity of the explicit traversal stack: at most
   // ceil(32 / log2(kFanout)) + 1 levels for 2^32 entries, each holding at
-  // most kFanout pending siblings. Tied to kFanout so raising the fanout
-  // cannot silently overflow Walk's fixed stack in release builds.
+  // most kFanout pending siblings. Tied to kFanout so raising the default
+  // fanout cannot silently overflow Walk's fixed stack; trees bulk-loaded
+  // with a degenerate runtime fanout spill to a heap vector instead.
   static constexpr size_t kMaxTreeLevels =
       (32 + std::bit_width(kFanout) - 2) / (std::bit_width(kFanout) - 1) + 1;
   static constexpr size_t kMaxTraversalStack = kMaxTreeLevels * kFanout;
 
-  template <typename Overlaps, typename Contains>
-  void Walk(const Overlaps& overlaps, const Contains& contains,
+  // Stack items are node indices; the tag marks a subtree already proven
+  // fully contained in the query (batch-append its entry run on pop).
+  static constexpr uint32_t kContainedTag = 0x80000000u;
+
+  template <typename OverlapsSlot, typename ContainsSlot>
+  void Walk(const OverlapsSlot& overlaps, const ContainsSlot& contains,
             std::vector<uint32_t>* out) const;
 
   std::vector<Node> nodes_;
-  std::vector<Aabb> entry_boxes_;
+  std::vector<Aabb> entry_boxes_;  ///< AoS copy for Nearest().
   std::vector<uint32_t> entry_payloads_;
+  // Child-AABB slots (SoA): the walk's only per-candidate reads.
+  std::vector<double> slot_min_x_, slot_min_y_, slot_min_z_;
+  std::vector<double> slot_max_x_, slot_max_y_, slot_max_z_;
   size_t leaf_count_ = 0;
+  size_t fanout_ = kFanout;
   uint32_t root_ = 0;
 };
 

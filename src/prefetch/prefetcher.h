@@ -49,6 +49,23 @@ class PrefetchIo {
   virtual bool WindowOpen() const = 0;
 };
 
+/// Precomputed pure portion of one Observe() call: the result graph a
+/// content-aware prefetcher would otherwise build inside Observe. A
+/// multi-client engine computes these on worker threads (one chain per
+/// session, a session's steps in order) and hands each back to the
+/// matching Observe in its serial apply loop, so the dominant prediction
+/// cost leaves the single-writer path without changing any simulated
+/// outcome.
+/// Observe(result, prep) CONSUMES a valid prep (the graph is released
+/// once its last read is done), so an engine's precomputed chains hold
+/// memory only for the not-yet-applied steps.
+struct ObservePrep {
+  SpatialGraph graph;           ///< Finalized result graph.
+  GraphBuildStats build_stats;  ///< Work counters of the build.
+  int64_t wall_graph_build_us = 0;  ///< Worker-side wall build time.
+  bool valid = false;           ///< False: Observe builds the graph itself.
+};
+
 /// Diagnostics of the last Observe() call, filled in by content-aware
 /// prefetchers for the paper's cost experiments (Figures 14-16).
 struct ObserveBreakdown {
@@ -95,6 +112,36 @@ class Prefetcher {
 
   /// Digests the result of the query that just executed.
   virtual SimMicros Observe(const QueryResultView& result) = 0;
+
+  /// True when PrepareObserve computes the same graph Observe would —
+  /// i.e. this prefetcher's result-graph construction is a pure function
+  /// of (configuration, result) and may run ahead of the session's
+  /// Observe chain on a worker thread. Policies whose construction reads
+  /// sequence state (SCOUT-OPT's sparse build uses the previous query's
+  /// predictions) must answer false and keep building inside Observe.
+  virtual bool SupportsPreparedObserve() const { return false; }
+
+  /// Precomputes the pure part of Observe(result) into `prep`. Must be
+  /// called only when SupportsPreparedObserve() is true; thread-safe
+  /// against other PrepareObserve calls on other prefetcher instances
+  /// (it reads only immutable configuration). Default: leaves `prep`
+  /// invalid (baselines have no pure part).
+  virtual void PrepareObserve(const QueryResultView& result,
+                              ObservePrep* prep) const {
+    (void)result;
+    prep->valid = false;
+  }
+
+  /// Observe with the pure part precomputed. `prep` may be null or
+  /// invalid, in which case this is exactly Observe(result). Simulated
+  /// outcomes are identical either way — only wall-clock diagnostics
+  /// move from the caller's thread to the worker that ran
+  /// PrepareObserve.
+  virtual SimMicros Observe(const QueryResultView& result,
+                            ObservePrep* prep) {
+    (void)prep;
+    return Observe(result);
+  }
 
   /// Issues prefetch I/O until the plan is exhausted or the window
   /// closes.

@@ -19,7 +19,7 @@ void ScoutOptPrefetcher::BeginSequence() {
 }
 
 GraphBuildStats ScoutOptPrefetcher::BuildResultGraph(
-    const QueryResultView& result, SpatialGraph* graph) {
+    const QueryResultView& result, SpatialGraph* graph) const {
   if (predictions_.empty() || index_ == nullptr ||
       !index_->SupportsNeighborhood() ||
       config_.explicit_adjacency != nullptr) {

@@ -48,13 +48,23 @@ class ScoutOptPrefetcher : public ScoutPrefetcher {
 
   std::string_view name() const override { return "scout-opt"; }
 
+  /// Sparse construction reads the previous Observe's predictions, so
+  /// the graph build is only pure (precomputable ahead of the session's
+  /// Observe chain) when the sparse path cannot engage: no neighborhood
+  /// links to crawl, or an explicit mesh adjacency (whose build reads
+  /// configuration only). Mirrors BuildResultGraph's fallback condition.
+  bool SupportsPreparedObserve() const override {
+    return index_ == nullptr || !index_->SupportsNeighborhood() ||
+           config_.explicit_adjacency != nullptr;
+  }
+
   /// Pages fetched by gap traversal over the sequence so far.
   uint64_t gap_pages_fetched() const { return gap_pages_fetched_; }
   void BeginSequence() override;
 
  protected:
   GraphBuildStats BuildResultGraph(const QueryResultView& result,
-                                   SpatialGraph* graph) override;
+                                   SpatialGraph* graph) const override;
   void RefineAxes(PrefetchIo* io) override;
 
  private:

@@ -52,7 +52,7 @@ double ScoutPrefetcher::RegionExtent(const Region& region) {
 }
 
 GraphBuildStats ScoutPrefetcher::BuildResultGraph(
-    const QueryResultView& result, SpatialGraph* graph) {
+    const QueryResultView& result, SpatialGraph* graph) const {
   if (config_.explicit_adjacency != nullptr) {
     // Mesh dataset: the graph is explicit — connect result objects that
     // the dataset lists as adjacent (paper §4.2, polygon-mesh case).
@@ -92,7 +92,21 @@ GraphBuildStats ScoutPrefetcher::BuildResultGraph(
                             config_.grid_cells, graph);
 }
 
+void ScoutPrefetcher::PrepareObserve(const QueryResultView& result,
+                                     ObservePrep* prep) const {
+  Stopwatch wall;
+  prep->graph = SpatialGraph();
+  prep->build_stats = BuildResultGraph(result, &prep->graph);
+  prep->wall_graph_build_us = wall.ElapsedMicros();
+  prep->valid = true;
+}
+
 SimMicros ScoutPrefetcher::Observe(const QueryResultView& result) {
+  return Observe(result, nullptr);
+}
+
+SimMicros ScoutPrefetcher::Observe(const QueryResultView& result,
+                                   ObservePrep* prep) {
   Stopwatch wall;
   breakdown_ = ObserveBreakdown{};
   breakdown_.result_objects = result.objects.size();
@@ -118,11 +132,23 @@ SimMicros ScoutPrefetcher::Observe(const QueryResultView& result) {
   }
 
   // --- Graph construction (interleaved with retrieval in the paper;
-  // charged against the prefetch window here). ---
-  SpatialGraph graph;
-  const GraphBuildStats build_stats = BuildResultGraph(result, &graph);
+  // charged against the prefetch window here). A valid prep carries the
+  // graph a worker thread already built — bit-identical to building it
+  // here, only the wall-clock diagnostic reflects the worker's time. ---
+  SpatialGraph local_graph;
+  const SpatialGraph* graph_ptr;
+  GraphBuildStats build_stats;
+  if (prep != nullptr && prep->valid) {
+    graph_ptr = &prep->graph;
+    build_stats = prep->build_stats;
+    breakdown_.wall_graph_build_us = prep->wall_graph_build_us;
+  } else {
+    build_stats = BuildResultGraph(result, &local_graph);
+    graph_ptr = &local_graph;
+    breakdown_.wall_graph_build_us = wall.ElapsedMicros();
+  }
+  const SpatialGraph& graph = *graph_ptr;
   const SimMicros build_us = config_.costs.GraphBuildCost(build_stats);
-  breakdown_.wall_graph_build_us = wall.ElapsedMicros();
   breakdown_.graph_build_us = build_us;
   breakdown_.graph_vertices = graph.NumVertices();
   breakdown_.graph_edges = graph.NumEdges();
@@ -286,6 +312,14 @@ SimMicros ScoutPrefetcher::Observe(const QueryResultView& result) {
 
   breakdown_.prediction_us = predict_us;
   breakdown_.wall_prediction_us = predict_wall.ElapsedMicros();
+
+  // Consume the prep: release its graph now that the last read is done,
+  // so a multi-client engine's precomputed chains only hold memory for
+  // the not-yet-applied steps, not the whole run.
+  if (prep != nullptr && prep->valid) {
+    prep->graph = SpatialGraph();
+    prep->valid = false;
+  }
   return build_us + predict_us;
 }
 

@@ -73,6 +73,13 @@ class ScoutPrefetcher : public Prefetcher {
   void BindSession(uint32_t session_id) override;
   void BeginSequence() override;
   SimMicros Observe(const QueryResultView& result) override;
+  /// SCOUT's grid-hash construction is a pure function of (config,
+  /// result), so the graph may be prebuilt on a worker thread.
+  bool SupportsPreparedObserve() const override { return true; }
+  void PrepareObserve(const QueryResultView& result,
+                      ObservePrep* prep) const override;
+  SimMicros Observe(const QueryResultView& result,
+                    ObservePrep* prep) override;
   void RunPrefetch(PrefetchIo* io) override;
   const ObserveBreakdown& last_observe() const override {
     return breakdown_;
@@ -89,9 +96,12 @@ class ScoutPrefetcher : public Prefetcher {
   };
 
   /// Builds the result graph. Overridden by SCOUT-OPT with sparse
-  /// construction (§6.2).
+  /// construction (§6.2). Const: reads configuration (and, in SCOUT-OPT,
+  /// the prediction state of the previous Observe) without mutating —
+  /// which is what lets PrepareObserve run it on a worker thread for
+  /// prefetchers whose build is pure (see SupportsPreparedObserve).
   virtual GraphBuildStats BuildResultGraph(const QueryResultView& result,
-                                           SpatialGraph* graph);
+                                           SpatialGraph* graph) const;
 
   /// Hook run at the start of the prefetch window, before the incremental
   /// plan is drained. SCOUT-OPT overrides this with gap traversal (§6.3),

@@ -117,6 +117,69 @@ TEST(BoxRTreeTest, SingleEntry) {
   EXPECT_EQ(payload, 42u);
 }
 
+TEST(BoxRTreeTest, TraversalStackSpillsOnDegenerateFanout) {
+  // A runtime fanout this wide makes one internal node push more children
+  // at once than the fixed traversal stack (sized for the default fanout)
+  // can hold, forcing Walk's heap-spill fallback. 500^2 entries give a
+  // root with 500 internal children; a query overlapping all of them
+  // must spill and still produce the exact ascending payload sequence.
+  constexpr size_t kWideFanout = 500;
+  constexpr size_t n = kWideFanout * kWideFanout;
+  std::vector<Aabb> boxes;
+  std::vector<uint32_t> payloads;
+  boxes.reserve(n);
+  payloads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i % 1000);
+    const double y = static_cast<double>(i / 1000);
+    boxes.push_back(Aabb(Vec3(x, y, 0), Vec3(x + 0.5, y + 0.5, 1)));
+    payloads.push_back(static_cast<uint32_t>(i));
+  }
+  BoxRTree tree;
+  tree.BulkLoad(boxes, payloads, kWideFanout);
+
+  // Query 1: strictly contains every box (pure batch-append pops).
+  std::vector<uint32_t> all;
+  tree.Query(Aabb(Vec3(-1, -1, -1), Vec3(1001, 251, 2)), &all);
+  ASSERT_EQ(all.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(all[i], static_cast<uint32_t>(i)) << "position " << i;
+  }
+
+  // Query 2: clips boxes mid-row (mixed per-entry testing), checked
+  // against a linear scan.
+  const Aabb clip(Vec3(100.2, 50.2, 0), Vec3(900.9, 200.9, 1));
+  std::vector<uint32_t> got;
+  tree.Query(clip, &got);
+  std::vector<uint32_t> expected;
+  for (size_t i = 0; i < n; ++i) {
+    if (clip.Intersects(boxes[i])) expected.push_back(static_cast<uint32_t>(i));
+  }
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BoxRTreeTest, DeepBinaryFanoutTreeKeepsEntryOrder) {
+  // Fanout 2 over 4k entries builds a ~12-level tree: the deepest
+  // directory shape the walk can see, exercising many partially-
+  // overlapping pops per query without ever batch-appending at the root.
+  constexpr size_t n = 4096;
+  std::vector<Aabb> boxes;
+  std::vector<uint32_t> payloads;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    boxes.push_back(Aabb(Vec3(x, 0, 0), Vec3(x + 0.75, 1, 1)));
+    payloads.push_back(static_cast<uint32_t>(i));
+  }
+  BoxRTree tree;
+  tree.BulkLoad(boxes, payloads, /*fanout=*/2);
+  std::vector<uint32_t> got;
+  tree.Query(Aabb(Vec3(1000.1, 0, 0), Vec3(1010.9, 1, 1)), &got);
+  std::vector<uint32_t> expected;
+  for (uint32_t i = 1000; i <= 1010; ++i) expected.push_back(i);
+  EXPECT_EQ(got, expected);
+}
+
 TEST(BoxRTreeTest, DeepTreeBeyondTwoLevels) {
   // > kFanout^2 entries forces at least three levels.
   const size_t n = BoxRTree::kFanout * BoxRTree::kFanout + 10;
