@@ -1,5 +1,4 @@
-#ifndef SCOUT_BENCH_BENCH_UTIL_H_
-#define SCOUT_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <cstdio>
@@ -275,4 +274,3 @@ inline bool RecordBaselineSnapshot(const std::string& path, bool append,
 
 }  // namespace scout::bench
 
-#endif  // SCOUT_BENCH_BENCH_UTIL_H_

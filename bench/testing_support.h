@@ -1,5 +1,4 @@
-#ifndef SCOUT_BENCH_TESTING_SUPPORT_H_
-#define SCOUT_BENCH_TESTING_SUPPORT_H_
+#pragma once
 
 #include <vector>
 
@@ -93,4 +92,3 @@ inline Region NextFrustumQuery(Rng* rng) {
 
 }  // namespace scout::benchsupport
 
-#endif  // SCOUT_BENCH_TESTING_SUPPORT_H_

@@ -1,0 +1,41 @@
+# Runs clang-tidy over every src/ translation unit using the exported
+# compile_commands.json. Invoked by the `lint` target:
+#   cmake -DPROJECT_SOURCE_DIR=... -DBUILD_DIR=... -P run_clang_tidy.cmake
+#
+# clang-tidy is optional tooling: when absent the step is skipped with
+# a clear message (scout_lint always runs and still gates the target).
+# Any clang-tidy finding is fatal (.clang-tidy sets
+# --warnings-as-errors=*).
+
+find_program(CLANG_TIDY_EXE NAMES
+  clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16
+  clang-tidy-15 clang-tidy-14)
+
+if(NOT CLANG_TIDY_EXE)
+  message(STATUS
+    "clang-tidy not found — skipping the clang-tidy half of `lint` "
+    "(scout_lint already ran). Install a system clang-tidy to enable it.")
+  return()
+endif()
+
+set(COMPILE_DB ${BUILD_DIR}/compile_commands.json)
+if(NOT EXISTS ${COMPILE_DB})
+  message(FATAL_ERROR
+    "${COMPILE_DB} not found. Configure with CMake first (the project "
+    "exports compile_commands.json unconditionally); use a Makefile or "
+    "Ninja generator.")
+endif()
+
+file(GLOB_RECURSE TIDY_SOURCES ${PROJECT_SOURCE_DIR}/src/*.cc)
+list(SORT TIDY_SOURCES)
+list(LENGTH TIDY_SOURCES N)
+message(STATUS "clang-tidy (${CLANG_TIDY_EXE}) over ${N} src/ files...")
+
+execute_process(
+  COMMAND ${CLANG_TIDY_EXE} -p ${BUILD_DIR} --quiet ${TIDY_SOURCES}
+  RESULT_VARIABLE TIDY_RC)
+
+if(TIDY_RC)
+  message(FATAL_ERROR "clang-tidy reported findings (exit ${TIDY_RC})")
+endif()
+message(STATUS "clang-tidy: clean")

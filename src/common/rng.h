@@ -1,5 +1,4 @@
-#ifndef SCOUT_COMMON_RNG_H_
-#define SCOUT_COMMON_RNG_H_
+#pragma once
 
 #include <cassert>
 #include <cmath>
@@ -114,4 +113,3 @@ class Rng {
 
 }  // namespace scout
 
-#endif  // SCOUT_COMMON_RNG_H_

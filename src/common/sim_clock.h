@@ -1,5 +1,4 @@
-#ifndef SCOUT_COMMON_SIM_CLOCK_H_
-#define SCOUT_COMMON_SIM_CLOCK_H_
+#pragma once
 
 #include <cassert>
 #include <cstdint>
@@ -35,4 +34,3 @@ class SimClock {
 
 }  // namespace scout
 
-#endif  // SCOUT_COMMON_SIM_CLOCK_H_

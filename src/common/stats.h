@@ -1,5 +1,4 @@
-#ifndef SCOUT_COMMON_STATS_H_
-#define SCOUT_COMMON_STATS_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -55,4 +54,3 @@ std::string FormatDouble(double value, int precision);
 
 }  // namespace scout
 
-#endif  // SCOUT_COMMON_STATS_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_COMMON_STATUS_H_
-#define SCOUT_COMMON_STATUS_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -135,4 +134,3 @@ class StatusOr {
 
 }  // namespace scout
 
-#endif  // SCOUT_COMMON_STATUS_H_

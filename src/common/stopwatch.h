@@ -1,5 +1,4 @@
-#ifndef SCOUT_COMMON_STOPWATCH_H_
-#define SCOUT_COMMON_STOPWATCH_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -35,4 +34,3 @@ class Stopwatch {
 
 }  // namespace scout
 
-#endif  // SCOUT_COMMON_STOPWATCH_H_

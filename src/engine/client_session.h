@@ -1,5 +1,4 @@
-#ifndef SCOUT_ENGINE_CLIENT_SESSION_H_
-#define SCOUT_ENGINE_CLIENT_SESSION_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -75,4 +74,3 @@ class ClientSession {
 
 }  // namespace scout
 
-#endif  // SCOUT_ENGINE_CLIENT_SESSION_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_ENGINE_EXPERIMENT_H_
-#define SCOUT_ENGINE_EXPERIMENT_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -136,4 +135,3 @@ SharedCacheResult RunSharedCacheExperiment(
 
 }  // namespace scout
 
-#endif  // SCOUT_ENGINE_EXPERIMENT_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_ENGINE_METRICS_H_
-#define SCOUT_ENGINE_METRICS_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -51,4 +50,3 @@ struct SequenceRunStats {
 
 }  // namespace scout
 
-#endif  // SCOUT_ENGINE_METRICS_H_

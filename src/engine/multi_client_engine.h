@@ -1,5 +1,4 @@
-#ifndef SCOUT_ENGINE_MULTI_CLIENT_ENGINE_H_
-#define SCOUT_ENGINE_MULTI_CLIENT_ENGINE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -81,4 +80,3 @@ class MultiClientEngine {
 
 }  // namespace scout
 
-#endif  // SCOUT_ENGINE_MULTI_CLIENT_ENGINE_H_

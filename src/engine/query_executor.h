@@ -1,5 +1,4 @@
-#ifndef SCOUT_ENGINE_QUERY_EXECUTOR_H_
-#define SCOUT_ENGINE_QUERY_EXECUTOR_H_
+#pragma once
 
 #include <memory>
 #include <span>
@@ -131,4 +130,3 @@ class QueryExecutor {
 
 }  // namespace scout
 
-#endif  // SCOUT_ENGINE_QUERY_EXECUTOR_H_

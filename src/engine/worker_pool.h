@@ -1,5 +1,4 @@
-#ifndef SCOUT_ENGINE_WORKER_POOL_H_
-#define SCOUT_ENGINE_WORKER_POOL_H_
+#pragma once
 
 #include <functional>
 #include <thread>
@@ -26,4 +25,3 @@ inline void RunOnPool(uint32_t workers, const std::function<void()>& work) {
 
 }  // namespace scout::internal
 
-#endif  // SCOUT_ENGINE_WORKER_POOL_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_GEOM_AABB_H_
-#define SCOUT_GEOM_AABB_H_
+#pragma once
 
 #include <algorithm>
 #include <limits>
@@ -139,4 +138,3 @@ class Aabb {
 
 }  // namespace scout
 
-#endif  // SCOUT_GEOM_AABB_H_

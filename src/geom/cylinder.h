@@ -1,5 +1,4 @@
-#ifndef SCOUT_GEOM_CYLINDER_H_
-#define SCOUT_GEOM_CYLINDER_H_
+#pragma once
 
 #include "geom/aabb.h"
 #include "geom/segment.h"
@@ -64,4 +63,3 @@ class Cylinder {
 
 }  // namespace scout
 
-#endif  // SCOUT_GEOM_CYLINDER_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_GEOM_FRUSTUM_H_
-#define SCOUT_GEOM_FRUSTUM_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -107,4 +106,3 @@ class Frustum {
 
 }  // namespace scout
 
-#endif  // SCOUT_GEOM_FRUSTUM_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_GEOM_GRID_H_
-#define SCOUT_GEOM_GRID_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -79,4 +78,3 @@ class UniformGrid {
 
 }  // namespace scout
 
-#endif  // SCOUT_GEOM_GRID_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_GEOM_HILBERT_H_
-#define SCOUT_GEOM_HILBERT_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -38,4 +37,3 @@ Vec3 PointOfHilbertIndex(uint64_t index, const Aabb& bounds, int bits);
 
 }  // namespace scout
 
-#endif  // SCOUT_GEOM_HILBERT_H_

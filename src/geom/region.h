@@ -1,5 +1,4 @@
-#ifndef SCOUT_GEOM_REGION_H_
-#define SCOUT_GEOM_REGION_H_
+#pragma once
 
 #include <variant>
 
@@ -70,4 +69,3 @@ class Region {
 
 }  // namespace scout
 
-#endif  // SCOUT_GEOM_REGION_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_GEOM_SEGMENT_H_
-#define SCOUT_GEOM_SEGMENT_H_
+#pragma once
 
 #include "geom/aabb.h"
 #include "geom/vec3.h"
@@ -61,4 +60,3 @@ struct Segment {
 
 }  // namespace scout
 
-#endif  // SCOUT_GEOM_SEGMENT_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_GEOM_VEC3_H_
-#define SCOUT_GEOM_VEC3_H_
+#pragma once
 
 #include <cmath>
 #include <string>
@@ -95,4 +94,3 @@ inline constexpr Vec3 Lerp(const Vec3& a, const Vec3& b, double t) {
 
 }  // namespace scout
 
-#endif  // SCOUT_GEOM_VEC3_H_

@@ -204,6 +204,8 @@ GraphBuildStats BuildGraphExplicit(
     SpatialGraph* graph) {
   GraphBuildStats stats;
   AddVertices(inputs, graph);
+  // scout-lint: allow(det-unordered-container): point lookups only; edges
+  // are emitted in the caller-provided adjacency order.
   std::unordered_map<ObjectId, VertexId> by_object;
   by_object.reserve(inputs.size() * 2);
   for (VertexId v = 0; v < inputs.size(); ++v) {

@@ -1,5 +1,4 @@
-#ifndef SCOUT_GRAPH_GRAPH_BUILDER_H_
-#define SCOUT_GRAPH_GRAPH_BUILDER_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -40,6 +39,8 @@ struct GraphBuildStats {
 /// ids. Datasets with an underlying graph (polygon meshes, paper §4.2)
 /// provide this so the result graph can be read off directly instead of
 /// grid hashing.
+// scout-lint: allow(det-unordered-container): lookup-only mesh adjacency;
+// consumers iterate result objects (deterministic order), never this map.
 using AdjacencyMap = std::unordered_map<ObjectId, std::vector<ObjectId>>;
 
 /// Reference to an object participating in graph construction.
@@ -81,4 +82,3 @@ GraphBuildStats BuildGraphExplicit(
 
 }  // namespace scout
 
-#endif  // SCOUT_GRAPH_GRAPH_BUILDER_H_

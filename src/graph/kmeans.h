@@ -1,5 +1,4 @@
-#ifndef SCOUT_GRAPH_KMEANS_H_
-#define SCOUT_GRAPH_KMEANS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -25,4 +24,3 @@ KMeansResult KMeans(const std::vector<Vec3>& points, uint32_t k, Rng* rng,
 
 }  // namespace scout
 
-#endif  // SCOUT_GRAPH_KMEANS_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_GRAPH_SPATIAL_GRAPH_H_
-#define SCOUT_GRAPH_SPATIAL_GRAPH_H_
+#pragma once
 
 #include <cassert>
 #include <cstdint>
@@ -111,4 +110,3 @@ std::vector<uint32_t> LabelComponents(const SpatialGraph& graph,
 
 }  // namespace scout
 
-#endif  // SCOUT_GRAPH_SPATIAL_GRAPH_H_

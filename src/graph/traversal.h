@@ -1,5 +1,4 @@
-#ifndef SCOUT_GRAPH_TRAVERSAL_H_
-#define SCOUT_GRAPH_TRAVERSAL_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -67,4 +66,3 @@ void EnteringVertices(const SpatialGraph& graph, const Region& region,
 
 }  // namespace scout
 
-#endif  // SCOUT_GRAPH_TRAVERSAL_H_

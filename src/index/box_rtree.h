@@ -1,5 +1,4 @@
-#ifndef SCOUT_INDEX_BOX_RTREE_H_
-#define SCOUT_INDEX_BOX_RTREE_H_
+#pragma once
 
 #include <bit>
 #include <cstdint>
@@ -105,4 +104,3 @@ class BoxRTree {
 
 }  // namespace scout
 
-#endif  // SCOUT_INDEX_BOX_RTREE_H_

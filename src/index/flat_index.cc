@@ -85,6 +85,8 @@ void FlatIndex::QueryPagesOrdered(const Region& region, const Vec3& start,
   QueryPages(region, &result);
   if (result.empty()) return;
 
+  // scout-lint: allow(det-unordered-container): membership set; the only
+  // iteration (leftovers) is re-sorted below with a total tie-broken order.
   std::unordered_set<PageId> remaining(result.begin(), result.end());
 
   // Seed: the result page nearest to `start`.

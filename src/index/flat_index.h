@@ -1,5 +1,4 @@
-#ifndef SCOUT_INDEX_FLAT_INDEX_H_
-#define SCOUT_INDEX_FLAT_INDEX_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -68,4 +67,3 @@ class FlatIndex : public SpatialIndex {
 
 }  // namespace scout
 
-#endif  // SCOUT_INDEX_FLAT_INDEX_H_

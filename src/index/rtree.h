@@ -1,5 +1,4 @@
-#ifndef SCOUT_INDEX_RTREE_H_
-#define SCOUT_INDEX_RTREE_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -37,4 +36,3 @@ class RTreeIndex : public SpatialIndex {
 
 }  // namespace scout
 
-#endif  // SCOUT_INDEX_RTREE_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_INDEX_SPATIAL_INDEX_H_
-#define SCOUT_INDEX_SPATIAL_INDEX_H_
+#pragma once
 
 #include <string_view>
 #include <vector>
@@ -54,4 +53,3 @@ class SpatialIndex {
 
 }  // namespace scout
 
-#endif  // SCOUT_INDEX_SPATIAL_INDEX_H_

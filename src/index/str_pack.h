@@ -1,5 +1,4 @@
-#ifndef SCOUT_INDEX_STR_PACK_H_
-#define SCOUT_INDEX_STR_PACK_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -19,4 +18,3 @@ std::vector<size_t> StrOrder(const std::vector<Vec3>& points,
 
 }  // namespace scout
 
-#endif  // SCOUT_INDEX_STR_PACK_H_

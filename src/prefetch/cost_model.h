@@ -1,5 +1,4 @@
-#ifndef SCOUT_PREFETCH_COST_MODEL_H_
-#define SCOUT_PREFETCH_COST_MODEL_H_
+#pragma once
 
 #include "common/sim_clock.h"
 #include "graph/graph_builder.h"
@@ -43,4 +42,3 @@ struct CostModel {
 
 }  // namespace scout
 
-#endif  // SCOUT_PREFETCH_COST_MODEL_H_

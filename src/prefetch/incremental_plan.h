@@ -1,5 +1,4 @@
-#ifndef SCOUT_PREFETCH_INCREMENTAL_PLAN_H_
-#define SCOUT_PREFETCH_INCREMENTAL_PLAN_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -59,4 +58,3 @@ class IncrementalPlan {
 
 }  // namespace scout
 
-#endif  // SCOUT_PREFETCH_INCREMENTAL_PLAN_H_

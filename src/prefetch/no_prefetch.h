@@ -1,5 +1,4 @@
-#ifndef SCOUT_PREFETCH_NO_PREFETCH_H_
-#define SCOUT_PREFETCH_NO_PREFETCH_H_
+#pragma once
 
 #include "prefetch/prefetcher.h"
 
@@ -21,4 +20,3 @@ class NoPrefetcher : public Prefetcher {
 
 }  // namespace scout
 
-#endif  // SCOUT_PREFETCH_NO_PREFETCH_H_

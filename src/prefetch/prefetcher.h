@@ -1,5 +1,4 @@
-#ifndef SCOUT_PREFETCH_PREFETCHER_H_
-#define SCOUT_PREFETCH_PREFETCHER_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -156,4 +155,3 @@ class Prefetcher {
 
 }  // namespace scout
 
-#endif  // SCOUT_PREFETCH_PREFETCHER_H_

@@ -30,10 +30,14 @@ GraphBuildStats ScoutOptPrefetcher::BuildResultGraph(
   // the predicted entry locations and crawl page-neighborhood links
   // within the result set. Only objects on reached pages enter the graph
   // — the pages irrelevant for prediction are skipped entirely.
+  // scout-lint: allow(det-unordered-container): membership test only
+  // (result_pages.contains in the crawl); never iterated.
   std::unordered_set<PageId> result_pages(result.pages.begin(),
                                           result.pages.end());
   const PageStore& store = index_->store();
 
+  // scout-lint: allow(det-unordered-container): visited-set for the BFS;
+  // the frontier queue fixes the traversal order, reached is lookups only.
   std::unordered_set<PageId> reached;
   std::queue<PageId> frontier;
   for (const PredictedEntry& entry : predictions_) {
@@ -102,6 +106,8 @@ void ScoutOptPrefetcher::RefineAxes(PrefetchIo* io) {
     Vec3 dir = axis.direction;
     double progress = 0.0;
     std::vector<const SpatialObject*> pool;
+    // scout-lint: allow(det-unordered-container): insert/lookup visited-set
+    // for the axis crawl loop; never iterated.
     std::unordered_set<PageId> visited;
     PageId current =
         index_->NearestPage(pos + dir * (0.05 * extent));

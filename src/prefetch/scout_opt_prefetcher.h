@@ -1,5 +1,4 @@
-#ifndef SCOUT_PREFETCH_SCOUT_OPT_PREFETCHER_H_
-#define SCOUT_PREFETCH_SCOUT_OPT_PREFETCHER_H_
+#pragma once
 
 #include "index/spatial_index.h"
 #include "prefetch/scout_prefetcher.h"
@@ -75,4 +74,3 @@ class ScoutOptPrefetcher : public ScoutPrefetcher {
 
 }  // namespace scout
 
-#endif  // SCOUT_PREFETCH_SCOUT_OPT_PREFETCHER_H_

@@ -57,6 +57,8 @@ GraphBuildStats ScoutPrefetcher::BuildResultGraph(
     // Mesh dataset: the graph is explicit — connect result objects that
     // the dataset lists as adjacent (paper §4.2, polygon-mesh case).
     GraphBuildStats stats;
+    // scout-lint: allow(det-unordered-container): point lookups only; the
+    // vertex/edge emit order follows result.objects, never this map.
     std::unordered_map<ObjectId, VertexId> by_object;
     by_object.reserve(result.objects.size() * 2);
     graph->ReserveVertices(result.objects.size());
@@ -186,6 +188,8 @@ SimMicros ScoutPrefetcher::Observe(const QueryResultView& result,
   if (reset) {
     breakdown_.num_candidates = num_components;
   } else {
+    // scout-lint: allow(det-unordered-container): distinct-count only
+    // (.size()); the set is never iterated.
     std::unordered_set<uint32_t> comps;
     for (VertexId v : seeds) comps.insert(component_of[v]);
     breakdown_.num_candidates = comps.size();

@@ -1,5 +1,4 @@
-#ifndef SCOUT_PREFETCH_SCOUT_PREFETCHER_H_
-#define SCOUT_PREFETCH_SCOUT_PREFETCHER_H_
+#pragma once
 
 #include <optional>
 #include <unordered_map>
@@ -141,4 +140,3 @@ class ScoutPrefetcher : public Prefetcher {
 
 }  // namespace scout
 
-#endif  // SCOUT_PREFETCH_SCOUT_PREFETCHER_H_

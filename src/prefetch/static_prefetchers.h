@@ -1,5 +1,4 @@
-#ifndef SCOUT_PREFETCH_STATIC_PREFETCHERS_H_
-#define SCOUT_PREFETCH_STATIC_PREFETCHERS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -56,4 +55,3 @@ class LayeredPrefetcher : public Prefetcher {
 
 }  // namespace scout
 
-#endif  // SCOUT_PREFETCH_STATIC_PREFETCHERS_H_

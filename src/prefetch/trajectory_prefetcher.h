@@ -1,5 +1,4 @@
-#ifndef SCOUT_PREFETCH_TRAJECTORY_PREFETCHER_H_
-#define SCOUT_PREFETCH_TRAJECTORY_PREFETCHER_H_
+#pragma once
 
 #include <deque>
 #include <optional>
@@ -89,4 +88,3 @@ class EwmaPrefetcher : public TrajectoryPrefetcher {
 
 }  // namespace scout
 
-#endif  // SCOUT_PREFETCH_TRAJECTORY_PREFETCHER_H_

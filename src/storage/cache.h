@@ -1,5 +1,4 @@
-#ifndef SCOUT_STORAGE_CACHE_H_
-#define SCOUT_STORAGE_CACHE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -251,4 +250,3 @@ class PrefetchCache {
 
 }  // namespace scout
 
-#endif  // SCOUT_STORAGE_CACHE_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_STORAGE_DISK_MODEL_H_
-#define SCOUT_STORAGE_DISK_MODEL_H_
+#pragma once
 
 #include <cstdint>
 
@@ -73,4 +72,3 @@ class DiskModel {
 
 }  // namespace scout
 
-#endif  // SCOUT_STORAGE_DISK_MODEL_H_

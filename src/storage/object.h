@@ -1,5 +1,4 @@
-#ifndef SCOUT_STORAGE_OBJECT_H_
-#define SCOUT_STORAGE_OBJECT_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -43,4 +42,3 @@ inline constexpr size_t kObjectDiskBytes = 47;
 
 }  // namespace scout
 
-#endif  // SCOUT_STORAGE_OBJECT_H_

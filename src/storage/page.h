@@ -1,5 +1,4 @@
-#ifndef SCOUT_STORAGE_PAGE_H_
-#define SCOUT_STORAGE_PAGE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -39,4 +38,3 @@ struct Page {
 
 }  // namespace scout
 
-#endif  // SCOUT_STORAGE_PAGE_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_STORAGE_PAGE_STORE_H_
-#define SCOUT_STORAGE_PAGE_STORE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -49,4 +48,3 @@ class PageStore {
 
 }  // namespace scout
 
-#endif  // SCOUT_STORAGE_PAGE_STORE_H_

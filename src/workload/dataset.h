@@ -1,5 +1,4 @@
-#ifndef SCOUT_WORKLOAD_DATASET_H_
-#define SCOUT_WORKLOAD_DATASET_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -30,4 +29,3 @@ struct Dataset {
 
 }  // namespace scout
 
-#endif  // SCOUT_WORKLOAD_DATASET_H_

@@ -1,5 +1,4 @@
-#ifndef SCOUT_WORKLOAD_GENERATORS_H_
-#define SCOUT_WORKLOAD_GENERATORS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -96,4 +95,3 @@ Dataset GenerateRoadNetwork(const RoadGenConfig& config);
 
 }  // namespace scout
 
-#endif  // SCOUT_WORKLOAD_GENERATORS_H_

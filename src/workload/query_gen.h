@@ -1,5 +1,4 @@
-#ifndef SCOUT_WORKLOAD_QUERY_GEN_H_
-#define SCOUT_WORKLOAD_QUERY_GEN_H_
+#pragma once
 
 #include <vector>
 
@@ -45,4 +44,3 @@ GuidedSequence GenerateGuidedSequence(const Dataset& dataset,
 
 }  // namespace scout
 
-#endif  // SCOUT_WORKLOAD_QUERY_GEN_H_

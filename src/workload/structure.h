@@ -1,5 +1,4 @@
-#ifndef SCOUT_WORKLOAD_STRUCTURE_H_
-#define SCOUT_WORKLOAD_STRUCTURE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -63,4 +62,3 @@ void EmitStructureObjects(const Structure& structure, ObjectId* next_id,
 
 }  // namespace scout
 
-#endif  // SCOUT_WORKLOAD_STRUCTURE_H_

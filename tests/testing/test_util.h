@@ -1,5 +1,4 @@
-#ifndef SCOUT_TESTS_TESTING_TEST_UTIL_H_
-#define SCOUT_TESTS_TESTING_TEST_UTIL_H_
+#pragma once
 
 #include <unordered_set>
 #include <vector>
@@ -101,4 +100,3 @@ inline std::vector<SpatialObject> MakeFiber(const Vec3& start,
 
 }  // namespace scout::testing
 
-#endif  // SCOUT_TESTS_TESTING_TEST_UTIL_H_

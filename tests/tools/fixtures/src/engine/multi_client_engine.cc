@@ -1,0 +1,10 @@
+// Lint fixture: the same mutating calls as cache_writer_bad.cc, but in
+// a whitelisted serial-apply translation unit — no findings.
+
+struct FakeCache { void Insert(int); void Clear(); void SetActiveSession(int); };
+
+void SerialApplyLoop(FakeCache* shared_cache_, int p) {
+  shared_cache_->Insert(p);
+  shared_cache_->Clear();
+  shared_cache_->SetActiveSession(p);
+}

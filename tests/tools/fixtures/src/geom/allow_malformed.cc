@@ -1,0 +1,11 @@
+// Lint fixture: malformed allow annotations.
+// Expected findings: line 7 lint-allow (missing justification),
+// line 8 lint-allow (unknown rule id), line 9 det-rand (a
+// malformed annotation must NOT suppress the real finding).
+#include <cstdlib>
+
+int AllowMalformed() {  // scout-lint: allow(det-rand):
+  // scout-lint: allow(not-a-rule): justification for a rule that does not exist
+  int r = rand();
+  return r;
+}

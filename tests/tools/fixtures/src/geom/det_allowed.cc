@@ -1,0 +1,12 @@
+// Lint fixture: every banned use carries a justified allow annotation,
+// both trailing and standalone (multi-line) — no findings.
+#include <unordered_set>
+
+int DetAllowed() {
+  std::unordered_set<int> seen;  // scout-lint: allow(det-unordered-container): membership only, never iterated
+  seen.insert(1);
+  // scout-lint: allow(det-wall-clock): fixture exercising the
+  // standalone multi-line annotation form.
+  long t = time(nullptr);
+  return static_cast<int>(t) + static_cast<int>(seen.size());
+}

@@ -1,0 +1,21 @@
+// Lint fixture: determinism violations in a result-affecting layer.
+// Expected findings (pinned by tools_scout_lint_test):
+//   line 9  det-rand, line 11 det-random-device, line 13 det-wall-clock,
+//   line 15 det-wall-clock, line 18 det-unordered-container.
+#include <random>
+#include <unordered_map>
+
+int DetBadSeed() {
+  int r = rand() % 7;
+  // NOLINTNEXTLINE -- fixture, never compiled into scout_core
+  std::random_device dev;
+  r += static_cast<int>(dev());
+  long t = time(nullptr);
+  double wall =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  (void)t;
+  (void)wall;
+  std::unordered_map<int, int> hist;
+  hist[r] = 1;
+  return r;
+}

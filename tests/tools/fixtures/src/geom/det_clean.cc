@@ -1,0 +1,12 @@
+// Lint fixture: deterministic equivalent of det_bad.cc — no findings.
+#include <cstdint>
+#include <map>
+
+uint64_t DetCleanSeed(uint64_t seed) {
+  // Explicitly-seeded counter RNG and an ordered container: both rules'
+  // preferred replacements.
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+  std::map<uint64_t, int> hist;
+  hist[z] = 1;
+  return z;
+}

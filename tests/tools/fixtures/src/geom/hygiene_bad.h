@@ -1,0 +1,15 @@
+// Lint fixture: header hygiene violations.
+// Expected findings: line 6 hdr-pragma-once (guard instead of pragma),
+// line 11 hdr-using-namespace, line 13 no-float (one finding per line
+// even with two float tokens).
+
+#ifndef SCOUT_TESTS_TOOLS_FIXTURES_HYGIENE_BAD_H_
+#define SCOUT_TESTS_TOOLS_FIXTURES_HYGIENE_BAD_H_
+
+#include <string>
+
+using namespace std;
+
+inline float HygieneBad(float x) { return x; }
+
+#endif  // SCOUT_TESTS_TOOLS_FIXTURES_HYGIENE_BAD_H_

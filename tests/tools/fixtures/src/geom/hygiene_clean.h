@@ -1,0 +1,10 @@
+#pragma once
+
+// Lint fixture: hygienic header — pragma once first, no using
+// namespace, double instead of float. No findings.
+
+#include <string>
+
+inline double HygieneClean(double x) { return x; }
+
+inline std::string HygieneName() { return "clean"; }

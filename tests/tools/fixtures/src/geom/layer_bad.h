@@ -1,0 +1,9 @@
+#pragma once
+
+// Lint fixture: a geom header reaching up the DAG.
+// Expected findings: line 7 layer-dag (geom may not include engine),
+// line 8 layer-dag (geom may not include prefetch).
+
+#include "engine/experiment.h"
+#include "prefetch/prefetcher.h"
+#include "common/status.h"

@@ -1,0 +1,9 @@
+#pragma once
+
+// Lint fixture: geom includes only itself, common, and system headers —
+// no findings.
+
+#include <vector>
+
+#include "common/status.h"
+#include "geom/vec3.h"

@@ -1,0 +1,15 @@
+// Lint fixture: shared-PrefetchCache mutations outside the whitelisted
+// serial-apply translation units.
+// Expected findings: line 10 cache-single-writer (Insert), line 11
+// cache-single-writer (Clear), line 12 cache-single-writer
+// (SetActiveSession). Line 15 is a non-cache receiver: no finding.
+
+struct FakeCache { void Insert(int); void Clear(); void SetActiveSession(int); };
+
+void CacheWriterBad(FakeCache* shared_cache_, FakeCache& cache, int p) {
+  shared_cache_->Insert(p);
+  cache.Clear();
+  shared_cache_->SetActiveSession(p);
+}
+
+void NotACache(FakeCache& seen, int p) { seen.Insert(p); }

@@ -1,0 +1,82 @@
+// Pins the layer DAG declared in tools/scout_lint/layering.txt.
+//
+// The spec is data so dependency changes show up in diffs; this test
+// makes a change to it a deliberate two-place edit (spec + here), the
+// same way graph_stats_guard_test pins the build counters.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using Dag = std::map<std::string, std::set<std::string>>;
+
+// Mirrors scout_lint's parser: `layer: dep dep ...`, `#` comments,
+// every layer implicitly depends on itself.
+Dag LoadSpec(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  Dag dag;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string head;
+    if (!(ss >> head)) continue;
+    EXPECT_EQ(head.back(), ':') << "malformed spec line: " << line;
+    head.pop_back();
+    std::set<std::string>& deps = dag[head];
+    deps.insert(head);
+    std::string dep;
+    while (ss >> dep) deps.insert(dep);
+  }
+  return dag;
+}
+
+TEST(LayeringSpecTest, PinsTheCurrentDag) {
+  const char* src = std::getenv("SCOUT_SOURCE_DIR");
+  ASSERT_NE(src, nullptr);
+  const Dag dag = LoadSpec(std::string(src) + "/tools/scout_lint/layering.txt");
+
+  const Dag expected = {
+      {"common", {"common"}},
+      {"geom", {"geom", "common"}},
+      {"storage", {"storage", "common", "geom"}},
+      {"index", {"index", "common", "geom", "storage"}},
+      {"graph", {"graph", "common", "geom", "storage"}},
+      {"workload", {"workload", "common", "geom", "storage", "graph"}},
+      {"prefetch",
+       {"prefetch", "common", "geom", "storage", "index", "graph"}},
+      {"engine",
+       {"engine", "common", "geom", "storage", "index", "graph", "workload",
+        "prefetch"}},
+  };
+  EXPECT_EQ(dag, expected)
+      << "layering.txt changed — if the new DAG is intended, update this "
+         "pin and the README rule catalogue together";
+}
+
+TEST(LayeringSpecTest, DagIsAcyclicByConstruction) {
+  // The declared order is a topological order: every dependency of a
+  // layer must itself only depend on layers that appear earlier.
+  const char* src = std::getenv("SCOUT_SOURCE_DIR");
+  ASSERT_NE(src, nullptr);
+  const Dag dag = LoadSpec(std::string(src) + "/tools/scout_lint/layering.txt");
+  for (const auto& [layer, deps] : dag) {
+    for (const std::string& dep : deps) {
+      if (dep == layer) continue;
+      ASSERT_TRUE(dag.count(dep)) << layer << " depends on undeclared " << dep;
+      EXPECT_FALSE(dag.at(dep).count(layer))
+          << "cycle between " << layer << " and " << dep;
+    }
+  }
+}
+
+}  // namespace
