@@ -28,7 +28,31 @@ struct RecorderOptions {
   bool force = false;
   std::string label = "current";
   std::string out = "BENCH_baseline.json";
+  /// Multi-client serving semantics: "full" (cache QoS + shared disk,
+  /// the engine default), "cache-qos" (QoS cache, private disks), or
+  /// "legacy" (pre-QoS: global LRU, fixed capacity, private disks).
+  std::string serving = "full";
 };
+
+/// Maps a --serving mode name onto the engine's serving config.
+/// Unknown names return false (the recorder refuses to run: a silently
+/// defaulted mode would record the wrong semantics under the label).
+bool ServingConfigFor(const std::string& mode, SharedServingConfig* out) {
+  if (mode == "full") {
+    *out = SharedServingConfig{};
+    return true;
+  }
+  if (mode == "cache-qos") {
+    *out = SharedServingConfig{};
+    out->shared_disk = false;
+    return true;
+  }
+  if (mode == "legacy") {
+    *out = SharedServingConfig::Legacy();
+    return true;
+  }
+  return false;
+}
 
 /// Scenario sizes. Full mode targets a ~1-2 minute recording; tiny mode
 /// targets seconds (bench-smoke CI). Sizes are part of the recording
@@ -161,20 +185,23 @@ void RecordFigScenarios(Recorder* rec, NeuronStack& stack) {
 
 /// Multi-client shared-cache serving (fig_multiclient): N sessions, each
 /// running one guided sequence, interleaved over ONE shared PrefetchCache
-/// by the deterministic simulated-time scheduler. The hit rate pools all
+/// by the deterministic simulated-time scheduler, under the --serving
+/// semantics (legacy / cache-qos / full). The hit rate pools all
 /// sessions; successive PRs diff these rows to see how shared-cache
 /// serving scales with concurrent users. Appended after the single-client
 /// rows so their positions (and values) stay comparable across snapshots.
-void RecordMultiClientScenarios(Recorder* rec, NeuronStack& stack) {
+void RecordMultiClientScenarios(Recorder* rec, NeuronStack& stack,
+                                const SharedServingConfig& serving) {
   const MicrobenchSpec& model_building = SpecOf("model-building");
   const QuerySequenceConfig qcfg = QueryConfigFor(model_building);
-  const ExecutorConfig ecfg =
+  ExecutorConfig ecfg =
       ExecutorConfigFor(model_building, stack.rtree->store());
+  ecfg.serving = serving;
   const PrefetcherFactory factory = [] {
     return std::make_unique<ScoutPrefetcher>(ScoutConfig{});
   };
 
-  for (const uint32_t n : {1u, 2u, 4u, 8u}) {
+  for (const uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
     Stopwatch sw;
     const SharedCacheResult r = RunSharedCacheExperiment(
         stack.dataset, *stack.rtree, factory, qcfg, ecfg, n, kSeed,
@@ -189,13 +216,19 @@ void RecordMultiClientScenarios(Recorder* rec, NeuronStack& stack) {
     row.sim_residual_io_us = r.combined.total_residual_us;
     row.hit_rate_pct = r.combined.hit_rate_pct;
     row.speedup = r.combined.speedup;
+    row.multiclient = true;
+    row.evictions_per_session =
+        static_cast<double>(r.evictions) / static_cast<double>(n);
+    row.sim_disk_wait_us = r.combined.total_disk_wait_us;
+    row.cross_hit_share_pct = r.cross_hit_share_pct;
     rec->figs.push_back(row);
     std::printf(
         "%-24s %-18s %-10s %9.1f ms  hit %5.1f%%  speedup %.2f  "
-        "(cross %4.1f%%, evictions %llu)\n",
+        "(cross %4.1f%%, evict/S %.1f, wait %lld us)\n",
         row.bench.c_str(), row.scenario.c_str(), row.prefetcher.c_str(),
         row.wall_ms, row.hit_rate_pct, row.speedup, r.cross_hit_share_pct,
-        static_cast<unsigned long long>(r.evictions));
+        row.evictions_per_session,
+        static_cast<long long>(row.sim_disk_wait_us));
   }
 }
 
@@ -333,8 +366,11 @@ void PrintUsage() {
       "  --label NAME    snapshot label (default: current)\n"
       "  --out PATH      output JSON (default: BENCH_baseline.json)\n"
       "  --append        append a snapshot instead of rewriting the file\n"
-      "                  (refuses labels already present in the file)\n"
-      "  --force         append even if the label already exists\n"
+      "                  (refuses labels already present in the file, and\n"
+      "                  seed3 flip labels before the pre-qos anchor)\n"
+      "  --force         append even if a refusal would apply\n"
+      "  --serving MODE  multi-client serving semantics: full (default),\n"
+      "                  cache-qos, or legacy (pre-QoS)\n"
       "  --help          this message\n");
 }
 
@@ -354,6 +390,8 @@ int main(int argc, char** argv) {
       opt.label = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       opt.out = argv[++i];
+    } else if (arg == "--serving" && i + 1 < argc) {
+      opt.serving = argv[++i];
     } else if (arg == "--help") {
       PrintUsage();
       return 0;
@@ -364,25 +402,44 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Refuse duplicate labels up front, before burning minutes of
-  // recording (the checked write below re-validates at write time).
-  if (opt.append && !opt.force &&
-      BaselineContainsLabel(ReadFileOrEmpty(opt.out), opt.label)) {
-    std::fprintf(stderr,
-                 "label '%s' already exists in %s; pick a new label or pass "
-                 "--force\n",
-                 opt.label.c_str(), opt.out.c_str());
-    return 1;
+  SharedServingConfig serving;
+  if (!ServingConfigFor(opt.serving, &serving)) {
+    std::fprintf(stderr, "unknown --serving mode: %s\n", opt.serving.c_str());
+    PrintUsage();
+    return 2;
+  }
+
+  // Refuse invalid appends up front, before burning minutes of recording
+  // (the checked write below re-validates at write time): duplicate
+  // labels, and seed3 flip labels whose pre-qos anchor is missing.
+  if (opt.append && !opt.force) {
+    const std::string existing = ReadFileOrEmpty(opt.out);
+    if (BaselineContainsLabel(existing, opt.label)) {
+      std::fprintf(stderr,
+                   "label '%s' already exists in %s; pick a new label or pass "
+                   "--force\n",
+                   opt.label.c_str(), opt.out.c_str());
+      return 1;
+    }
+    if (RequiresSeed3Anchor(opt.label) &&
+        !BaselineContainsLabel(existing, kSeed3PreAnchor)) {
+      std::fprintf(stderr,
+                   "seed3 label '%s' requires the '%s' anchor in %s first; "
+                   "record the legacy-serving anchor or pass --force\n",
+                   opt.label.c_str(), kSeed3PreAnchor, opt.out.c_str());
+      return 1;
+    }
   }
 
   Recorder rec(opt.tiny ? kTinyScale : kFullScale, opt.tiny);
-  std::printf("== baseline_recorder (label=%s, %s scale) ==\n",
-              opt.label.c_str(), opt.tiny ? "tiny" : "full");
+  std::printf("== baseline_recorder (label=%s, %s scale, serving=%s) ==\n",
+              opt.label.c_str(), opt.tiny ? "tiny" : "full",
+              opt.serving.c_str());
   Stopwatch total;
   {
     NeuronStack stack(rec.scale().neuron_objects, /*seed=*/1);
     RecordFigScenarios(&rec, stack);
-    RecordMultiClientScenarios(&rec, stack);
+    RecordMultiClientScenarios(&rec, stack, serving);
   }
   RecordMicroScenarios(&rec);
 

@@ -133,6 +133,13 @@ struct BaselineFigRow {
   int64_t sim_residual_io_us = 0;  ///< Simulated cache-miss I/O time.
   double hit_rate_pct = 0.0;
   double speedup = 1.0;
+  /// Multi-client serving extras (fig_multiclient rows). Serialized only
+  /// when `multiclient` is set, so single-client rows keep the exact
+  /// byte layout earlier snapshots were recorded with.
+  bool multiclient = false;
+  double evictions_per_session = 0.0;   ///< Shared-cache contention.
+  int64_t sim_disk_wait_us = 0;         ///< Shared-disk queueing delay.
+  double cross_hit_share_pct = 0.0;     ///< Constructive sharing.
 };
 
 /// One hot-path micro measurement of a baseline snapshot.
@@ -181,13 +188,24 @@ inline std::string BaselineSnapshotJson(
                   "        {\"bench\": \"%s\", \"scenario\": \"%s\", "
                   "\"prefetcher\": \"%s\", \"wall_ms\": %.3f, "
                   "\"sim_response_us\": %lld, \"sim_residual_io_us\": %lld, "
-                  "\"hit_rate_pct\": %.2f, \"speedup\": %.3f}",
+                  "\"hit_rate_pct\": %.2f, \"speedup\": %.3f",
                   JsonEscape(r.bench).c_str(), JsonEscape(r.scenario).c_str(),
                   JsonEscape(r.prefetcher).c_str(), r.wall_ms,
                   static_cast<long long>(r.sim_response_us),
                   static_cast<long long>(r.sim_residual_io_us),
                   r.hit_rate_pct, r.speedup);
-    os << buf << (i + 1 < figs.size() ? "," : "") << "\n";
+    os << buf;
+    if (r.multiclient) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"evictions_per_session\": %.2f, "
+                    "\"sim_disk_wait_us\": %lld, "
+                    "\"cross_hit_share_pct\": %.2f",
+                    r.evictions_per_session,
+                    static_cast<long long>(r.sim_disk_wait_us),
+                    r.cross_hit_share_pct);
+      os << buf;
+    }
+    os << "}" << (i + 1 < figs.size() ? "," : "") << "\n";
   }
   os << "      ],\n      \"micro\": [\n";
   for (size_t i = 0; i < micro.size(); ++i) {
@@ -248,21 +266,44 @@ inline bool WriteBaselineSnapshot(const std::string& path, bool append,
   return static_cast<bool>(out);
 }
 
+/// The neutral anchor of the seed3 (cache-QoS re-seed) label family: a
+/// legacy-serving snapshot proving the QoS code landed without moving
+/// any pre-flip metric. The flip snapshots are meaningless without it.
+inline constexpr const char kSeed3PreAnchor[] = "pre-qos";
+
+/// True for seed3 flip labels that may only be appended AFTER the
+/// `pre-qos` anchor exists in the trajectory (ordering guard).
+inline bool RequiresSeed3Anchor(const std::string& label) {
+  return label == "qos-cache-only" || label == "post-qos";
+}
+
 /// The recorder's write entry point: appends (or rewrites, when `append`
 /// is false) a snapshot labelled `label`. Appending REFUSES to add a
 /// snapshot whose label already exists in the target file — a silent
 /// duplicate label would make the perf trajectory ambiguous (which
 /// "post-optimization" row is the real one?) and corrupt every diff made
-/// against it. `force` overrides the refusal for deliberate re-records.
-/// On refusal or I/O failure returns false and describes why in *error.
+/// against it — and REFUSES a seed3 flip label (`qos-cache-only`,
+/// `post-qos`) while the `pre-qos` anchor is absent, so the family can
+/// only land in trajectory order. `force` overrides both refusals for
+/// deliberate re-records. On refusal or I/O failure returns false and
+/// describes why in *error.
 inline bool RecordBaselineSnapshot(const std::string& path, bool append,
                                    bool force, const std::string& label,
                                    const std::string& snapshot_json,
                                    std::string* error) {
-  if (append && !force && BaselineContainsLabel(ReadFileOrEmpty(path), label)) {
+  const std::string existing = append ? ReadFileOrEmpty(path) : std::string();
+  if (append && !force && BaselineContainsLabel(existing, label)) {
     *error = "refusing to append: label '" + label + "' already exists in " +
              path + " (duplicate labels corrupt the baseline trajectory; " +
              "pick a new label or pass --force)";
+    return false;
+  }
+  if (append && !force && RequiresSeed3Anchor(label) &&
+      !BaselineContainsLabel(existing, kSeed3PreAnchor)) {
+    *error = "refusing to append: seed3 label '" + label + "' requires the '" +
+             kSeed3PreAnchor + "' anchor snapshot in " + path +
+             " first (record the neutral legacy-serving anchor before the " +
+             "flip, or pass --force)";
     return false;
   }
   if (!WriteBaselineSnapshot(path, append, snapshot_json)) {

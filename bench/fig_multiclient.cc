@@ -1,14 +1,16 @@
 /// Multi-client shared-cache scaling (paper §8 outlook: many scientists
-/// exploring one dataset concurrently). For N ∈ {1, 2, 4, 8} sessions
-/// this bench serves the *same* guided sequences two ways:
-///   - shared:  one PrefetchCache of fixed capacity, all sessions
-///     interleaved on the deterministic simulated-time scheduler
-///     (MultiClientEngine);
+/// exploring one dataset concurrently). For N ∈ {1 .. 64} sessions this
+/// bench serves the *same* guided sequences three ways:
+///   - QoS:    the serving defaults — quota-segmented shared cache with
+///     priced admission, capacity scaled per session, all reads through
+///     one shared 4-channel disk queue (MultiClientEngine);
+///   - LRU:    SharedServingConfig::Legacy() — one fixed-capacity global
+///     LRU cache, private per-session disks (the pre-QoS serving model
+///     whose hit rate collapsed at N=8);
 ///   - private: RunBatch, every sequence with its own cache of the same
-///     capacity (the PR-2 multi-process deployment model).
-/// The delta separates *constructive sharing* (cross-session hits: one
-/// session served by another's prefetch) from *contention* (evictions
-/// inflicted across sessions squeezing everyone's hit rate).
+///     base capacity (the PR-2 multi-process deployment model).
+/// The deltas separate *constructive sharing* (cross-session hits) from
+/// *contention* (evictions per session, shared-disk queueing delay).
 
 #include <cstring>
 #include <memory>
@@ -28,24 +30,31 @@ PrefetcherFactory ScoutFactory() {
 void RunScenario(const char* name, const Dataset& dataset,
                  const SpatialIndex& index, const MicrobenchSpec& spec) {
   const QuerySequenceConfig qcfg = QueryConfigFor(spec);
-  const ExecutorConfig ecfg = ExecutorConfigFor(spec, index.store());
+  ExecutorConfig qos_cfg = ExecutorConfigFor(spec, index.store());
+  ExecutorConfig lru_cfg = qos_cfg;
+  lru_cfg.serving = SharedServingConfig::Legacy();
 
   PrintHeader(std::string("fig_multiclient: ") + name +
-              " — shared cache vs private caches");
-  PrintColumns("sessions N", {"shared%", "private%", "cross%", "evict/S",
-                              "sharedSp", "privSp"});
-  for (const uint32_t n : {1u, 2u, 4u, 8u}) {
-    const SharedCacheResult shared = RunSharedCacheExperiment(
-        dataset, index, ScoutFactory(), qcfg, ecfg, n, kSeed,
+              " — QoS serving vs legacy shared LRU vs private caches");
+  PrintColumns("sessions N", {"QoS%", "LRU%", "priv%", "cross%", "evict/S",
+                              "waitMs/S", "QoSSp"});
+  for (const uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const SharedCacheResult qos = RunSharedCacheExperiment(
+        dataset, index, ScoutFactory(), qcfg, qos_cfg, n, kSeed,
+        /*num_workers=*/1);
+    const SharedCacheResult lru = RunSharedCacheExperiment(
+        dataset, index, ScoutFactory(), qcfg, lru_cfg, n, kSeed,
         /*num_workers=*/1);
     const ExperimentResult priv =
-        RunBatch(dataset, index, ScoutFactory(), qcfg, ecfg,
+        RunBatch(dataset, index, ScoutFactory(), qcfg, qos_cfg,
                  /*num_sequences=*/n, kSeed, /*num_workers=*/1);
     PrintRow("N=" + std::to_string(n),
-             {shared.combined.hit_rate_pct, priv.hit_rate_pct,
-              shared.cross_hit_share_pct,
-              static_cast<double>(shared.evictions) / n,
-              shared.combined.speedup, priv.speedup},
+             {qos.combined.hit_rate_pct, lru.combined.hit_rate_pct,
+              priv.hit_rate_pct, qos.cross_hit_share_pct,
+              static_cast<double>(qos.evictions) / n,
+              static_cast<double>(qos.combined.total_disk_wait_us) / 1000.0 /
+                  n,
+              qos.combined.speedup},
              2);
   }
 }
@@ -82,10 +91,13 @@ int main(int argc, char** argv) {
               SpecOf("vis-high-quality"));
 
   std::printf(
-      "\nshared%% / private%% = pooled cache-hit rate with one shared cache\n"
-      "vs per-session private caches of the same capacity; cross%% = share\n"
-      "of shared-cache hits served from another session's prefetch\n"
-      "(constructive sharing); evict/S = shared-cache evictions per\n"
-      "session (contention); Sp = speedup vs no prefetching.\n");
+      "\nQoS%% = pooled cache-hit rate under the serving defaults (quota\n"
+      "eviction + priced admission + per-session scaled capacity + one\n"
+      "shared 4-channel disk); LRU%% = the legacy shared global-LRU cache\n"
+      "of fixed capacity with private disks; priv%% = per-session private\n"
+      "caches (RunBatch). cross%% = share of QoS hits served from another\n"
+      "session's prefetch; evict/S = QoS evictions per session; waitMs/S =\n"
+      "shared-disk queueing delay per session; Sp = speedup vs no\n"
+      "prefetching on the same disk model.\n");
   return 0;
 }

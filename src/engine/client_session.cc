@@ -8,10 +8,12 @@ ClientSession::ClientSession(uint32_t id, const SpatialIndex* index,
                              std::unique_ptr<Prefetcher> prefetcher,
                              const ExecutorConfig& config,
                              PrefetchCache* shared_cache,
+                             SharedDiskQueue* disk_queue,
                              GuidedSequence sequence)
     : id_(id),
       prefetcher_(std::move(prefetcher)),
-      executor_(index, prefetcher_.get(), config, shared_cache),
+      executor_(index, prefetcher_.get(), config, shared_cache, disk_queue,
+                id),
       sequence_(std::move(sequence)) {
   prefetcher_->BindSession(id_);
   stats_.queries.reserve(sequence_.queries.size());

@@ -22,12 +22,13 @@ namespace scout {
 /// session's next query has the lowest simulated timestamp.
 class ClientSession {
  public:
-  /// `shared_cache` is owned by the engine; `prefetcher` is owned here
-  /// and bound to `id`.
+  /// `shared_cache` and `disk_queue` are owned by the engine
+  /// (`disk_queue` may be null: the session then simulates a private
+  /// disk); `prefetcher` is owned here and bound to `id`.
   ClientSession(uint32_t id, const SpatialIndex* index,
                 std::unique_ptr<Prefetcher> prefetcher,
                 const ExecutorConfig& config, PrefetchCache* shared_cache,
-                GuidedSequence sequence);
+                SharedDiskQueue* disk_queue, GuidedSequence sequence);
 
   uint32_t id() const { return id_; }
   const GuidedSequence& sequence() const { return sequence_; }

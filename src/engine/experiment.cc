@@ -22,6 +22,7 @@ void AccumulateSequence(const SequenceRunStats& run,
   result->total_response_us += run.TotalResponseUs();
   result->baseline_response_us += base.TotalResponseUs();
   result->total_residual_us += run.TotalResidualUs();
+  result->total_disk_wait_us += run.TotalDiskWaitUs();
   result->total_graph_build_us += run.TotalGraphBuildUs();
   result->total_prediction_us += run.TotalPredictionUs();
   result->total_pages += run.TotalPagesTotal();
@@ -186,11 +187,18 @@ SharedCacheResult RunSharedCacheExperiment(
     const SequenceRunStats& run = outcome.runs[s];
     result.session_hit_rate_pct.push_back(run.CacheHitRatePct());
     result.session_response_us.push_back(run.TotalResponseUs());
+    result.admission_closed_windows += run.TotalAdmissionClosedWindows();
     if (run.queries.empty()) continue;
     AccumulateSequence(run, outcome.baselines[s], &result.combined,
                        &total_queries);
   }
   FinalizeResult(&result.combined, total_queries);
+
+  result.disk = outcome.disk_stats;
+  result.session_disk_wait_us.reserve(outcome.session_disk_stats.size());
+  for (const DiskQueueStats& s : outcome.session_disk_stats) {
+    result.session_disk_wait_us.push_back(s.wait_us);
+  }
 
   result.session_cache = outcome.cache_stats;
   for (const CacheSessionStats& s : outcome.cache_stats) {

@@ -48,6 +48,7 @@ struct ExperimentResult {
   SimMicros total_response_us = 0;
   SimMicros baseline_response_us = 0;
   SimMicros total_residual_us = 0;
+  SimMicros total_disk_wait_us = 0;  ///< Shared-disk queueing delay.
   SimMicros total_graph_build_us = 0;
   SimMicros total_prediction_us = 0;
   size_t total_pages = 0;
@@ -114,18 +115,26 @@ struct SharedCacheResult {
   uint64_t evictions = 0;
   /// Share of all cache hits served from another session's prefetch.
   double cross_hit_share_pct = 0.0;
+  /// Shared-disk contention (zeros under Legacy() serving).
+  DiskQueueStats disk;
+  std::vector<SimMicros> session_disk_wait_us;  ///< Per session.
+  /// Windows closed early by priced admission control (QoS serving).
+  size_t admission_closed_windows = 0;
 };
 
 /// Multi-client shared-cache entry point: serves `num_sessions` query
 /// streams (session s's workload = fork s of Rng(seed), identical to the
-/// sequences RunBatch runs) interleaved over ONE shared PrefetchCache of
-/// `executor_config.cache_bytes`, under the deterministic simulated-time
-/// scheduler of MultiClientEngine. Bit-identical for any `num_workers`
-/// and across reruns. One deliberate policy difference vs the private
-/// caches of RunBatch: a full *shared* cache evicts LRU pages on
-/// prefetch (capacity contention between sessions) where a full private
-/// cache halts prefetching (paper §7.4.4) — with a cache that never
-/// fills, num_sessions = 1 is bit-identical to RunBatch(num_sequences = 1).
+/// sequences RunBatch runs) interleaved over ONE shared PrefetchCache,
+/// under the deterministic simulated-time scheduler of MultiClientEngine
+/// and the serving semantics of `executor_config.serving` (QoS quotas +
+/// priced admission + scaled capacity + shared disk by default;
+/// SharedServingConfig::Legacy() for the pre-QoS model). Bit-identical
+/// for any `num_workers` and across reruns. One deliberate policy
+/// difference vs the private caches of RunBatch: a full *shared* cache
+/// evicts pages on prefetch (capacity contention between sessions) where
+/// a full private cache halts prefetching (paper §7.4.4) — under
+/// Legacy() serving with a cache that never fills, num_sessions = 1 is
+/// bit-identical to RunBatch(num_sequences = 1).
 SharedCacheResult RunSharedCacheExperiment(
     const Dataset& dataset, const SpatialIndex& index,
     const PrefetcherFactory& make_prefetcher,

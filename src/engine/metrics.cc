@@ -21,6 +21,18 @@ SimMicros SequenceRunStats::TotalResidualUs() const {
   return sum;
 }
 
+SimMicros SequenceRunStats::TotalDiskWaitUs() const {
+  SimMicros sum = 0;
+  for (const auto& q : queries) sum += q.disk_wait_us;
+  return sum;
+}
+
+size_t SequenceRunStats::TotalAdmissionClosedWindows() const {
+  size_t sum = 0;
+  for (const auto& q : queries) sum += q.admission_closed_window ? 1 : 0;
+  return sum;
+}
+
 SimMicros SequenceRunStats::TotalGraphBuildUs() const {
   SimMicros sum = 0;
   for (const auto& q : queries) sum += q.graph_build_us;

@@ -14,6 +14,9 @@ struct QueryRunStats {
   size_t pages_hit = 0;         ///< Served from the prefetch cache.
   size_t result_objects = 0;
   SimMicros residual_io_us = 0; ///< Disk time for cache misses.
+  SimMicros disk_wait_us = 0;   ///< Queueing delay at the shared disk
+                                ///< (residual batch + window fetches);
+                                ///< 0 with a private disk model.
   SimMicros response_us = 0;    ///< Residual I/O + carried prediction
                                 ///< overflow from the previous window.
   SimMicros window_us = 0;      ///< Prefetch window duration.
@@ -26,6 +29,9 @@ struct QueryRunStats {
   size_t graph_memory_bytes = 0;
   size_t num_candidates = 0;
   bool was_reset = false;
+  /// Priced admission control rejected a prefetch insert and closed this
+  /// query's window early (shared-cache QoS only).
+  bool admission_closed_window = false;
   int64_t wall_graph_build_us = 0;
   int64_t wall_prediction_us = 0;
 };
@@ -40,6 +46,8 @@ struct SequenceRunStats {
 
   SimMicros TotalResponseUs() const;
   SimMicros TotalResidualUs() const;
+  SimMicros TotalDiskWaitUs() const;
+  size_t TotalAdmissionClosedWindows() const;
   SimMicros TotalGraphBuildUs() const;
   SimMicros TotalPredictionUs() const;
   size_t TotalPagesTotal() const;

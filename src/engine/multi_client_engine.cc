@@ -11,6 +11,17 @@ namespace scout {
 
 using internal::RunOnPool;
 
+uint64_t MultiClientEngine::ScaledSharedCacheBytes(
+    const ExecutorConfig& config, uint32_t num_sessions) {
+  const double per_session = config.serving.cache_scale_per_session;
+  if (per_session <= 0.0) return config.cache_bytes;
+  const double scale =
+      std::max(1.0, per_session * static_cast<double>(
+                                      std::max<uint32_t>(1, num_sessions)));
+  return static_cast<uint64_t>(static_cast<double>(config.cache_bytes) *
+                               scale);
+}
+
 MultiClientEngine::MultiClientEngine(const Dataset& dataset,
                                      const SpatialIndex& index,
                                      const PrefetcherFactory& make_prefetcher,
@@ -19,15 +30,23 @@ MultiClientEngine::MultiClientEngine(const Dataset& dataset,
                                      uint32_t num_sessions, uint64_t seed)
     : index_(&index),
       config_(executor_config),
-      shared_cache_(executor_config.cache_bytes) {
+      shared_cache_(
+          ScaledSharedCacheBytes(executor_config,
+                                 std::max<uint32_t>(1, num_sessions))),
+      shared_disk_(
+          DiskQueueConfig{executor_config.disk,
+                          executor_config.serving.disk_channels},
+          std::max<uint32_t>(1, num_sessions)) {
   prefetcher_name_ = std::string(make_prefetcher()->name());
   num_sessions = std::max<uint32_t>(1, num_sessions);
   sessions_.reserve(num_sessions);
+  SharedDiskQueue* disk_queue =
+      config_.serving.shared_disk ? &shared_disk_ : nullptr;
   Rng rng(seed);
   for (uint32_t s = 0; s < num_sessions; ++s) {
     Rng seq_rng = rng.Fork();
     sessions_.push_back(std::make_unique<ClientSession>(
-        s, index_, make_prefetcher(), config_, &shared_cache_,
+        s, index_, make_prefetcher(), config_, &shared_cache_, disk_queue,
         GenerateGuidedSequence(dataset, query_config, &seq_rng)));
   }
 }
@@ -39,7 +58,8 @@ MultiClientOutcome MultiClientEngine::Run(uint32_t num_workers) {
   // Cold start: one shared-cache generation per run. Sessions must never
   // carry state across the epoch boundary, so they reset afterwards.
   shared_cache_.Clear();
-  shared_cache_.ConfigureSharing(n);
+  shared_cache_.ConfigureSharing(n, config_.serving.cache_quotas);
+  shared_disk_.Reset();
   for (auto& session : sessions_) session->Reset();
 
   // ---- Phase 1 (parallel, pure): precompute every query's result pages
@@ -93,7 +113,10 @@ MultiClientOutcome MultiClientEngine::Run(uint32_t num_workers) {
   }
 
   // ---- Phase 2 (parallel, pure): no-prefetch baselines on private
-  // executor stacks. A baseline never touches the shared cache.
+  // executor stacks. A baseline never touches the shared cache. Under
+  // shared-disk serving each baseline gets a PRIVATE queue instance with
+  // the same channel config, so the speedup denominator prices reads on
+  // the same array — minus the cross-session contention.
   std::vector<SequenceRunStats> baselines(n);
   {
     const uint32_t workers = std::min(num_workers, n);
@@ -103,9 +126,17 @@ MultiClientOutcome MultiClientEngine::Run(uint32_t num_workers) {
         const uint32_t s = next.fetch_add(1);
         if (s >= n) return;
         NoPrefetcher none;
-        QueryExecutor baseline(index_, &none, config_);
-        baselines[s] = baseline.RunSequence(
-            sessions_[s]->sequence().queries, preps[s]);
+        if (config_.serving.shared_disk) {
+          SharedDiskQueue private_queue(shared_disk_.config(), 1);
+          QueryExecutor baseline(index_, &none, config_, nullptr,
+                                 &private_queue, 0);
+          baselines[s] = baseline.RunSequence(
+              sessions_[s]->sequence().queries, preps[s]);
+        } else {
+          QueryExecutor baseline(index_, &none, config_);
+          baselines[s] = baseline.RunSequence(
+              sessions_[s]->sequence().queries, preps[s]);
+        }
       }
     });
   }
@@ -138,6 +169,8 @@ MultiClientOutcome MultiClientEngine::Run(uint32_t num_workers) {
   for (auto& session : sessions_) outcome.runs.push_back(session->stats());
   outcome.baselines = std::move(baselines);
   outcome.cache_stats = shared_cache_.session_stats();
+  outcome.disk_stats = shared_disk_.stats();
+  outcome.session_disk_stats = shared_disk_.session_stats();
   return outcome;
 }
 

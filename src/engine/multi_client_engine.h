@@ -20,6 +20,9 @@ struct MultiClientOutcome {
   /// Shared-cache attribution: hits_own/hits_cross measure constructive
   /// sharing, evictions_caused/pages_evicted measure contention.
   std::vector<CacheSessionStats> cache_stats;
+  /// Shared-disk contention (zeros when serving.shared_disk is off).
+  DiskQueueStats disk_stats;
+  std::vector<DiskQueueStats> session_disk_stats;  ///< Per session.
 };
 
 /// Serves N client sessions over ONE shared PrefetchCache (paper §8
@@ -52,7 +55,15 @@ class MultiClientEngine {
   /// Pregenerates session s's workload as fork s of Rng(seed) — exactly
   /// the sequences RunBatch/RunGuidedExperiment generate for the same
   /// seed, so shared-cache serving is apples-to-apples comparable with
-  /// private-cache runs. The shared cache holds `executor_config.cache_bytes`.
+  /// private-cache runs.
+  ///
+  /// Serving semantics follow `executor_config.serving`: the shared
+  /// cache holds cache_bytes scaled by the session count (Legacy(): the
+  /// fixed cache_bytes), evicts by quota-segmented LRU with priced
+  /// admission (Legacy(): pure global LRU), and all reads — including
+  /// the no-prefetch baselines, each on a private queue instance so the
+  /// speedup denominator sees the same disk — go through one shared
+  /// 4-channel disk queue (Legacy(): a private DiskModel per session).
   MultiClientEngine(const Dataset& dataset, const SpatialIndex& index,
                     const PrefetcherFactory& make_prefetcher,
                     const QuerySequenceConfig& query_config,
@@ -69,12 +80,20 @@ class MultiClientEngine {
     return static_cast<uint32_t>(sessions_.size());
   }
   const PrefetchCache& shared_cache() const { return shared_cache_; }
+  const SharedDiskQueue& shared_disk() const { return shared_disk_; }
+
+  /// Shared-cache capacity for `num_sessions` under `config.serving`
+  /// (cache_bytes scaled per session; the legacy fixed capacity when
+  /// cache_scale_per_session is 0).
+  static uint64_t ScaledSharedCacheBytes(const ExecutorConfig& config,
+                                         uint32_t num_sessions);
 
  private:
   const SpatialIndex* index_;
   ExecutorConfig config_;
   std::string prefetcher_name_;
   PrefetchCache shared_cache_;
+  SharedDiskQueue shared_disk_;
   std::vector<std::unique_ptr<ClientSession>> sessions_;
 };
 

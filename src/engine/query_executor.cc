@@ -50,8 +50,14 @@ void MergeSortedRuns(std::vector<PageId>* pages) {
 /// halts prefetching prematurely (paper §7.4.4).
 class QueryExecutor::WindowIo : public PrefetchIo {
  public:
-  WindowIo(QueryExecutor* executor, SimMicros budget)
-      : executor_(executor), remaining_(budget) {}
+  /// `window_start` is the simulated instant prefetching begins (query
+  /// issue + response + prediction charge); only consulted when fetches
+  /// go through a shared disk queue.
+  WindowIo(QueryExecutor* executor, SimMicros budget, SimMicros window_start)
+      : executor_(executor),
+        budget_(budget),
+        remaining_(budget),
+        window_start_(window_start) {}
 
   void QueryPages(const Region& region, std::vector<PageId>* out) override {
     executor_->index_->QueryPages(region, out);
@@ -64,19 +70,43 @@ class QueryExecutor::WindowIo : public PrefetchIo {
   bool FetchPage(PageId page) override {
     if (executor_->cache_->Contains(page)) return true;
     if (remaining_ <= 0) return false;
-    if (executor_->cache_->Full() && executor_->owns_cache()) {
-      // Single-stream mode: prefetching halts once the cache is full
-      // (paper §7.4.4 — a small cache stops prefetching prematurely).
-      // A *shared* serving cache is a long-lived resource instead:
-      // prefetches displace the LRU page (Insert evicts), so capacity
-      // pressure between sessions shows up as cross-session evictions,
-      // not as silently halted windows.
-      remaining_ = 0;
-      return false;
+    if (executor_->cache_->Full()) {
+      if (executor_->owns_cache()) {
+        // Single-stream mode: prefetching halts once the cache is full
+        // (paper §7.4.4 — a small cache stops prefetching prematurely).
+        // A *shared* serving cache is a long-lived resource instead:
+        // prefetches displace a page (Insert evicts), so capacity
+        // pressure between sessions shows up as evictions, not as
+        // silently halted windows.
+        remaining_ = 0;
+        return false;
+      }
+      if (!executor_->AdmitPrefetchInsert()) {
+        // Priced admission rejected the insert. The prefetcher's plan is
+        // in decreasing expected value and the price only moves with
+        // cache activity this executor cannot cause within the window,
+        // so the first rejection closes the window.
+        admission_closed_ = true;
+        remaining_ = 0;
+        return false;
+      }
     }
     // A read started while the window is open completes even if the user
     // issues the next query meanwhile; the window then closes.
-    const SimMicros cost = executor_->disk_.ReadPage(page);
+    SimMicros cost;
+    if (executor_->disk_queue_ != nullptr) {
+      // Shared disk: the fetch is issued where the window has advanced
+      // to; queueing behind other sessions' reads consumes window budget
+      // exactly like the read itself.
+      const SimMicros issue = window_start_ + (budget_ - remaining_);
+      const SharedDiskQueue::BatchResult served =
+          executor_->disk_queue_->ServeOne(executor_->session_id_, issue,
+                                           page);
+      cost = served.latency_us;
+      wait_us_ += served.queue_wait_us;
+    } else {
+      cost = executor_->disk_.ReadPage(page);
+    }
     executor_->cache_->Insert(page);
     remaining_ -= cost;
     ++pages_fetched_;
@@ -86,11 +116,17 @@ class QueryExecutor::WindowIo : public PrefetchIo {
   bool WindowOpen() const override { return remaining_ > 0; }
 
   size_t pages_fetched() const { return pages_fetched_; }
+  SimMicros wait_us() const { return wait_us_; }
+  bool admission_closed() const { return admission_closed_; }
 
  private:
   QueryExecutor* executor_;
+  SimMicros budget_;
   SimMicros remaining_;
+  SimMicros window_start_;
+  SimMicros wait_us_ = 0;
   size_t pages_fetched_ = 0;
+  bool admission_closed_ = false;
 };
 
 void QueryExecutor::Prepare(const SpatialIndex& index, const Region& region,
@@ -122,22 +158,29 @@ void QueryExecutor::Prepare(const SpatialIndex& index, const Region& region,
 QueryExecutor::QueryExecutor(const SpatialIndex* index,
                              Prefetcher* prefetcher,
                              const ExecutorConfig& config)
-    : index_(index),
-      prefetcher_(prefetcher),
-      config_(config),
-      disk_(config.disk, &clock_),
-      owned_cache_(std::make_unique<PrefetchCache>(config.cache_bytes)),
-      cache_(owned_cache_.get()) {}
+    : QueryExecutor(index, prefetcher, config, nullptr, nullptr, 0) {}
 
 QueryExecutor::QueryExecutor(const SpatialIndex* index,
                              Prefetcher* prefetcher,
                              const ExecutorConfig& config,
                              PrefetchCache* shared_cache)
+    : QueryExecutor(index, prefetcher, config, shared_cache, nullptr, 0) {}
+
+QueryExecutor::QueryExecutor(const SpatialIndex* index,
+                             Prefetcher* prefetcher,
+                             const ExecutorConfig& config,
+                             PrefetchCache* shared_cache,
+                             SharedDiskQueue* disk_queue, uint32_t session_id)
     : index_(index),
       prefetcher_(prefetcher),
       config_(config),
       disk_(config.disk, &clock_),
-      cache_(shared_cache) {}
+      owned_cache_(shared_cache == nullptr
+                       ? std::make_unique<PrefetchCache>(config.cache_bytes)
+                       : nullptr),
+      cache_(shared_cache == nullptr ? owned_cache_.get() : shared_cache),
+      disk_queue_(disk_queue),
+      session_id_(session_id) {}
 
 SimMicros QueryExecutor::ColdReadCost(
     const std::vector<PageId>& sorted_pages) const {
@@ -160,8 +203,23 @@ void QueryExecutor::BeginSequence() {
   if (owned_cache_) owned_cache_->Clear();
   disk_.Reset();
   clock_.Reset();
+  sequence_now_ = 0;
   carried_overflow_ = 0;
   prefetcher_->BeginSequence();
+}
+
+bool QueryExecutor::AdmitPrefetchInsert() const {
+  if (!config_.serving.priced_admission) return true;
+  const uint32_t self = cache_->active_session();
+  const uint32_t victim = cache_->PeekVictimOwner();
+  if (self == PrefetchCache::kNoSession ||
+      victim == PrefetchCache::kNoSession || victim == self) {
+    return true;
+  }
+  const std::vector<CacheSessionStats>& stats = cache_->session_stats();
+  return config_.serving.admission.Admit(
+      stats[self].inserts, stats[self].hits_own, stats[victim].inserts,
+      stats[victim].hits_own, config_.disk.random_read_us);
 }
 
 QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
@@ -176,12 +234,36 @@ QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
 
   // --- Execute the query: cache hits first, misses from disk. ---
   q.pages_total = prep.pages.size();
-  for (PageId page : prep.pages) {
-    if (cache_->TouchIfPresent(page)) {
-      ++q.pages_hit;
-    } else {
-      q.residual_io_us += disk_.ReadPage(page);
-      if (config_.cache_residual_reads) cache_->Insert(page);
+  if (disk_queue_ != nullptr) {
+    // Shared disk: collect the misses and serve them as ONE batch the
+    // elevator scan may reorder; the residual I/O is the batch latency
+    // (slowest page completion), which includes any queueing behind
+    // other sessions' reads.
+    miss_pages_.clear();
+    for (PageId page : prep.pages) {
+      if (cache_->TouchIfPresent(page)) {
+        ++q.pages_hit;
+      } else {
+        miss_pages_.push_back(page);
+      }
+    }
+    if (!miss_pages_.empty()) {
+      const SharedDiskQueue::BatchResult served =
+          disk_queue_->ServeBatch(session_id_, sequence_now_, miss_pages_);
+      q.residual_io_us = served.latency_us;
+      q.disk_wait_us = served.queue_wait_us;
+      if (config_.cache_residual_reads) {
+        for (PageId page : miss_pages_) cache_->Insert(page);
+      }
+    }
+  } else {
+    for (PageId page : prep.pages) {
+      if (cache_->TouchIfPresent(page)) {
+        ++q.pages_hit;
+      } else {
+        q.residual_io_us += disk_.ReadPage(page);
+        if (config_.cache_residual_reads) cache_->Insert(page);
+      }
     }
   }
   q.result_objects = prep.objects.size();
@@ -227,9 +309,21 @@ QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
     carried_overflow_ = std::max<SimMicros>(0, predict_part - q.window_us);
   }
 
-  WindowIo io(this, budget);
+  // Prefetching starts after the response and whatever window share the
+  // prediction consumed (Figure 2 timeline, in this stream's simulated
+  // time — only the shared disk queue reads the absolute instant).
+  const SimMicros window_start =
+      sequence_now_ + q.response_us + (q.window_us - budget);
+  WindowIo io(this, budget, window_start);
   prefetcher_->RunPrefetch(&io);
   q.prefetch_pages = io.pages_fetched();
+  q.disk_wait_us += io.wait_us();
+  q.admission_closed_window = io.admission_closed();
+
+  // Advance this stream's issue timeline exactly like ClientSession: the
+  // user sees the response, computes for the window, then issues the
+  // next query.
+  sequence_now_ += q.response_us + q.window_us;
   return q;
 }
 

@@ -7,11 +7,56 @@
 #include "common/sim_clock.h"
 #include "engine/metrics.h"
 #include "index/spatial_index.h"
+#include "prefetch/cost_model.h"
 #include "prefetch/prefetcher.h"
 #include "storage/cache.h"
 #include "storage/disk_model.h"
+#include "storage/shared_disk.h"
 
 namespace scout {
+
+/// Multi-client serving-quality (QoS) knobs: how the ONE shared cache
+/// and the ONE shared disk behave when N sessions contend. Consumed by
+/// MultiClientEngine / RunSharedCacheExperiment; single-stream executors
+/// (private cache, private disk) ignore it entirely.
+///
+/// The defaults are the QoS serving model (the `post-qos` baseline
+/// family): quota-segmented eviction + priced admission on the shared
+/// cache, per-session capacity scaling, and all reads through the shared
+/// 4-channel disk queue. Legacy() restores the `post-multiclient`-era
+/// semantics (pure global LRU, fixed capacity, one private simulated
+/// disk per session) bit-identically — the `pre-qos` anchor proves it.
+struct SharedServingConfig {
+  /// Quota-segmented shared-cache eviction (PrefetchCache QoS mode).
+  bool cache_quotas = true;
+  /// Priced admission control for prefetch inserts into a full shared
+  /// cache: reject inserts whose expected value does not cover the
+  /// expected loss of the cross-session eviction they would cause.
+  bool priced_admission = true;
+  /// Pricing parameters for `priced_admission`.
+  PrefetchAdmission admission;
+  /// Shared-cache capacity multiplier per active session: the engine
+  /// sizes the cache to cache_bytes * max(1, scale * num_sessions), so a
+  /// serving deployment provisions cache with its session count. 0 keeps
+  /// the legacy fixed `cache_bytes` capacity.
+  double cache_scale_per_session = 1.0;
+  /// Serve every session's reads through one shared SharedDiskQueue
+  /// (cross-session head contention) instead of per-session DiskModels.
+  bool shared_disk = true;
+  /// Channel count of the shared disk array (the paper's 4-disk stripe).
+  uint32_t disk_channels = 4;
+
+  /// The pre-QoS serving semantics (global LRU, fixed capacity, private
+  /// per-session disks): bit-identical to the `post-multiclient` era.
+  static SharedServingConfig Legacy() {
+    SharedServingConfig legacy;
+    legacy.cache_quotas = false;
+    legacy.priced_admission = false;
+    legacy.cache_scale_per_session = 0.0;
+    legacy.shared_disk = false;
+    return legacy;
+  }
+};
 
 /// Executor configuration. The prefetch window follows the paper's model
 /// (§7.2): if d is the time to retrieve one query's data cold from disk
@@ -35,6 +80,8 @@ struct ExecutorConfig {
   /// (Figure 2); prediction overflow beyond the window delays the next
   /// query's response.
   bool charge_prediction = true;
+  /// Multi-client serving-quality knobs (ignored by single-stream runs).
+  SharedServingConfig serving;
 };
 
 /// Runs guided query sequences against an index + simulated disk +
@@ -78,6 +125,16 @@ class QueryExecutor {
   QueryExecutor(const SpatialIndex* index, Prefetcher* prefetcher,
                 const ExecutorConfig& config, PrefetchCache* shared_cache);
 
+  /// Full serving-engine form: `shared_cache` may be null (the executor
+  /// then owns a private cache) and `disk_queue` may be null (reads then
+  /// go through the private DiskModel). With a queue, all reads are
+  /// issued to it at this stream's simulated timeline position under
+  /// `session_id`, and residual misses are served as one elevator batch.
+  /// Neither borrowed resource is reset by the executor.
+  QueryExecutor(const SpatialIndex* index, Prefetcher* prefetcher,
+                const ExecutorConfig& config, PrefetchCache* shared_cache,
+                SharedDiskQueue* disk_queue, uint32_t session_id);
+
   /// Resets the per-stream state for a cold sequence start: simulated
   /// clock, disk model, carried prediction overflow and the prefetcher
   /// (BeginSequence). Clears the cache only when the executor owns it.
@@ -117,6 +174,12 @@ class QueryExecutor {
   /// random, then sequential whenever physically adjacent).
   SimMicros ColdReadCost(const std::vector<PageId>& sorted_pages) const;
 
+  /// Priced admission (shared-cache QoS): whether to pay for one more
+  /// prefetch insert into the full shared cache, given who the eviction
+  /// victim would be. Self- and unattributed-victim inserts are always
+  /// admitted — only cross-session harm is priced.
+  bool AdmitPrefetchInsert() const;
+
   const SpatialIndex* index_;
   Prefetcher* prefetcher_;
   ExecutorConfig config_;
@@ -124,6 +187,11 @@ class QueryExecutor {
   DiskModel disk_;
   std::unique_ptr<PrefetchCache> owned_cache_;  ///< Null in shared mode.
   PrefetchCache* cache_;                        ///< Owned or borrowed.
+  SharedDiskQueue* disk_queue_ = nullptr;  ///< Borrowed; null = private disk.
+  uint32_t session_id_ = 0;                ///< Queue attribution id.
+  SimMicros sequence_now_ = 0;  ///< This stream's query-issue timeline
+                                ///< (mirrors ClientSession::next_time).
+  std::vector<PageId> miss_pages_;  ///< Residual-batch scratch buffer.
   SimMicros carried_overflow_ = 0;  ///< Prediction overflow delaying the
                                     ///< next query's response.
 };

@@ -40,5 +40,50 @@ struct CostModel {
   }
 };
 
+/// Priced admission control for prefetch inserts into a full shared
+/// cache (cache QoS). Inserting one more page evicts a victim, so the
+/// insert is only worth paying for when its expected I/O saving covers
+/// the expected loss of the eviction — both priced in simulated disk
+/// time with the same unit the CostModel's disk uses for a random read.
+///
+/// The expected value of one cached page of session s is the random-read
+/// cost weighted by s's prefetch efficiency so far (own-hits per
+/// insert): a session whose predictions keep hitting holds valuable
+/// pages; one that sprays pages nobody reads holds cheap ones. Sessions
+/// with fewer than `warmup_inserts` inserts are admitted optimistically
+/// (no efficiency signal yet). The decision only prices CROSS-session
+/// evictions — the engine admits self- and unattributed-victim inserts
+/// unconditionally, as they cannot harm a peer.
+struct PrefetchAdmission {
+  /// Inserts below which a session is admitted without a price check.
+  uint64_t warmup_inserts = 64;
+  /// Admit while (inserter value) >= ratio * (victim value). Above 1.0
+  /// the inserter must be strictly more efficient than the victim.
+  double victim_value_ratio = 1.0;
+
+  /// Expected simulated-I/O value of one cached page for a session with
+  /// the given insert/own-hit history (optimistic before any inserts).
+  double ExpectedPageValueUs(uint64_t inserts, uint64_t hits_own,
+                             SimMicros random_read_us) const {
+    if (inserts == 0) return static_cast<double>(random_read_us);
+    return static_cast<double>(random_read_us) *
+           static_cast<double>(hits_own) / static_cast<double>(inserts);
+  }
+
+  /// True when the inserter's expected gain justifies evicting the
+  /// victim's page.
+  bool Admit(uint64_t inserter_inserts, uint64_t inserter_hits_own,
+             uint64_t victim_inserts, uint64_t victim_hits_own,
+             SimMicros random_read_us) const {
+    if (inserter_inserts < warmup_inserts) return true;
+    const double gain = ExpectedPageValueUs(inserter_inserts,
+                                            inserter_hits_own,
+                                            random_read_us);
+    const double loss = ExpectedPageValueUs(victim_inserts, victim_hits_own,
+                                            random_read_us);
+    return gain >= victim_value_ratio * loss;
+  }
+};
+
 }  // namespace scout
 

@@ -55,8 +55,59 @@ void PrefetchCache::RemoveTableEntry(size_t pos) {
   }
 }
 
-void PrefetchCache::EvictTail() {
-  const uint32_t victim = tail_;
+void PrefetchCache::OwnerLinkFront(uint32_t slot) {
+  OwnerLru& o = owner_lru_[GroupOf(slots_[slot].owner)];
+  slots_[slot].oprev = kNil;
+  slots_[slot].onext = o.head;
+  if (o.head != kNil) slots_[o.head].oprev = slot;
+  o.head = slot;
+  if (o.tail == kNil) o.tail = slot;
+  ++o.occupancy;
+}
+
+void PrefetchCache::OwnerLinkBack(uint32_t slot) {
+  OwnerLru& o = owner_lru_[GroupOf(slots_[slot].owner)];
+  slots_[slot].onext = kNil;
+  slots_[slot].oprev = o.tail;
+  if (o.tail != kNil) slots_[o.tail].onext = slot;
+  o.tail = slot;
+  if (o.head == kNil) o.head = slot;
+  ++o.occupancy;
+}
+
+void PrefetchCache::OwnerUnlink(uint32_t slot) {
+  OwnerLru& o = owner_lru_[GroupOf(slots_[slot].owner)];
+  const Slot& s = slots_[slot];
+  if (s.oprev != kNil) slots_[s.oprev].onext = s.onext;
+  if (s.onext != kNil) slots_[s.onext].oprev = s.oprev;
+  if (o.head == slot) o.head = s.onext;
+  if (o.tail == slot) o.tail = s.oprev;
+  --o.occupancy;
+}
+
+uint32_t PrefetchCache::PickVictimSlot() const {
+  // An inserter at or over its quota pays for its own appetite: its own
+  // LRU page goes, never a peer's.
+  const OwnerLru& mine = owner_lru_[GroupOf(active_session_)];
+  if (mine.occupancy >= mine.quota && mine.tail != kNil) return mine.tail;
+  // Under-quota inserter: shrink the group furthest over its quota, ties
+  // to the lowest group id (the unattributed pseudo-group, quota 0, is
+  // the last group). A full cache always has an over-quota group — the
+  // quotas sum to the capacity.
+  size_t victim = owner_lru_.size();
+  uint64_t best_excess = 0;
+  for (size_t g = 0; g < owner_lru_.size(); ++g) {
+    const OwnerLru& o = owner_lru_[g];
+    if (o.occupancy > o.quota && o.occupancy - o.quota > best_excess) {
+      victim = g;
+      best_excess = o.occupancy - o.quota;
+    }
+  }
+  if (victim < owner_lru_.size()) return owner_lru_[victim].tail;
+  return tail_;  // Unreachable on a full cache; safe fallback otherwise.
+}
+
+void PrefetchCache::EvictSlot(uint32_t victim) {
   if (!session_stats_.empty()) {
     const uint32_t owner = slots_[victim].owner;
     if (owner < session_stats_.size()) ++session_stats_[owner].pages_evicted;
@@ -66,6 +117,7 @@ void PrefetchCache::EvictTail() {
   }
   RemoveTableEntry(FindPos(slots_[victim].page));
   Unlink(victim);
+  if (!owner_lru_.empty()) OwnerUnlink(victim);
   slots_[victim].page = kInvalidPageId;
   slots_[victim].owner = kNoSession;
   slots_[victim].next = free_head_;
@@ -86,7 +138,7 @@ bool PrefetchCache::Insert(PageId page) {
     return true;
   }
   if (num_pages_ >= capacity_pages_) {
-    EvictTail();
+    EvictSlot(owner_lru_.empty() ? tail_ : PickVictimSlot());
     pos = FindPos(page);  // Eviction backward-shifts table entries.
   }
   const uint32_t slot = free_head_;
@@ -97,6 +149,7 @@ bool PrefetchCache::Insert(PageId page) {
     ++session_stats_[active_session_].inserts;
   }
   LinkFront(slot);
+  if (!owner_lru_.empty()) OwnerLinkFront(slot);
   table_[pos] = PackEntry(page, slot);
   ++num_pages_;
   return true;
@@ -117,6 +170,7 @@ void PrefetchCache::Erase(PageId page) {
   const uint32_t slot = EntrySlot(table_[pos]);
   RemoveTableEntry(pos);
   Unlink(slot);
+  if (!owner_lru_.empty()) OwnerUnlink(slot);
   slots_[slot].page = kInvalidPageId;
   slots_[slot].owner = kNoSession;
   slots_[slot].next = free_head_;
@@ -124,10 +178,29 @@ void PrefetchCache::Erase(PageId page) {
   --num_pages_;
 }
 
-void PrefetchCache::ConfigureSharing(uint32_t num_sessions) {
+void PrefetchCache::ConfigureSharing(uint32_t num_sessions,
+                                     bool quota_eviction) {
   const ScopedWriter guard(this);
   session_stats_.assign(num_sessions, CacheSessionStats{});
   active_session_ = kNoSession;
+  owner_lru_.clear();
+  if (!quota_eviction || num_sessions == 0) return;
+  // Quota-segmented eviction: split the capacity into per-session page
+  // quotas (remainder to the lowest session ids, so the quotas sum
+  // exactly to the capacity); the trailing pseudo-group holds
+  // unattributed pages at quota 0.
+  owner_lru_.assign(num_sessions + 1, OwnerLru{});
+  const uint64_t base = capacity_pages_ / num_sessions;
+  const uint64_t remainder = capacity_pages_ % num_sessions;
+  for (uint32_t s = 0; s < num_sessions; ++s) {
+    owner_lru_[s].quota = base + (s < remainder ? 1 : 0);
+  }
+  // Rebuild the owner chains for pages already cached (usually none: the
+  // engine clears before configuring). Walking MRU -> LRU and appending
+  // at the back preserves each owner's recency order.
+  for (uint32_t slot = head_; slot != kNil; slot = slots_[slot].next) {
+    OwnerLinkBack(slot);
+  }
 }
 
 void PrefetchCache::Clear() {
@@ -139,6 +212,11 @@ void PrefetchCache::Clear() {
   std::fill(session_stats_.begin(), session_stats_.end(),
             CacheSessionStats{});
   active_session_ = kNoSession;
+  for (OwnerLru& o : owner_lru_) {
+    o.head = kNil;
+    o.tail = kNil;
+    o.occupancy = 0;  // Quotas persist: Clear keeps the sharing config.
+  }
   if (table_.empty()) {
     num_pages_ = 0;
     return;

@@ -99,7 +99,25 @@ class PrefetchCache {
 
   /// Enables per-session attribution for `num_sessions` sessions and
   /// zeroes all attribution state. Pass 0 to disable shared mode.
-  void ConfigureSharing(uint32_t num_sessions);
+  ///
+  /// With `quota_eviction` set, eviction switches from one global LRU to
+  /// a quota-segmented LRU (cache QoS): capacity is split into
+  /// per-session page quotas (capacity_pages / num_sessions, remainder
+  /// to the lowest ids), pages owned by sessions that left shared mode
+  /// (owner kNoSession) form an unattributed pseudo-group with quota 0,
+  /// and a full cache picks the victim by occupancy vs quota:
+  ///   - an inserter at or over its quota evicts its OWN LRU page
+  ///     (self-eviction — it can never push out a peer's page);
+  ///   - an inserter under quota evicts the LRU page of the group
+  ///     furthest over its quota (ties to the lowest group id).
+  /// When the cache is full, some group is always at or over quota (the
+  /// quotas sum to the capacity), so a session within its quota never
+  /// loses pages to a peer. Recency order is preserved per owner; hit
+  /// attribution and all counters are identical to global-LRU mode.
+  void ConfigureSharing(uint32_t num_sessions, bool quota_eviction);
+  void ConfigureSharing(uint32_t num_sessions) {
+    ConfigureSharing(num_sessions, false);
+  }
 
   /// Attributes subsequent Insert/TouchIfPresent calls to `session`
   /// (must be < the configured session count, or kNoSession to detach).
@@ -116,6 +134,43 @@ class PrefetchCache {
   /// Per-session attribution counters (empty unless sharing is enabled).
   const std::vector<CacheSessionStats>& session_stats() const {
     return session_stats_;
+  }
+
+  /// Session currently attributed (kNoSession when detached).
+  uint32_t active_session() const { return active_session_; }
+
+  /// True when quota-segmented (QoS) eviction is enabled.
+  bool quota_eviction() const { return !owner_lru_.empty(); }
+
+  /// Page quota of `session` (0 unless quota eviction is enabled).
+  uint64_t session_quota(uint32_t session) const {
+    return session < session_stats_.size() && quota_eviction()
+               ? owner_lru_[session].quota
+               : 0;
+  }
+
+  /// Pages `session` currently owns (0 unless quota eviction is enabled).
+  uint64_t session_occupancy(uint32_t session) const {
+    return session < session_stats_.size() && quota_eviction()
+               ? owner_lru_[session].occupancy
+               : 0;
+  }
+
+  /// Pages owned by no registered session (quota eviction only).
+  uint64_t unattributed_occupancy() const {
+    return quota_eviction() ? owner_lru_.back().occupancy : 0;
+  }
+
+  /// Owner of the page the active session's next new-page insert would
+  /// evict, or kNoSession when nothing would be evicted (cache not full)
+  /// or the victim is unattributed. This is the victim preview the
+  /// engine's priced admission control consults before paying for a
+  /// prefetch read; it mirrors the eviction policy exactly (global LRU
+  /// tail, or the quota-segmented pick when QoS eviction is on).
+  uint32_t PeekVictimOwner() const {
+    if (num_pages_ == 0 || num_pages_ < capacity_pages_) return kNoSession;
+    const uint32_t victim = quota_eviction() ? PickVictimSlot() : tail_;
+    return victim == kNil ? kNoSession : slots_[victim].owner;
   }
 
   /// Number of completed Clear() generations. Sessions must never carry
@@ -152,6 +207,18 @@ class PrefetchCache {
     uint32_t prev = kNil;   ///< Towards MRU.
     uint32_t next = kNil;   ///< Towards LRU; free-list link when free.
     uint32_t owner = kNoSession;  ///< Inserting session (shared mode).
+    uint32_t oprev = kNil;  ///< Owner-chain link (quota eviction only).
+    uint32_t onext = kNil;  ///< Owner-chain link (quota eviction only).
+  };
+
+  /// Per-owner recency chain + quota accounting (quota eviction only).
+  /// Group s < num_sessions is session s; the last group collects
+  /// unattributed pages (owner kNoSession) with quota 0.
+  struct OwnerLru {
+    uint32_t head = kNil;    ///< Owner's MRU slot.
+    uint32_t tail = kNil;    ///< Owner's LRU slot.
+    uint64_t quota = 0;      ///< Page quota (0 for the pseudo-group).
+    uint64_t occupancy = 0;  ///< Pages currently owned.
   };
 
   /// Debug-only single-writer assertion (see the class comment): every
@@ -218,13 +285,36 @@ class PrefetchCache {
   void LinkFront(uint32_t slot);
   void Unlink(uint32_t slot);
   void MoveToFront(uint32_t slot) {
-    if (head_ == slot) return;
-    Unlink(slot);
-    LinkFront(slot);
+    if (head_ != slot) {
+      Unlink(slot);
+      LinkFront(slot);
+    }
+    if (!owner_lru_.empty()) OwnerMoveToFront(slot);
   }
 
-  /// Evicts the LRU page (tail). Requires a non-empty cache.
-  void EvictTail();
+  /// Owner-group index of `owner` (unattributed pseudo-group for
+  /// kNoSession or anything out of range).
+  size_t GroupOf(uint32_t owner) const {
+    return owner < session_stats_.size() ? owner : owner_lru_.size() - 1;
+  }
+
+  void OwnerLinkFront(uint32_t slot);
+  void OwnerLinkBack(uint32_t slot);
+  void OwnerUnlink(uint32_t slot);
+  void OwnerMoveToFront(uint32_t slot) {
+    const size_t g = GroupOf(slots_[slot].owner);
+    if (owner_lru_[g].head == slot) return;
+    OwnerUnlink(slot);
+    OwnerLinkFront(slot);
+  }
+
+  /// Victim of the next new-page insert under quota-segmented eviction
+  /// (see ConfigureSharing). Requires a full, quota-mode cache.
+  uint32_t PickVictimSlot() const;
+
+  /// Evicts the page in `slot`, attributing the eviction. Requires an
+  /// occupied slot.
+  void EvictSlot(uint32_t slot);
 
   uint64_t capacity_bytes_;
   uint64_t capacity_pages_;
@@ -241,6 +331,7 @@ class PrefetchCache {
   // Shared-mode state. All of it is reinitialized by Clear() (counters
   // zeroed, epoch bumped) so back-to-back runs stay bit-identical.
   std::vector<CacheSessionStats> session_stats_;  ///< Empty = unshared.
+  std::vector<OwnerLru> owner_lru_;  ///< Empty = global-LRU eviction.
   uint32_t active_session_ = kNoSession;
   uint64_t epoch_ = 0;
 #ifndef NDEBUG

@@ -1,0 +1,102 @@
+#include "storage/shared_disk.h"
+
+#include <algorithm>
+
+namespace scout {
+
+SharedDiskQueue::SharedDiskQueue(const DiskQueueConfig& config,
+                                 uint32_t num_sessions)
+    : config_(config),
+      channel_free_us_(std::max<uint32_t>(1, config.channels), 0),
+      session_stats_(num_sessions) {}
+
+uint32_t SharedDiskQueue::PickChannel() const {
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < channel_free_us_.size(); ++c) {
+    if (channel_free_us_[c] < channel_free_us_[best]) best = c;
+  }
+  return best;
+}
+
+SharedDiskQueue::BatchResult SharedDiskQueue::ServeBatch(
+    uint32_t session, SimMicros now, std::span<const PageId> pages) {
+  BatchResult result;
+  if (pages.empty()) return result;
+  const ScopedWriter guard(this);
+
+  // Elevator (C-SCAN) ordering: ascending from the current head
+  // position, wrapping to the lowest page. Callers usually pass sorted
+  // pages, so the sort is one verification scan.
+  scratch_.assign(pages.begin(), pages.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  size_t split = 0;
+  if (has_position_) {
+    while (split < scratch_.size() && scratch_[split] <= head_page_) {
+      ++split;
+    }
+  }
+  if (split == scratch_.size()) split = 0;
+
+  DiskQueueStats* per_session =
+      session < session_stats_.size() ? &session_stats_[session] : nullptr;
+  SimMicros earliest_start = 0;
+  SimMicros completion = 0;
+  uint64_t reordered = 0;
+  for (size_t i = 0; i < scratch_.size(); ++i) {
+    const size_t k = (split + i) % scratch_.size();
+    const PageId page = scratch_[k];
+    if (page != pages[i]) ++reordered;
+    const bool sequential =
+        has_position_ && page == head_page_ + 1;
+    const SimMicros cost = sequential ? config_.disk.sequential_read_us
+                                      : config_.disk.random_read_us;
+    const uint32_t channel = PickChannel();
+    const SimMicros start = std::max(now, channel_free_us_[channel]);
+    channel_free_us_[channel] = start + cost;
+    head_page_ = page;
+    has_position_ = true;
+    earliest_start = i == 0 ? start : std::min(earliest_start, start);
+    completion = std::max(completion, start + cost);
+    result.service_us += cost;
+    ++stats_.requests;
+    stats_.service_us += cost;
+    if (sequential) {
+      ++stats_.sequential_reads;
+      if (per_session != nullptr) ++per_session->sequential_reads;
+    } else {
+      ++stats_.random_reads;
+      if (per_session != nullptr) ++per_session->random_reads;
+    }
+  }
+  result.latency_us = completion - now;
+  result.queue_wait_us = std::max<SimMicros>(0, earliest_start - now);
+
+  ++stats_.batches;
+  stats_.wait_us += result.queue_wait_us;
+  stats_.reordered_pages += reordered;
+  if (per_session != nullptr) {
+    per_session->requests += scratch_.size();
+    ++per_session->batches;
+    per_session->service_us += result.service_us;
+    per_session->wait_us += result.queue_wait_us;
+    per_session->reordered_pages += reordered;
+  }
+  return result;
+}
+
+SharedDiskQueue::BatchResult SharedDiskQueue::ServeOne(uint32_t session,
+                                                       SimMicros now,
+                                                       PageId page) {
+  return ServeBatch(session, now, std::span<const PageId>(&page, 1));
+}
+
+void SharedDiskQueue::Reset() {
+  const ScopedWriter guard(this);
+  std::fill(channel_free_us_.begin(), channel_free_us_.end(), 0);
+  has_position_ = false;
+  head_page_ = kInvalidPageId;
+  stats_ = DiskQueueStats{};
+  std::fill(session_stats_.begin(), session_stats_.end(), DiskQueueStats{});
+}
+
+}  // namespace scout

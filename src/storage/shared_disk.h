@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#ifndef NDEBUG
+#include <atomic>
+#include <cassert>
+#endif
+
+#include "common/sim_clock.h"
+#include "storage/disk_model.h"
+#include "storage/page.h"
+
+namespace scout {
+
+/// Configuration of the shared disk array all sessions contend for.
+struct DiskQueueConfig {
+  /// Per-read cost parameters (same meaning as the private DiskModel).
+  DiskConfig disk;
+  /// Independent service channels — the paper's 4-disk SAS stripe. Reads
+  /// dispatch to the channel that frees up first, so up to `channels`
+  /// reads overlap in simulated time.
+  uint32_t channels = 4;
+};
+
+/// Aggregate (or per-session) counters of the shared disk queue.
+struct DiskQueueStats {
+  uint64_t requests = 0;          ///< Pages served.
+  uint64_t batches = 0;           ///< ServeBatch/ServeOne calls.
+  uint64_t random_reads = 0;
+  uint64_t sequential_reads = 0;
+  uint64_t reordered_pages = 0;   ///< Served out of arrival order.
+  SimMicros service_us = 0;       ///< Summed per-read service time.
+  SimMicros wait_us = 0;          ///< Summed head-of-line queueing delay.
+};
+
+/// Deterministic shared-disk queueing model: ONE disk array serves every
+/// session's reads instead of each session simulating a private disk.
+/// Cross-session contention becomes a measurable simulated cost — a read
+/// issued while all channels are busy with other sessions' work waits
+/// until a channel frees up.
+///
+/// Service model:
+///   - A request issued at simulated time `now` starts on the channel
+///     with the earliest free time (ties to the lowest channel id), at
+///     max(now, channel free time), and occupies it for the read cost.
+///   - Batches are reordered by a C-SCAN elevator scan before service:
+///     ascending page order starting from the array's current head
+///     position, wrapping to the lowest page. Sorted adjacent pages
+///     price as sequential transfers exactly like DiskModel (adjacency
+///     is tracked array-wide: striping distributes load, the head
+///     position is one).
+///   - A batch's latency is the completion of its slowest page minus
+///     `now`; its queue wait is the delay before any page starts.
+///
+/// Determinism contract: identical to PrefetchCache — all state advances
+/// on simulated time supplied by the caller, and the queue is mutated by
+/// exactly one thread at a time (the engine's serial apply loop, or a
+/// single worker owning a private instance). Debug builds enforce the
+/// single-writer discipline with an atomic guard.
+class SharedDiskQueue {
+ public:
+  /// Result of serving one batch of reads issued at the same instant.
+  struct BatchResult {
+    SimMicros latency_us = 0;     ///< Slowest page completion - issue.
+    SimMicros service_us = 0;     ///< Summed per-read service time.
+    SimMicros queue_wait_us = 0;  ///< Delay before the first read started.
+  };
+
+  SharedDiskQueue(const DiskQueueConfig& config, uint32_t num_sessions);
+
+  SharedDiskQueue(const SharedDiskQueue&) = delete;
+  SharedDiskQueue& operator=(const SharedDiskQueue&) = delete;
+
+  /// Serves `pages` (any order; reordered by the elevator scan) for
+  /// `session`, issued at simulated time `now`. `now` need not be
+  /// monotone across sessions — an earlier-issued request simply finds
+  /// busier channels.
+  BatchResult ServeBatch(uint32_t session, SimMicros now,
+                         std::span<const PageId> pages);
+
+  /// Serves a single read (the prefetch-window path).
+  BatchResult ServeOne(uint32_t session, SimMicros now, PageId page);
+
+  /// Forgets head position and busy times and zeroes all counters (the
+  /// owning engine cold-starts the array once per run).
+  void Reset();
+
+  const DiskQueueConfig& config() const { return config_; }
+  const DiskQueueStats& stats() const { return stats_; }
+  const std::vector<DiskQueueStats>& session_stats() const {
+    return session_stats_;
+  }
+
+ private:
+#ifndef NDEBUG
+  class ScopedWriter {
+   public:
+    explicit ScopedWriter(const SharedDiskQueue* queue) : queue_(queue) {
+      const bool was_busy =
+          queue_->writer_busy_.exchange(true, std::memory_order_acquire);
+      assert(!was_busy && "SharedDiskQueue: concurrent mutation detected");
+      (void)was_busy;
+    }
+    ~ScopedWriter() {
+      queue_->writer_busy_.store(false, std::memory_order_release);
+    }
+
+   private:
+    const SharedDiskQueue* queue_;
+  };
+#else
+  class ScopedWriter {
+   public:
+    explicit ScopedWriter(const SharedDiskQueue*) {}
+  };
+#endif
+
+  /// Channel with the earliest free time, ties to the lowest id.
+  uint32_t PickChannel() const;
+
+  DiskQueueConfig config_;
+  std::vector<SimMicros> channel_free_us_;  ///< Per-channel free time.
+  bool has_position_ = false;
+  PageId head_page_ = kInvalidPageId;  ///< Array-wide head position.
+  DiskQueueStats stats_;
+  std::vector<DiskQueueStats> session_stats_;
+  std::vector<PageId> scratch_;  ///< Elevator ordering buffer.
+#ifndef NDEBUG
+  mutable std::atomic<bool> writer_busy_{false};
+#endif
+};
+
+}  // namespace scout

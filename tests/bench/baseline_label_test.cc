@@ -72,6 +72,97 @@ TEST(BaselineLabelTest, AppendRefusesDuplicateLabel) {
   std::remove(path.c_str());
 }
 
+TEST(BaselineLabelTest, Seed3FlipLabelsRequireThePreQosAnchor) {
+  // The seed3 (cache-QoS re-seed) family must land in trajectory order:
+  // the neutral legacy-serving anchor first, then the flip snapshots.
+  // Appending a flip label into a file without the anchor is refused.
+  const std::string path = TempPath("baseline_seed3_order.json");
+  std::remove(path.c_str());
+  std::string error;
+  ASSERT_TRUE(RecordBaselineSnapshot(path, /*append=*/false, /*force=*/false,
+                                     "post-multiclient",
+                                     OneRowSnapshot("post-multiclient"),
+                                     &error))
+      << error;
+
+  for (const char* label : {"qos-cache-only", "post-qos"}) {
+    error.clear();
+    EXPECT_FALSE(RecordBaselineSnapshot(path, /*append=*/true,
+                                        /*force=*/false, label,
+                                        OneRowSnapshot(label), &error))
+        << label;
+    EXPECT_NE(error.find("pre-qos"), std::string::npos) << error;
+    EXPECT_NE(error.find(label), std::string::npos) << error;
+  }
+
+  // Once the anchor lands, the family appends in order.
+  ASSERT_TRUE(RecordBaselineSnapshot(path, /*append=*/true, /*force=*/false,
+                                     "pre-qos", OneRowSnapshot("pre-qos"),
+                                     &error))
+      << error;
+  EXPECT_TRUE(RecordBaselineSnapshot(path, /*append=*/true, /*force=*/false,
+                                     "qos-cache-only",
+                                     OneRowSnapshot("qos-cache-only"),
+                                     &error))
+      << error;
+  EXPECT_TRUE(RecordBaselineSnapshot(path, /*append=*/true, /*force=*/false,
+                                     "post-qos", OneRowSnapshot("post-qos"),
+                                     &error))
+      << error;
+  std::remove(path.c_str());
+}
+
+TEST(BaselineLabelTest, Seed3OrderingGuardGatesOnlyTheAppendPath) {
+  const std::string path = TempPath("baseline_seed3_force.json");
+  std::remove(path.c_str());
+  std::string error;
+  // A rewrite replaces the file wholesale; ordering applies to appends.
+  EXPECT_TRUE(RecordBaselineSnapshot(path, /*append=*/false, /*force=*/false,
+                                     "post-qos", OneRowSnapshot("post-qos"),
+                                     &error))
+      << error;
+  // --force is the deliberate out-of-order override.
+  std::remove(path.c_str());
+  ASSERT_TRUE(RecordBaselineSnapshot(path, /*append=*/false, /*force=*/false,
+                                     "first", OneRowSnapshot("first"),
+                                     &error))
+      << error;
+  EXPECT_TRUE(RecordBaselineSnapshot(path, /*append=*/true, /*force=*/true,
+                                     "post-qos", OneRowSnapshot("post-qos"),
+                                     &error))
+      << error;
+  // The anchor label itself is never gated (it IS the prerequisite).
+  EXPECT_TRUE(RecordBaselineSnapshot(path, /*append=*/true, /*force=*/false,
+                                     "pre-qos", OneRowSnapshot("pre-qos"),
+                                     &error))
+      << error;
+  std::remove(path.c_str());
+}
+
+TEST(BaselineLabelTest, MulticlientRowsSerializeServingExtras) {
+  // fig_multiclient rows carry the QoS serving extras; single-client
+  // rows must keep the exact field set earlier snapshots were recorded
+  // with (diff tooling matches rows positionally by key).
+  BaselineFigRow plain;
+  plain.bench = "fig11_microbenchmarks";
+  plain.scenario = "model-building";
+  plain.prefetcher = "scout";
+  BaselineFigRow multi = plain;
+  multi.bench = "fig_multiclient";
+  multi.scenario = "model-building@N8";
+  multi.multiclient = true;
+  multi.evictions_per_session = 12.5;
+  multi.sim_disk_wait_us = 4200;
+  multi.cross_hit_share_pct = 3.75;
+  const std::string json =
+      BaselineSnapshotJson("x", /*tiny=*/true, {plain, multi}, {});
+  EXPECT_EQ(json.find("evictions_per_session"),
+            json.rfind("evictions_per_session"));
+  EXPECT_NE(json.find("\"evictions_per_session\": 12.50"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_disk_wait_us\": 4200"), std::string::npos);
+  EXPECT_NE(json.find("\"cross_hit_share_pct\": 3.75"), std::string::npos);
+}
+
 TEST(BaselineLabelTest, RewriteIgnoresExistingLabels) {
   // A non-append write replaces the file wholesale; the duplicate check
   // only guards the trajectory-extending append path.

@@ -36,6 +36,7 @@ void ExpectSameCombined(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.num_sequences, b.num_sequences);
   EXPECT_EQ(a.total_queries, b.total_queries);
   EXPECT_EQ(a.total_resets, b.total_resets);
+  EXPECT_EQ(a.total_disk_wait_us, b.total_disk_wait_us);
   EXPECT_EQ(a.mean_pages_per_query, b.mean_pages_per_query);
   EXPECT_EQ(a.seq_hit_rate.count(), b.seq_hit_rate.count());
   EXPECT_EQ(a.seq_hit_rate.mean(), b.seq_hit_rate.mean());
@@ -51,6 +52,15 @@ void ExpectSameSharedResult(const SharedCacheResult& a,
   EXPECT_EQ(a.hits_cross, b.hits_cross);
   EXPECT_EQ(a.evictions, b.evictions);
   EXPECT_EQ(a.cross_hit_share_pct, b.cross_hit_share_pct);
+  EXPECT_EQ(a.admission_closed_windows, b.admission_closed_windows);
+  EXPECT_EQ(a.disk.requests, b.disk.requests);
+  EXPECT_EQ(a.disk.batches, b.disk.batches);
+  EXPECT_EQ(a.disk.random_reads, b.disk.random_reads);
+  EXPECT_EQ(a.disk.sequential_reads, b.disk.sequential_reads);
+  EXPECT_EQ(a.disk.reordered_pages, b.disk.reordered_pages);
+  EXPECT_EQ(a.disk.service_us, b.disk.service_us);
+  EXPECT_EQ(a.disk.wait_us, b.disk.wait_us);
+  EXPECT_EQ(a.session_disk_wait_us, b.session_disk_wait_us);
   ASSERT_EQ(a.session_cache.size(), b.session_cache.size());
   for (size_t s = 0; s < a.session_cache.size(); ++s) {
     SCOPED_TRACE(::testing::Message() << "session " << s);
@@ -144,17 +154,20 @@ TEST_F(MultiClientTest, EngineRerunsAreBitIdentical) {
 }
 
 TEST_F(MultiClientTest, SingleSessionMatchesRunBatch) {
-  // One session over the shared cache is the degenerate case: the same
-  // workload, prefetcher stream (session 0 keeps the config stream) and
-  // executor semantics as the single-stream engine — combined results
-  // must be bit-identical to RunBatch with one sequence. The two modes
-  // deliberately differ in ONE policy — a full shared cache evicts where
-  // a full private cache halts prefetching — so the equivalence is
-  // checked with a cache large enough to never fill, which isolates the
-  // scheduler/executor path itself.
+  // One session over the shared cache under Legacy() serving is the
+  // degenerate case: the same workload, prefetcher stream (session 0
+  // keeps the config stream) and executor semantics as the single-stream
+  // engine — combined results must be bit-identical to RunBatch with one
+  // sequence. The two modes deliberately differ in ONE policy — a full
+  // shared cache evicts where a full private cache halts prefetching —
+  // so the equivalence is checked with a cache large enough to never
+  // fill, which isolates the scheduler/executor path itself. (QoS
+  // serving legitimately differs: all reads go through the shared disk
+  // queue — QosServingChangesExactlyTheDiskMetrics pins that diff.)
   constexpr uint64_t kSeed = 9001;
   ExecutorConfig ecfg = ExecConfig();
   ecfg.cache_bytes = 1ull << 30;
+  ecfg.serving = SharedServingConfig::Legacy();
   const ExperimentResult batch =
       RunBatch(*dataset_, *index_, ScoutFactory(), QueryConfig(), ecfg,
                /*num_sequences=*/1, kSeed, /*num_workers=*/1);
@@ -165,6 +178,70 @@ TEST_F(MultiClientTest, SingleSessionMatchesRunBatch) {
   // All hits of a lone session are its own: no one else shares the cache.
   EXPECT_EQ(shared.hits_cross, 0u);
   EXPECT_EQ(shared.cross_hit_share_pct, 0.0);
+  // Legacy serving never touches the shared-disk queue.
+  EXPECT_EQ(shared.disk.requests, 0u);
+  EXPECT_EQ(shared.combined.total_disk_wait_us, 0);
+  EXPECT_EQ(shared.admission_closed_windows, 0u);
+}
+
+TEST_F(MultiClientTest, CacheQosIsNeutralForASingleSession) {
+  // With one session the QoS cache policies are the identity: the whole
+  // capacity is the session's quota, so quota-segmented eviction picks
+  // the same victim as global LRU (its own LRU page IS the global tail),
+  // and priced admission always admits (the victim is the inserter).
+  // Only the shared disk may change N=1 results, so cache-QoS-only
+  // serving must be bit-identical to Legacy() serving.
+  constexpr uint64_t kSeed = 31337;
+  ExecutorConfig legacy_cfg = ExecConfig();
+  legacy_cfg.serving = SharedServingConfig::Legacy();
+  ExecutorConfig qos_cache_cfg = ExecConfig();
+  qos_cache_cfg.serving = SharedServingConfig();  // Full QoS…
+  qos_cache_cfg.serving.shared_disk = false;      // …minus the shared disk…
+  qos_cache_cfg.serving.cache_scale_per_session = 0.0;  // …at N=1 == x1.
+
+  const SharedCacheResult legacy = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), legacy_cfg,
+      /*num_sessions=*/1, kSeed, /*num_workers=*/1);
+  const SharedCacheResult qos = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), qos_cache_cfg,
+      /*num_sessions=*/1, kSeed, /*num_workers=*/1);
+  ExpectSameSharedResult(legacy, qos);
+}
+
+TEST_F(MultiClientTest, QosServingChangesExactlyTheDiskMetrics) {
+  // Differential pin of the seed3 flip at N=1: the workload, prediction
+  // pipeline and prefetch decisions are serving-independent, so full QoS
+  // serving (shared disk on) may move ONLY the I/O-derived metrics —
+  // pages, hits, result objects, graph work and resets must not move.
+  // With one session there is no cross-session contention, so every read
+  // finds a free channel and the queue adds zero wait.
+  constexpr uint64_t kSeed = 1208;
+  ExecutorConfig legacy_cfg = ExecConfig();
+  legacy_cfg.serving = SharedServingConfig::Legacy();
+  ExecutorConfig qos_cfg = ExecConfig();  // Default = full QoS serving.
+
+  const SharedCacheResult legacy = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), legacy_cfg,
+      /*num_sessions=*/1, kSeed, /*num_workers=*/1);
+  const SharedCacheResult qos = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), qos_cfg,
+      /*num_sessions=*/1, kSeed, /*num_workers=*/1);
+
+  // Invariant under the flip:
+  EXPECT_EQ(legacy.combined.total_pages, qos.combined.total_pages);
+  EXPECT_EQ(legacy.combined.total_result_objects,
+            qos.combined.total_result_objects);
+  EXPECT_EQ(legacy.combined.total_queries, qos.combined.total_queries);
+  EXPECT_EQ(legacy.combined.total_graph_build_us,
+            qos.combined.total_graph_build_us);
+  EXPECT_EQ(legacy.combined.total_resets, qos.combined.total_resets);
+
+  // Moved by the flip: reads go through the 4-channel array, so the
+  // residual I/O (batched, overlapped) shrinks.
+  EXPECT_GT(qos.disk.requests, 0u);
+  EXPECT_LT(qos.combined.total_residual_us, legacy.combined.total_residual_us);
+  // A lone session never queues behind anyone.
+  EXPECT_EQ(qos.combined.total_disk_wait_us, 0);
 }
 
 TEST_F(MultiClientTest, RandomizedInterleavingsAreWorkerIndependent) {
@@ -185,6 +262,42 @@ TEST_F(MultiClientTest, RandomizedInterleavingsAreWorkerIndependent) {
         ExecConfig(), sessions, seed, threads);
     ExpectSameSharedResult(serial, threaded);
   }
+}
+
+TEST_F(MultiClientTest, QosBeatsPureLruUnderNEightThrash) {
+  // The regression this PR exists for: at N=8 on a cache too small for
+  // everyone, pure LRU lets sessions thrash each other's pages. Cache
+  // QoS (quotas + priced admission) on the SAME fixed capacity — no
+  // per-session scaling, no shared disk, so the eviction policy is the
+  // only variable — must never lose to pure LRU on hit rate, and must
+  // shrink the eviction storm.
+  constexpr uint32_t kSessions = 8;
+  constexpr uint64_t kSeed = 8888;
+  ExecutorConfig legacy_cfg = ExecConfig();
+  legacy_cfg.cache_bytes = ScaledCacheBytes(index_->store()) / 4;
+  legacy_cfg.serving = SharedServingConfig::Legacy();
+  ExecutorConfig qos_cfg = legacy_cfg;
+  qos_cfg.serving = SharedServingConfig();
+  qos_cfg.serving.shared_disk = false;            // Isolate cache policy.
+  qos_cfg.serving.cache_scale_per_session = 0.0;  // Same capacity.
+
+  const SharedCacheResult legacy = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), legacy_cfg,
+      kSessions, kSeed, /*num_workers=*/2);
+  const SharedCacheResult qos = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), qos_cfg, kSessions,
+      kSeed, /*num_workers=*/2);
+
+  // The scenario must actually thrash under pure LRU or it proves
+  // nothing.
+  EXPECT_GT(legacy.evictions, 0u);
+  // QoS must clearly beat pure LRU, not just tie it (measured margin is
+  // ~12-18 points; 5 leaves headroom for workload-generator evolution).
+  // Total evictions are deliberately NOT compared: QoS admits *more
+  // productive* prefetches, so its raw eviction count can tick up while
+  // every under-quota session keeps its pages — the protection invariant
+  // is pinned at the cache level by the quota property test.
+  EXPECT_GE(qos.combined.hit_rate_pct, legacy.combined.hit_rate_pct + 5.0);
 }
 
 TEST_F(MultiClientTest, SharingAccountingIsConsistent) {

@@ -1,0 +1,316 @@
+// Quota-segmented (QoS) eviction tests for the shared PrefetchCache: the
+// capacity split, the self-eviction rule, peer protection, the
+// unattributed pseudo-group, the victim preview — and a randomized
+// property test pinning the occupancy invariants under interleavings.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(CacheQosTest, QuotaSplitDistributesRemainderToLowestIds) {
+  // 10 pages over 3 sessions: 10/3 = 3 each, remainder 1 to session 0.
+  PrefetchCache cache(10 * kPageBytes);
+  cache.ConfigureSharing(3, /*quota_eviction=*/true);
+  EXPECT_TRUE(cache.quota_eviction());
+  EXPECT_EQ(cache.session_quota(0), 4u);
+  EXPECT_EQ(cache.session_quota(1), 3u);
+  EXPECT_EQ(cache.session_quota(2), 3u);
+  // Quotas sum exactly to the capacity: a full cache always has a group
+  // at or over quota, which is what makes under-quota sessions safe.
+  EXPECT_EQ(cache.session_quota(0) + cache.session_quota(1) +
+                cache.session_quota(2),
+            10u);
+}
+
+TEST(CacheQosTest, QuotaEvictionOffKeepsGlobalLru) {
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2, /*quota_eviction=*/false);
+  EXPECT_FALSE(cache.quota_eviction());
+  EXPECT_EQ(cache.session_quota(0), 0u);
+  EXPECT_EQ(cache.session_occupancy(0), 0u);
+}
+
+TEST(CacheQosTest, SessionAtQuotaEvictsItsOwnLruPage) {
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2, /*quota_eviction=*/true);  // Quota 2 each.
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.SetActiveSession(1);
+  cache.Insert(3);
+  cache.Insert(4);
+
+  // Session 0 is at quota: its next insert evicts its OWN LRU page (1),
+  // never session 1's pages — under global LRU the victim would also be
+  // page 1 here, so push session 0's pages to the global LRU tail first.
+  cache.TouchIfPresent(3);
+  cache.TouchIfPresent(4);  // Global LRU order is now 1, 2, 3, 4.
+  cache.SetActiveSession(0);
+  cache.Insert(5);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_TRUE(cache.Contains(5));
+  EXPECT_EQ(cache.session_occupancy(0), 2u);
+  EXPECT_EQ(cache.session_occupancy(1), 2u);
+  // Self-eviction is attributed both ways to the same session.
+  EXPECT_EQ(cache.session_stats()[0].evictions_caused, 1u);
+  EXPECT_EQ(cache.session_stats()[0].pages_evicted, 1u);
+  EXPECT_EQ(cache.session_stats()[1].pages_evicted, 0u);
+}
+
+TEST(CacheQosTest, UnderQuotaSessionEvictsTheMostOverQuotaGroup) {
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2, /*quota_eviction=*/true);  // Quota 2 each.
+  // Session 0 overfills while the cache has room (occupancy may exceed
+  // quota as long as nothing needs evicting).
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);
+  cache.Insert(4);
+  EXPECT_EQ(cache.session_occupancy(0), 4u);
+
+  // Session 1 is under quota: it reclaims from the over-quota group
+  // rather than evicting its own (nonexistent) pages.
+  cache.SetActiveSession(1);
+  cache.Insert(5);
+  EXPECT_FALSE(cache.Contains(1));  // Session 0's LRU page.
+  EXPECT_EQ(cache.session_occupancy(0), 3u);
+  EXPECT_EQ(cache.session_occupancy(1), 1u);
+  EXPECT_EQ(cache.session_stats()[1].evictions_caused, 1u);
+  EXPECT_EQ(cache.session_stats()[0].pages_evicted, 1u);
+}
+
+TEST(CacheQosTest, SessionExactlyAtQuotaNeverLosesToAPeer) {
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2, /*quota_eviction=*/true);  // Quota 2 each.
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.SetActiveSession(1);
+  cache.Insert(3);
+  cache.Insert(4);
+  // Both sessions sit exactly at quota. Session 1 keeps inserting: every
+  // eviction is a self-eviction; session 0's pages are untouchable even
+  // though page 1 is the global LRU victim.
+  for (PageId p = 5; p < 10; ++p) cache.Insert(p);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_EQ(cache.session_occupancy(0), 2u);
+  EXPECT_EQ(cache.session_occupancy(1), 2u);
+  EXPECT_EQ(cache.session_stats()[0].pages_evicted, 0u);
+  EXPECT_EQ(cache.session_stats()[1].pages_evicted, 5u);
+}
+
+TEST(CacheQosTest, UnattributedPagesFormAZeroQuotaGroup) {
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2, /*quota_eviction=*/true);
+  // No active session: pages land in the unattributed pseudo-group.
+  cache.Insert(1);
+  cache.Insert(2);
+  EXPECT_EQ(cache.unattributed_occupancy(), 2u);
+
+  cache.SetActiveSession(0);
+  cache.Insert(3);
+  cache.Insert(4);  // Full. Session 0 exactly at quota.
+
+  // Session 1 is under quota; the pseudo-group (quota 0, occupancy 2) is
+  // the only over-quota group, so it pays.
+  cache.SetActiveSession(1);
+  cache.Insert(5);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.unattributed_occupancy(), 1u);
+  EXPECT_EQ(cache.session_occupancy(0), 2u);
+  EXPECT_EQ(cache.session_occupancy(1), 1u);
+}
+
+TEST(CacheQosTest, ConfigureSharingAdoptsPreexistingPagesAsUnattributed) {
+  // Enabling quota mode on a warm cache rebuilds the owner chains from
+  // the live LRU order instead of forgetting resident pages.
+  PrefetchCache cache(4 * kPageBytes);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);
+  cache.ConfigureSharing(2, /*quota_eviction=*/true);
+  EXPECT_EQ(cache.unattributed_occupancy(), 3u);
+  EXPECT_EQ(cache.NumPages(), 3u);
+  // The adopted pages keep their LRU order within the pseudo-group: an
+  // unattributed insert on a full cache self-evicts the oldest (1).
+  cache.Insert(4);
+  cache.Insert(5);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_EQ(cache.unattributed_occupancy(), 4u);
+}
+
+TEST(CacheQosTest, ClearKeepsQuotasAndZeroesOccupancy) {
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2, /*quota_eviction=*/true);
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Clear();
+  EXPECT_TRUE(cache.quota_eviction());
+  EXPECT_EQ(cache.session_quota(0), 2u);
+  EXPECT_EQ(cache.session_quota(1), 2u);
+  EXPECT_EQ(cache.session_occupancy(0), 0u);
+  EXPECT_EQ(cache.unattributed_occupancy(), 0u);
+}
+
+TEST(CacheQosTest, PeekVictimOwnerPreviewsTheEvictionPolicy) {
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2, /*quota_eviction=*/true);
+  EXPECT_EQ(cache.PeekVictimOwner(), PrefetchCache::kNoSession);  // Not full.
+
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);  // Session 0 over quota.
+  cache.SetActiveSession(1);
+  cache.Insert(4);  // Full; session 1 under quota.
+
+  // Under-quota session 1 would evict from over-quota session 0.
+  EXPECT_EQ(cache.PeekVictimOwner(), 0u);
+  // Session 0 (over quota) would self-evict.
+  cache.SetActiveSession(0);
+  EXPECT_EQ(cache.PeekVictimOwner(), 0u);
+  // Without quota eviction, the preview is the global LRU tail's owner.
+  PrefetchCache lru(2 * kPageBytes);
+  lru.ConfigureSharing(2, /*quota_eviction=*/false);
+  lru.SetActiveSession(0);
+  lru.Insert(1);
+  lru.Insert(2);
+  lru.SetActiveSession(1);
+  EXPECT_EQ(lru.PeekVictimOwner(), 0u);
+}
+
+TEST(CacheQosTest, SingleSessionQuotaModeMatchesGlobalLru) {
+  // With one session owning every insert, the quota equals the whole
+  // capacity, so self-eviction degenerates to global LRU: both caches
+  // must agree on every resident page and eviction count.
+  PrefetchCache qos(8 * kPageBytes);
+  qos.ConfigureSharing(1, /*quota_eviction=*/true);
+  qos.SetActiveSession(0);
+  PrefetchCache lru(8 * kPageBytes);
+
+  Rng rng(42);
+  for (int step = 0; step < 2000; ++step) {
+    const PageId page = static_cast<PageId>(rng.NextUint64() % 24);
+    if (rng.NextUint64() % 4 == 0) {
+      qos.TouchIfPresent(page);
+      lru.TouchIfPresent(page);
+    } else {
+      qos.Insert(page);
+      lru.Insert(page);
+    }
+    ASSERT_EQ(qos.NumPages(), lru.NumPages());
+    ASSERT_EQ(qos.evictions(), lru.evictions());
+    for (PageId p = 0; p < 24; ++p) {
+      ASSERT_EQ(qos.Contains(p), lru.Contains(p)) << "page " << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- property
+
+/// Occupancy of every owner group (sessions + the pseudo-group last).
+std::vector<uint64_t> Occupancies(const PrefetchCache& cache, uint32_t n) {
+  std::vector<uint64_t> occ(n + 1);
+  for (uint32_t s = 0; s < n; ++s) occ[s] = cache.session_occupancy(s);
+  occ[n] = cache.unattributed_occupancy();
+  return occ;
+}
+
+TEST(CacheQosTest, QuotaInvariantsHoldUnderRandomizedInterleavings) {
+  constexpr uint32_t kSessions = 4;
+  constexpr uint64_t kCapacityPages = 16;
+  constexpr PageId kUniverse = 48;
+
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    PrefetchCache cache(kCapacityPages * kPageBytes);
+    cache.ConfigureSharing(kSessions, /*quota_eviction=*/true);
+    std::vector<uint64_t> quota(kSessions + 1, 0);
+    for (uint32_t s = 0; s < kSessions; ++s) quota[s] = cache.session_quota(s);
+
+    Rng rng(seed);
+    for (int step = 0; step < 4000; ++step) {
+      // Pick an actor: sessions 0..3, occasionally detached (pseudo).
+      const uint32_t actor = static_cast<uint32_t>(rng.NextUint64() % 5);
+      const uint32_t inserter_group = actor;  // 4 == pseudo-group.
+      cache.SetActiveSession(actor < kSessions ? actor
+                                               : PrefetchCache::kNoSession);
+      const PageId page = static_cast<PageId>(rng.NextUint64() % kUniverse);
+      const uint64_t op = rng.NextUint64() % 16;
+
+      if (op < 2) {
+        cache.TouchIfPresent(page);
+      } else if (op < 3) {
+        cache.Erase(page);
+      } else {
+        const bool fresh = !cache.Contains(page);
+        const bool full = cache.NumPages() == kCapacityPages;
+        const std::vector<uint64_t> before = Occupancies(cache, kSessions);
+        const uint32_t peek = cache.PeekVictimOwner();
+        const uint64_t evictions_before = cache.evictions();
+
+        ASSERT_TRUE(cache.Insert(page));
+
+        const std::vector<uint64_t> after = Occupancies(cache, kSessions);
+        if (fresh && full) {
+          // An insert into a full cache evicted exactly one page.
+          ASSERT_EQ(cache.evictions(), evictions_before + 1);
+          // Identify the victim group from the occupancy deltas: the
+          // inserter gained a page, the victim lost one.
+          uint32_t victim_group = inserter_group;
+          for (uint32_t g = 0; g <= kSessions; ++g) {
+            if (g == inserter_group) continue;
+            if (after[g] + 1 == before[g]) victim_group = g;
+          }
+          // The preview promised exactly this victim.
+          const uint32_t promised = victim_group < kSessions
+                                        ? victim_group
+                                        : PrefetchCache::kNoSession;
+          ASSERT_EQ(peek, promised);
+          // Protection: a group STRICTLY under quota never pays for
+          // someone else's insert. (A victim exactly at quota can occur
+          // only on the global-LRU fallback: an unattributed insert
+          // while every group sits exactly at quota — then someone at
+          // quota must pay, picked by global recency.)
+          if (victim_group != inserter_group) {
+            ASSERT_GE(before[victim_group], quota[victim_group]);
+          }
+          // Self-eviction: an inserter at or over quota with pages of
+          // its own always takes the hit itself.
+          if (before[inserter_group] >= quota[inserter_group] &&
+              before[inserter_group] > 0) {
+            ASSERT_EQ(victim_group, inserter_group);
+            ASSERT_EQ(after[inserter_group], before[inserter_group]);
+          }
+        } else if (fresh) {
+          ASSERT_EQ(cache.evictions(), evictions_before);
+          ASSERT_EQ(after[inserter_group], before[inserter_group] + 1);
+        }
+      }
+
+      // Global accounting: group occupancies partition the resident set
+      // and never exceed capacity.
+      const std::vector<uint64_t> occ = Occupancies(cache, kSessions);
+      uint64_t sum = 0;
+      for (const uint64_t o : occ) sum += o;
+      ASSERT_EQ(sum, cache.NumPages());
+      ASSERT_LE(cache.NumPages(), kCapacityPages);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scout

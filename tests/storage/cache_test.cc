@@ -264,5 +264,48 @@ TEST(CacheSharedModeTest, EpochAdvancesOnEveryClearEvenWhenEmpty) {
   EXPECT_EQ(cache.epoch(), epoch0 + 2);
 }
 
+TEST(CacheSharedModeTest, SessionsReattachCleanlyAfterMidExperimentClear) {
+  // A Clear in the middle of a serving run must move the epoch and the
+  // per-session counters TOGETHER: a session that was attached before
+  // the clear cannot leak stale identity into the new generation.
+  PrefetchCache cache(2 * kPageBytes);
+  cache.ConfigureSharing(2);
+  cache.SetActiveSession(0);
+  cache.Insert(1);
+  const uint64_t epoch_before = cache.epoch();
+  cache.Clear();
+  EXPECT_EQ(cache.epoch(), epoch_before + 1);
+  // The clear detached attribution: an insert before re-attaching is
+  // unowned rather than charged to the pre-clear session.
+  cache.Insert(2);
+  EXPECT_EQ(cache.session_stats()[0].inserts, 0u);
+  // Re-attaching resumes attribution against the zeroed counters.
+  cache.SetActiveSession(0);
+  cache.Insert(3);
+  EXPECT_EQ(cache.session_stats()[0].inserts, 1u);
+  EXPECT_EQ(cache.session_stats()[0].pages_evicted, 0u);
+}
+
+TEST(CacheSharedModeDeathTest, NeverRegisteredSessionIsRejected) {
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2);
+  // Registered ids and the detach sentinel are accepted.
+  cache.SetActiveSession(1);
+  EXPECT_EQ(cache.active_session(), 1u);
+  cache.SetActiveSession(PrefetchCache::kNoSession);
+  EXPECT_EQ(cache.active_session(), PrefetchCache::kNoSession);
+  // A never-registered id is a caller bug: debug builds assert instead
+  // of silently mis-attributing the session's inserts and hits.
+  EXPECT_DEBUG_DEATH(cache.SetActiveSession(2), "session");
+#ifdef NDEBUG
+  // Release builds detach attribution rather than indexing out of range.
+  cache.SetActiveSession(7);
+  EXPECT_EQ(cache.active_session(), PrefetchCache::kNoSession);
+  cache.Insert(1);
+  EXPECT_EQ(cache.session_stats()[0].inserts, 0u);
+  EXPECT_EQ(cache.session_stats()[1].inserts, 0u);
+#endif
+}
+
 }  // namespace
 }  // namespace scout

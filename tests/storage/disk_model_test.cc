@@ -52,6 +52,31 @@ TEST(DiskModelTest, EstimateColdReadCost) {
   EXPECT_EQ(disk.EstimateColdReadCost(10), 5000 + 9 * 20);
 }
 
+TEST(DiskModelTest, EstimateColdReadCostOfZeroPagesIsZero) {
+  // The n == 0 edge must short-circuit BEFORE the (n - 1) arithmetic:
+  // without the guard, the size_t subtraction wraps and the estimate
+  // explodes, which would make window sizing refuse every prefetch.
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  EXPECT_EQ(disk.EstimateColdReadCost(0), 0);
+  // The estimate is pure: no head movement, no counters, no clock.
+  EXPECT_EQ(disk.pages_read(), 0u);
+  EXPECT_EQ(clock.now(), 0);
+  // And the edge is config-independent.
+  DiskModel other(DiskConfig{123456, 789}, &clock);
+  EXPECT_EQ(other.EstimateColdReadCost(0), 0);
+}
+
+TEST(DiskModelTest, EstimateColdReadCostOfOnePageIsOneRandomRead) {
+  // n == 1 charges exactly the positioning cost: one random read and
+  // zero sequential transfers (the (n - 1) term must vanish).
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  EXPECT_EQ(disk.EstimateColdReadCost(1), 5000);
+  DiskModel other(DiskConfig{777, 33}, &clock);
+  EXPECT_EQ(other.EstimateColdReadCost(1), 777);
+}
+
 TEST(DiskModelTest, ResetForgetsPositionAndCounters) {
   SimClock clock;
   DiskModel disk(DiskConfig{5000, 20}, &clock);

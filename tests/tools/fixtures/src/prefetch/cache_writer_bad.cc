@@ -2,9 +2,9 @@
 // serial-apply translation units.
 // Expected findings: line 10 cache-single-writer (Insert), line 11
 // cache-single-writer (Clear), line 12 cache-single-writer
-// (SetActiveSession). Line 15 is a non-cache receiver: no finding.
+// (SetActiveSession), line 17 (ConfigureSharing). Line 15: non-cache.
 
-struct FakeCache { void Insert(int); void Clear(); void SetActiveSession(int); };
+struct FakeCache { void Insert(int); void Clear(); void SetActiveSession(int); void ConfigureSharing(int); };
 
 void CacheWriterBad(FakeCache* shared_cache_, FakeCache& cache, int p) {
   shared_cache_->Insert(p);
@@ -13,3 +13,5 @@ void CacheWriterBad(FakeCache* shared_cache_, FakeCache& cache, int p) {
 }
 
 void NotACache(FakeCache& seen, int p) { seen.Insert(p); }
+
+void CacheReshape(FakeCache& session_cache, int n) { session_cache.ConfigureSharing(n); }

@@ -1,0 +1,15 @@
+// Lint fixture: SharedDiskQueue mutations outside the whitelisted
+// serving translation units.
+// Expected findings: line 10 disk-queue-single-writer (ServeBatch),
+// line 11 disk-queue-single-writer (ServeOne), line 12
+// disk-queue-single-writer (Reset). Line 15: no disk/queue receiver.
+
+struct FakeQueue { void ServeBatch(int); void ServeOne(int); void Reset(); };
+
+void DiskWriterBad(FakeQueue* shared_disk_, FakeQueue& disk_queue, int p) {
+  shared_disk_->ServeBatch(p);
+  disk_queue.ServeOne(p);
+  shared_disk_->Reset();
+}
+
+void NotADisk(FakeQueue& model, int p) { model.Reset(); }

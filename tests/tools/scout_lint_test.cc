@@ -132,10 +132,11 @@ TEST(ScoutLintTest, LayeringFixtureFlagsUpwardIncludesOnly) {
 TEST(ScoutLintTest, SingleWriterFixtureFlagsCacheMutationsOutsideWhitelist) {
   const LintRun run = LintFixture("src/prefetch/cache_writer_bad.cc");
   EXPECT_EQ(run.exit_code, 1);
-  // Three mutations on a cache-named receiver; the non-cache receiver
-  // on line 15 must NOT be flagged.
-  EXPECT_EQ(CountLines(run.stdout_text), 3) << run.stdout_text;
-  for (int line : {10, 11, 12}) {
+  // Four mutations on a cache-named receiver (including the QoS-era
+  // ConfigureSharing); the non-cache receiver on line 15 must NOT be
+  // flagged.
+  EXPECT_EQ(CountLines(run.stdout_text), 4) << run.stdout_text;
+  for (int line : {10, 11, 12, 17}) {
     EXPECT_NE(
         run.stdout_text.find("src/prefetch/cache_writer_bad.cc:" +
                              std::to_string(line) + ": [cache-single-writer]"),
@@ -150,6 +151,31 @@ TEST(ScoutLintTest, SingleWriterWhitelistedTranslationUnitIsClean) {
   // Same mutating calls, but the fixture path matches the whitelisted
   // serial-apply TU src/engine/multi_client_engine.cc.
   const LintRun run = LintFixture("src/engine/multi_client_engine.cc");
+  EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_EQ(run.stdout_text, "");
+}
+
+TEST(ScoutLintTest, DiskQueueWriterFixtureFlagsMutationsOutsideWhitelist) {
+  const LintRun run = LintFixture("src/prefetch/disk_writer_bad.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  // ServeBatch/ServeOne/Reset on disk-/queue-named receivers; the
+  // receiver on line 15 is neither, so Reset there must NOT be flagged.
+  EXPECT_EQ(CountLines(run.stdout_text), 3) << run.stdout_text;
+  for (int line : {10, 11, 12}) {
+    EXPECT_NE(run.stdout_text.find("src/prefetch/disk_writer_bad.cc:" +
+                                   std::to_string(line) +
+                                   ": [disk-queue-single-writer]"),
+              std::string::npos)
+        << run.stdout_text;
+  }
+  EXPECT_EQ(run.stdout_text.find(":15:"), std::string::npos)
+      << run.stdout_text;
+}
+
+TEST(ScoutLintTest, DiskQueueWriterWhitelistedTranslationUnitIsClean) {
+  // Same mutating calls, but the fixture path matches the whitelisted
+  // implementation TU src/storage/shared_disk.cc.
+  const LintRun run = LintFixture("src/storage/shared_disk.cc");
   EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
   EXPECT_EQ(run.stdout_text, "");
 }
@@ -178,7 +204,8 @@ TEST(ScoutLintTest, ListRulesPrintsTheWholeCatalogue) {
   for (const char* rule :
        {"det-rand", "det-random-device", "det-wall-clock",
         "det-unordered-container", "layer-dag", "cache-single-writer",
-        "hdr-pragma-once", "hdr-using-namespace", "no-float", "lint-allow"}) {
+        "disk-queue-single-writer", "hdr-pragma-once", "hdr-using-namespace",
+        "no-float", "lint-allow"}) {
     EXPECT_NE(run.stdout_text.find(std::string(rule) + ":"),
               std::string::npos)
         << "missing rule " << rule;

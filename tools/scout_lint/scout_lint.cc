@@ -79,8 +79,13 @@ const std::vector<RuleInfo> kRules = {
      "layering.txt)",
      {"src/"}},
     {"cache-single-writer",
-     "PrefetchCache mutating call (Insert/Evict/Clear/SetActiveSession "
-     "on a cache-named receiver) outside the whitelisted serial-apply "
+     "PrefetchCache mutating call (Insert/Evict/Clear/SetActiveSession/"
+     "ConfigureSharing on a cache-named receiver) outside the "
+     "whitelisted serial-apply translation units",
+     {"src/"}},
+    {"disk-queue-single-writer",
+     "SharedDiskQueue mutating call (ServeBatch/ServeOne/Reset on a "
+     "disk- or queue-named receiver) outside the whitelisted serving "
      "translation units",
      {"src/"}},
     {"hdr-pragma-once",
@@ -105,6 +110,17 @@ const std::vector<RuleInfo> kRules = {
 // cache.cc is the implementation itself.
 const std::vector<const char*> kCacheWriterWhitelist = {
     "src/storage/cache.cc",
+    "src/engine/query_executor.cc",
+    "src/engine/multi_client_engine.cc",
+};
+
+// Translation units allowed to mutate the SharedDiskQueue. All disk
+// traffic funnels through the serving layer so queueing delay is
+// attributed once: shared_disk.cc is the implementation,
+// query_executor.cc issues the per-session batches, and
+// multi_client_engine.cc owns Reset between experiments.
+const std::vector<const char*> kDiskQueueWriterWhitelist = {
+    "src/storage/shared_disk.cc",
     "src/engine/query_executor.cc",
     "src/engine/multi_client_engine.cc",
 };
@@ -450,20 +466,26 @@ class FileScanner {
     }
   }
 
-  void CheckSingleWriter() {
-    if (!RuleApplies("cache-single-writer")) return;
-    for (const char* ok : kCacheWriterWhitelist) {
+  // Shared body of the single-writer rules: a call to one of `methods`
+  // through a `.`/`->` receiver whose lowercased identifier contains
+  // one of `recv_keys` is a finding (token-level approximation of "a
+  // mutating call on the shared object") unless the file is
+  // whitelisted.
+  void CheckWriterRule(const char* rule,
+                       const std::vector<const char*>& whitelist,
+                       const std::vector<const char*>& methods,
+                       const std::vector<const char*>& recv_keys,
+                       const char* what) {
+    if (!RuleApplies(rule)) return;
+    for (const char* ok : whitelist) {
       if (rel_ == ok) return;
     }
     for (size_t i = 0; i < stripped_.size(); ++i) {
       const std::string& s = stripped_[i];
       const int n = static_cast<int>(i) + 1;
-      for (const char* m : {"Insert", "Evict", "Clear", "SetActiveSession"}) {
+      for (const char* m : methods) {
         ForEachWord(s, m, [&](size_t col) {
           if (!WordFollowedByParen(s, col, std::string(m).size())) return;
-          // Require a `.` or `->` member access whose receiver
-          // identifier is cache-named (token-level approximation of
-          // "a PrefetchCache mutating call").
           size_t p = col;
           while (p > 0 && (s[p - 1] == ' ' || s[p - 1] == '\t')) --p;
           size_t recv_end;
@@ -478,14 +500,28 @@ class FileScanner {
           while (recv_begin > 0 && IsWordChar(s[recv_begin - 1])) --recv_begin;
           const std::string recv =
               Lower(s.substr(recv_begin, recv_end - recv_begin));
-          if (recv.find("cache") == std::string::npos) return;
-          Report(n, "cache-single-writer",
+          bool named = false;
+          for (const char* key : recv_keys) {
+            if (recv.find(key) != std::string::npos) named = true;
+          }
+          if (!named) return;
+          Report(n, rule,
                  std::string("`") + s.substr(recv_begin, recv_end - recv_begin) +
-                     "` mutated via " + m +
-                     "() outside the serial-apply whitelist");
+                     "` mutated via " + m + "() outside the " + what +
+                     " whitelist");
         });
       }
     }
+  }
+
+  void CheckSingleWriter() {
+    CheckWriterRule("cache-single-writer", kCacheWriterWhitelist,
+                    {"Insert", "Evict", "Clear", "SetActiveSession",
+                     "ConfigureSharing"},
+                    {"cache"}, "serial-apply");
+    CheckWriterRule("disk-queue-single-writer", kDiskQueueWriterWhitelist,
+                    {"ServeBatch", "ServeOne", "Reset"}, {"disk", "queue"},
+                    "serving-layer");
   }
 
   void CheckHygiene() {
