@@ -16,6 +16,7 @@
 #include "index/box_rtree.h"
 #include "prefetch/scout_opt_prefetcher.h"
 #include "storage/cache.h"
+#include "storage/fault_model.h"
 
 using namespace scout;
 using namespace scout::bench;
@@ -232,6 +233,84 @@ void RecordMultiClientScenarios(Recorder* rec, NeuronStack& stack,
   }
 }
 
+/// Degraded-mode serving under injected faults (fig_faults): the
+/// model-building workload at N = 8 over FULL serving semantics
+/// (regardless of --serving: outage faults need the shared disk), once
+/// fault-free and twice through a moderate fault storm — retry-only vs
+/// retry+shed. The fault-free row `...+f0` is the zero-fault anchor: its
+/// sim metrics must stay bit-identical to the fig_multiclient
+/// model-building@N8 row of the same snapshot (CI asserts this), proving
+/// the fault seams cost nothing when no schedule is attached.
+void RecordFaultScenarios(Recorder* rec, NeuronStack& stack) {
+  const MicrobenchSpec& model_building = SpecOf("model-building");
+  const QuerySequenceConfig qcfg = QueryConfigFor(model_building);
+  ExecutorConfig ecfg =
+      ExecutorConfigFor(model_building, stack.rtree->store());
+  ecfg.serving = SharedServingConfig{};
+  const PrefetcherFactory factory = [] {
+    return std::make_unique<ScoutPrefetcher>(ScoutConfig{});
+  };
+
+  FaultConfig storm;
+  storm.seed = 0xdecafbad;
+  storm.read_failure_prob = 0.08;
+  storm.read_failure_burst_us = 4000;
+  storm.channel_outage_prob = 0.25;
+  storm.channel_outage_period_us = 200000;
+  storm.channel_outage_us = 30000;
+  storm.latency_spike_prob = 0.05;
+  storm.latency_spike_multiplier = 6.0;
+  const FaultSchedule schedule{storm};
+
+  struct FaultScenario {
+    const char* suffix;
+    const FaultSchedule* faults;
+    bool shed;
+  };
+  const FaultScenario scenarios[] = {
+      {"f0", nullptr, true},
+      {"storm-retry", &schedule, false},
+      {"storm-shed", &schedule, true},
+  };
+  for (const FaultScenario& s : scenarios) {
+    ExecutorConfig run_cfg = ecfg;
+    run_cfg.fault_schedule = s.faults;
+    run_cfg.fault_policy.shed_prefetch_on_retry = s.shed;
+    Stopwatch sw;
+    const SharedCacheResult r = RunSharedCacheExperiment(
+        stack.dataset, *stack.rtree, factory, qcfg, run_cfg,
+        /*num_sessions=*/8, kSeed, /*num_workers=*/1);
+    BaselineFigRow row;
+    row.bench = "fig_faults";
+    row.scenario = std::string(model_building.name) + "@N8+" + s.suffix;
+    row.prefetcher = r.combined.prefetcher_name;
+    row.wall_ms = sw.ElapsedSeconds() * 1e3;
+    row.sim_response_us = r.combined.total_response_us;
+    row.sim_residual_io_us = r.combined.total_residual_us;
+    row.hit_rate_pct = r.combined.hit_rate_pct;
+    row.speedup = r.combined.speedup;
+    row.multiclient = true;
+    row.evictions_per_session = static_cast<double>(r.evictions) / 8.0;
+    row.sim_disk_wait_us = r.combined.total_disk_wait_us;
+    row.cross_hit_share_pct = r.cross_hit_share_pct;
+    row.faulted = true;
+    row.faults_seen = r.faults_seen;
+    row.retries = r.retries;
+    row.shed_prefetches = r.shed_prefetches;
+    row.p99_response_us = r.p99_response_us;
+    rec->figs.push_back(row);
+    std::printf(
+        "%-24s %-22s %-10s %9.1f ms  hit %5.1f%%  p99 %lld us  "
+        "(faults %llu, retries %llu, shed %llu)\n",
+        row.bench.c_str(), row.scenario.c_str(), row.prefetcher.c_str(),
+        row.wall_ms, row.hit_rate_pct,
+        static_cast<long long>(row.p99_response_us),
+        static_cast<unsigned long long>(row.faults_seen),
+        static_cast<unsigned long long>(row.retries),
+        static_cast<unsigned long long>(row.shed_prefetches));
+  }
+}
+
 /// Records the row and folds the checksum into the output so the work
 /// cannot be optimized away (and snapshots can be sanity-compared).
 void RecordOrUse(Recorder* rec, const char* name, uint64_t ops,
@@ -440,6 +519,7 @@ int main(int argc, char** argv) {
     NeuronStack stack(rec.scale().neuron_objects, /*seed=*/1);
     RecordFigScenarios(&rec, stack);
     RecordMultiClientScenarios(&rec, stack, serving);
+    RecordFaultScenarios(&rec, stack);
   }
   RecordMicroScenarios(&rec);
 

@@ -140,6 +140,13 @@ struct BaselineFigRow {
   double evictions_per_session = 0.0;   ///< Shared-cache contention.
   int64_t sim_disk_wait_us = 0;         ///< Shared-disk queueing delay.
   double cross_hit_share_pct = 0.0;     ///< Constructive sharing.
+  /// Degraded-mode serving extras (fig_faults rows). Serialized only when
+  /// `faulted` is set, for the same byte-stability reason as above.
+  bool faulted = false;
+  uint64_t faults_seen = 0;
+  uint64_t retries = 0;
+  uint64_t shed_prefetches = 0;
+  int64_t p99_response_us = 0;
 };
 
 /// One hot-path micro measurement of a baseline snapshot.
@@ -203,6 +210,16 @@ inline std::string BaselineSnapshotJson(
                     r.evictions_per_session,
                     static_cast<long long>(r.sim_disk_wait_us),
                     r.cross_hit_share_pct);
+      os << buf;
+    }
+    if (r.faulted) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"faults_seen\": %llu, \"retries\": %llu, "
+                    "\"shed_prefetches\": %llu, \"p99_response_us\": %lld",
+                    static_cast<unsigned long long>(r.faults_seen),
+                    static_cast<unsigned long long>(r.retries),
+                    static_cast<unsigned long long>(r.shed_prefetches),
+                    static_cast<long long>(r.p99_response_us));
       os << buf;
     }
     os << "}" << (i + 1 < figs.size() ? "," : "") << "\n";

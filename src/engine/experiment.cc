@@ -183,16 +183,33 @@ SharedCacheResult RunSharedCacheExperiment(
   // Fold sessions in id order — the aggregation twin of RunBatch's
   // sequence-order fold, so the pooled result is schedule-independent.
   size_t total_queries = 0;
+  std::vector<SimMicros> pooled_responses;
   for (size_t s = 0; s < outcome.runs.size(); ++s) {
     const SequenceRunStats& run = outcome.runs[s];
     result.session_hit_rate_pct.push_back(run.CacheHitRatePct());
     result.session_response_us.push_back(run.TotalResponseUs());
     result.admission_closed_windows += run.TotalAdmissionClosedWindows();
+    result.faults_seen += run.TotalFaultsSeen();
+    result.retries += run.TotalRetries();
+    result.backoff_wait_us += run.TotalBackoffWaitUs();
+    result.shed_prefetches += run.TotalShedPrefetches();
+    result.deadline_misses += run.DeadlineMisses();
+    result.unavailable_queries += run.UnavailableQueries();
+    for (const QueryRunStats& q : run.queries) {
+      pooled_responses.push_back(q.response_us);
+    }
     if (run.queries.empty()) continue;
     AccumulateSequence(run, outcome.baselines[s], &result.combined,
                        &total_queries);
   }
   FinalizeResult(&result.combined, total_queries);
+  if (!pooled_responses.empty()) {
+    std::sort(pooled_responses.begin(), pooled_responses.end());
+    // Nearest-rank p99 (1-based rank ceil(0.99 n), in integer arithmetic).
+    const size_t n = pooled_responses.size();
+    const size_t rank = (99 * n + 99) / 100;
+    result.p99_response_us = pooled_responses[rank == 0 ? 0 : rank - 1];
+  }
 
   result.disk = outcome.disk_stats;
   result.session_disk_wait_us.reserve(outcome.session_disk_stats.size());

@@ -120,6 +120,19 @@ struct SharedCacheResult {
   std::vector<SimMicros> session_disk_wait_us;  ///< Per session.
   /// Windows closed early by priced admission control (QoS serving).
   size_t admission_closed_windows = 0;
+
+  // ---- Degraded-mode serving aggregates (all zero without an armed
+  // fault schedule; see FaultSchedule / FaultPolicy). -----------------
+  uint64_t faults_seen = 0;        ///< Transient read failures observed.
+  uint64_t retries = 0;            ///< Demand-miss retry rounds issued.
+  SimMicros backoff_wait_us = 0;   ///< Simulated backoff time served.
+  size_t shed_prefetches = 0;      ///< Window fetches shed while degraded.
+  size_t deadline_misses = 0;      ///< Queries ending kDeadlineExceeded.
+  size_t unavailable_queries = 0;  ///< Queries ending kUnavailable.
+  /// Simulated p99 response over every session's queries (nearest-rank,
+  /// pooled in session-id order) — the tail metric degraded-mode
+  /// serving is designed to protect.
+  SimMicros p99_response_us = 0;
 };
 
 /// Multi-client shared-cache entry point: serves `num_sessions` query

@@ -1,5 +1,8 @@
 #include "engine/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace scout {
 
 double SequenceRunStats::CacheHitRatePct() const {
@@ -67,6 +70,60 @@ size_t SequenceRunStats::TotalResultObjects() const {
   size_t sum = 0;
   for (const auto& q : queries) sum += q.result_objects;
   return sum;
+}
+
+uint64_t SequenceRunStats::TotalFaultsSeen() const {
+  uint64_t sum = 0;
+  for (const auto& q : queries) sum += q.faults_seen;
+  return sum;
+}
+
+uint64_t SequenceRunStats::TotalRetries() const {
+  uint64_t sum = 0;
+  for (const auto& q : queries) sum += q.retries;
+  return sum;
+}
+
+SimMicros SequenceRunStats::TotalBackoffWaitUs() const {
+  SimMicros sum = 0;
+  for (const auto& q : queries) sum += q.backoff_wait_us;
+  return sum;
+}
+
+size_t SequenceRunStats::TotalShedPrefetches() const {
+  size_t sum = 0;
+  for (const auto& q : queries) sum += q.shed_prefetches;
+  return sum;
+}
+
+size_t SequenceRunStats::DeadlineMisses() const {
+  size_t sum = 0;
+  for (const auto& q : queries) {
+    sum += q.outcome == StatusCode::kDeadlineExceeded ? 1 : 0;
+  }
+  return sum;
+}
+
+size_t SequenceRunStats::UnavailableQueries() const {
+  size_t sum = 0;
+  for (const auto& q : queries) {
+    sum += q.outcome == StatusCode::kUnavailable ? 1 : 0;
+  }
+  return sum;
+}
+
+SimMicros SequenceRunStats::ResponsePercentileUs(double p) const {
+  if (queries.empty()) return 0;
+  std::vector<SimMicros> responses;
+  responses.reserve(queries.size());
+  for (const auto& q : queries) responses.push_back(q.response_us);
+  std::sort(responses.begin(), responses.end());
+  if (p <= 0.0) return responses.front();
+  if (p >= 100.0) return responses.back();
+  // Nearest-rank: ceil(p/100 * n), 1-based.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(responses.size())));
+  return responses[rank == 0 ? 0 : rank - 1];
 }
 
 }  // namespace scout

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/sim_clock.h"
+#include "common/status.h"
 
 namespace scout {
 
@@ -34,6 +35,16 @@ struct QueryRunStats {
   bool admission_closed_window = false;
   int64_t wall_graph_build_us = 0;
   int64_t wall_prediction_us = 0;
+
+  // ---- Degraded-mode serving (fault injection) ----------------------
+  /// kOk, or kDeadlineExceeded / kUnavailable when the query exhausted
+  /// its deadline budget / retry budget. Partial results are still
+  /// accounted; the sequence keeps running.
+  StatusCode outcome = StatusCode::kOk;
+  uint64_t faults_seen = 0;       ///< Transient read failures observed.
+  uint32_t retries = 0;           ///< Demand-miss retry attempts issued.
+  SimMicros backoff_wait_us = 0;  ///< Simulated time spent backing off.
+  size_t shed_prefetches = 0;     ///< Window fetches shed in degraded mode.
 };
 
 /// Aggregates over one executed sequence.
@@ -54,6 +65,17 @@ struct SequenceRunStats {
   size_t TotalPagesHit() const;
   size_t TotalPrefetchPages() const;
   size_t TotalResultObjects() const;
+
+  uint64_t TotalFaultsSeen() const;
+  uint64_t TotalRetries() const;
+  SimMicros TotalBackoffWaitUs() const;
+  size_t TotalShedPrefetches() const;
+  size_t DeadlineMisses() const;      ///< Queries ending kDeadlineExceeded.
+  size_t UnavailableQueries() const;  ///< Queries ending kUnavailable.
+
+  /// Simulated response-time percentile over the executed queries
+  /// (nearest-rank; p in [0, 100]). 0 when the sequence is empty.
+  SimMicros ResponsePercentileUs(double p) const;
 };
 
 }  // namespace scout

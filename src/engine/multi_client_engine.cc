@@ -37,6 +37,9 @@ MultiClientEngine::MultiClientEngine(const Dataset& dataset,
           DiskQueueConfig{executor_config.disk,
                           executor_config.serving.disk_channels},
           std::max<uint32_t>(1, num_sessions)) {
+  // One schedule governs the whole array: the shared queue and every
+  // baseline's private queue draw the same (page, channel, time) faults.
+  shared_disk_.AttachFaults(executor_config.fault_schedule);
   prefetcher_name_ = std::string(make_prefetcher()->name());
   num_sessions = std::max<uint32_t>(1, num_sessions);
   sessions_.reserve(num_sessions);
@@ -128,6 +131,9 @@ MultiClientOutcome MultiClientEngine::Run(uint32_t num_workers) {
         NoPrefetcher none;
         if (config_.serving.shared_disk) {
           SharedDiskQueue private_queue(shared_disk_.config(), 1);
+          // The speedup denominator degrades under the same faults: the
+          // schedule is stateless, so concurrent baselines may share it.
+          private_queue.AttachFaults(config_.fault_schedule);
           QueryExecutor baseline(index_, &none, config_, nullptr,
                                  &private_queue, 0);
           baselines[s] = baseline.RunSequence(

@@ -70,6 +70,16 @@ class QueryExecutor::WindowIo : public PrefetchIo {
   bool FetchPage(PageId page) override {
     if (executor_->cache_->Contains(page)) return true;
     if (remaining_ <= 0) return false;
+    const bool faulty = executor_->FaultyServing();
+    const SimMicros issue = window_start_ + (budget_ - remaining_);
+    if (faulty && executor_->config_.fault_policy.shed_prefetch_on_retry &&
+        issue < executor_->degraded_until_) {
+      // Degraded mode: prefetch I/O is shed first. Close the window —
+      // the session serves on demand until the shedding window passes.
+      ++shed_;
+      remaining_ = 0;
+      return false;
+    }
     if (executor_->cache_->Full()) {
       if (executor_->owns_cache()) {
         // Single-stream mode: prefetching halts once the cache is full
@@ -94,18 +104,34 @@ class QueryExecutor::WindowIo : public PrefetchIo {
     // A read started while the window is open completes even if the user
     // issues the next query meanwhile; the window then closes.
     SimMicros cost;
+    bool failed_read = false;
     if (executor_->disk_queue_ != nullptr) {
       // Shared disk: the fetch is issued where the window has advanced
       // to; queueing behind other sessions' reads consumes window budget
       // exactly like the read itself.
-      const SimMicros issue = window_start_ + (budget_ - remaining_);
       const SharedDiskQueue::BatchResult served =
-          executor_->disk_queue_->ServeOne(executor_->session_id_, issue,
-                                           page);
+          faulty ? executor_->disk_queue_->TryServeOne(
+                       executor_->session_id_, issue, page, &failed_read)
+                 : executor_->disk_queue_->ServeOne(executor_->session_id_,
+                                                    issue, page);
       cost = served.latency_us;
       wait_us_ += served.queue_wait_us;
+    } else if (faulty) {
+      const DiskModel::ReadResult read = executor_->disk_.TryReadPage(page);
+      cost = read.cost_us;
+      failed_read = !read.status.ok();
     } else {
       cost = executor_->disk_.ReadPage(page);
+    }
+    if (failed_read) {
+      // The transfer failed: the window time is spent but the page never
+      // arrived. Prefetches are never retried (demand misses own the
+      // retry budget) — note the failure, which arms shedding, and let
+      // the prefetcher continue with its plan.
+      ++faults_;
+      executor_->NoteFailure(issue + cost);
+      remaining_ -= cost;
+      return true;
     }
     executor_->cache_->Insert(page);
     remaining_ -= cost;
@@ -118,6 +144,8 @@ class QueryExecutor::WindowIo : public PrefetchIo {
   size_t pages_fetched() const { return pages_fetched_; }
   SimMicros wait_us() const { return wait_us_; }
   bool admission_closed() const { return admission_closed_; }
+  size_t shed() const { return shed_; }
+  uint64_t faults() const { return faults_; }
 
  private:
   QueryExecutor* executor_;
@@ -127,6 +155,8 @@ class QueryExecutor::WindowIo : public PrefetchIo {
   SimMicros wait_us_ = 0;
   size_t pages_fetched_ = 0;
   bool admission_closed_ = false;
+  size_t shed_ = 0;       ///< Fetches dropped in degraded mode.
+  uint64_t faults_ = 0;   ///< Failed prefetch transfers.
 };
 
 void QueryExecutor::Prepare(const SpatialIndex& index, const Region& region,
@@ -180,7 +210,11 @@ QueryExecutor::QueryExecutor(const SpatialIndex* index,
                        : nullptr),
       cache_(shared_cache == nullptr ? owned_cache_.get() : shared_cache),
       disk_queue_(disk_queue),
-      session_id_(session_id) {}
+      session_id_(session_id) {
+  // The private disk model consults the schedule on every read; shared
+  // queues are borrowed, so the owning engine attaches it there.
+  disk_.AttachFaults(config.fault_schedule);
+}
 
 SimMicros QueryExecutor::ColdReadCost(
     const std::vector<PageId>& sorted_pages) const {
@@ -205,7 +239,112 @@ void QueryExecutor::BeginSequence() {
   clock_.Reset();
   sequence_now_ = 0;
   carried_overflow_ = 0;
+  degraded_until_ = 0;
+  // Per-session derived jitter stream (mirrors how sessions derive their
+  // prefetcher streams): independent across sessions, identical across
+  // reruns. Only ever drawn from when retries actually happen, so the
+  // seeding is free in fault-free runs.
+  retry_rng_.Seed(FaultSchedule::SessionJitterSeed(
+      config_.fault_schedule != nullptr ? config_.fault_schedule->config().seed
+                                        : 0,
+      session_id_));
   prefetcher_->BeginSequence();
+}
+
+SimMicros QueryExecutor::RetryBackoffUs(uint32_t attempt) {
+  const FaultPolicy& policy = config_.fault_policy;
+  // Exponential in the round, capped to keep the shift defined.
+  const uint32_t shift = std::min<uint32_t>(attempt, 20);
+  SimMicros wait = policy.backoff_base_us << shift;
+  if (policy.backoff_jitter_frac > 0.0) {
+    wait += static_cast<SimMicros>(policy.backoff_jitter_frac *
+                                   static_cast<double>(wait) *
+                                   retry_rng_.NextDouble());
+  }
+  return wait;
+}
+
+void QueryExecutor::NoteFailure(SimMicros now) {
+  if (!config_.fault_policy.shed_prefetch_on_retry) return;
+  degraded_until_ = std::max(degraded_until_,
+                             now + config_.fault_policy.degraded_window_us);
+}
+
+SimMicros QueryExecutor::ServeMissBatchWithRetries(QueryRunStats* q) {
+  const FaultPolicy& policy = config_.fault_policy;
+  SimMicros elapsed = 0;
+  SharedDiskQueue::BatchResult served = disk_queue_->TryServeBatch(
+      session_id_, sequence_now_, miss_pages_, &retry_failed_);
+  elapsed += served.latency_us;
+  q->disk_wait_us += served.queue_wait_us;
+  q->faults_seen += retry_failed_.size();
+  uint32_t attempt = 0;
+  while (!retry_failed_.empty() && attempt < policy.max_retries) {
+    if (policy.query_deadline_us > 0 && elapsed >= policy.query_deadline_us) {
+      break;
+    }
+    const SimMicros backoff = RetryBackoffUs(attempt);
+    elapsed += backoff;
+    q->backoff_wait_us += backoff;
+    ++attempt;
+    ++q->retries;
+    // Reissue only the failed pages, at where the response has advanced
+    // to — backoff included, so the retry sees later fault draws.
+    retry_pages_.swap(retry_failed_);
+    served = disk_queue_->TryServeBatch(session_id_, sequence_now_ + elapsed,
+                                        retry_pages_, &retry_failed_);
+    elapsed += served.latency_us;
+    q->disk_wait_us += served.queue_wait_us;
+    q->faults_seen += retry_failed_.size();
+  }
+  if (!retry_failed_.empty()) {
+    q->outcome =
+        policy.query_deadline_us > 0 && elapsed >= policy.query_deadline_us
+            ? StatusCode::kDeadlineExceeded
+            : StatusCode::kUnavailable;
+  }
+  if (q->faults_seen > 0) NoteFailure(sequence_now_ + elapsed);
+  return elapsed;
+}
+
+SimMicros QueryExecutor::ReadDemandPageWithRetries(PageId page,
+                                                   SimMicros spent_so_far,
+                                                   QueryRunStats* q,
+                                                   bool* ok) {
+  const FaultPolicy& policy = config_.fault_policy;
+  SimMicros elapsed = 0;
+  bool saw_failure = false;
+  DiskModel::ReadResult read = disk_.TryReadPage(page);
+  elapsed += read.cost_us;
+  uint32_t attempt = 0;
+  while (!read.status.ok()) {
+    saw_failure = true;
+    ++q->faults_seen;
+    if (attempt >= policy.max_retries) break;
+    if (policy.query_deadline_us > 0 &&
+        spent_so_far + elapsed >= policy.query_deadline_us) {
+      break;
+    }
+    const SimMicros backoff = RetryBackoffUs(attempt);
+    elapsed += backoff;
+    q->backoff_wait_us += backoff;
+    // Advance the private disk's clock so the retry's fault draw sees a
+    // later issue instant (the backoff may cross the failure burst).
+    clock_.Advance(backoff);
+    ++attempt;
+    ++q->retries;
+    read = disk_.TryReadPage(page);
+    elapsed += read.cost_us;
+  }
+  *ok = read.status.ok();
+  if (!*ok) {
+    q->outcome = policy.query_deadline_us > 0 &&
+                         spent_so_far + elapsed >= policy.query_deadline_us
+                     ? StatusCode::kDeadlineExceeded
+                     : StatusCode::kUnavailable;
+  }
+  if (saw_failure) NoteFailure(sequence_now_ + spent_so_far + elapsed);
+  return elapsed;
 }
 
 bool QueryExecutor::AdmitPrefetchInsert() const {
@@ -248,15 +387,28 @@ QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
       }
     }
     if (!miss_pages_.empty()) {
-      const SharedDiskQueue::BatchResult served =
-          disk_queue_->ServeBatch(session_id_, sequence_now_, miss_pages_);
-      q.residual_io_us = served.latency_us;
-      q.disk_wait_us = served.queue_wait_us;
-      if (config_.cache_residual_reads) {
-        for (PageId page : miss_pages_) cache_->Insert(page);
+      if (!FaultyServing()) {
+        const SharedDiskQueue::BatchResult served =
+            disk_queue_->ServeBatch(session_id_, sequence_now_, miss_pages_);
+        q.residual_io_us = served.latency_us;
+        q.disk_wait_us = served.queue_wait_us;
+        if (config_.cache_residual_reads) {
+          for (PageId page : miss_pages_) cache_->Insert(page);
+        }
+      } else {
+        q.residual_io_us = ServeMissBatchWithRetries(&q);
+        if (config_.cache_residual_reads) {
+          // Pages still failed after the retry budget never arrived.
+          for (PageId page : miss_pages_) {
+            if (std::find(retry_failed_.begin(), retry_failed_.end(), page) ==
+                retry_failed_.end()) {
+              cache_->Insert(page);
+            }
+          }
+        }
       }
     }
-  } else {
+  } else if (!FaultyServing()) {
     for (PageId page : prep.pages) {
       if (cache_->TouchIfPresent(page)) {
         ++q.pages_hit;
@@ -264,6 +416,17 @@ QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
         q.residual_io_us += disk_.ReadPage(page);
         if (config_.cache_residual_reads) cache_->Insert(page);
       }
+    }
+  } else {
+    for (PageId page : prep.pages) {
+      if (cache_->TouchIfPresent(page)) {
+        ++q.pages_hit;
+        continue;
+      }
+      bool ok = false;
+      q.residual_io_us +=
+          ReadDemandPageWithRetries(page, q.residual_io_us, &q, &ok);
+      if (ok && config_.cache_residual_reads) cache_->Insert(page);
     }
   }
   q.result_objects = prep.objects.size();
@@ -299,6 +462,15 @@ QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
 
   q.response_us += q.graph_build_us;
 
+  // The deadline never truncates work (simulated metrics stay identical
+  // whether or not anyone watches the budget) — it reports: a query whose
+  // full response overran the budget ends kDeadlineExceeded.
+  if (config_.fault_policy.query_deadline_us > 0 &&
+      q.outcome == StatusCode::kOk &&
+      q.response_us > config_.fault_policy.query_deadline_us) {
+    q.outcome = StatusCode::kDeadlineExceeded;
+  }
+
   SimMicros budget = q.window_us;
   if (config_.charge_prediction) {
     // Only the prediction (traversal) competes with the prefetch
@@ -319,6 +491,8 @@ QueryRunStats QueryExecutor::ExecuteQuery(const Region& region,
   q.prefetch_pages = io.pages_fetched();
   q.disk_wait_us += io.wait_us();
   q.admission_closed_window = io.admission_closed();
+  q.shed_prefetches = io.shed();
+  q.faults_seen += io.faults();
 
   // Advance this stream's issue timeline exactly like ClientSession: the
   // user sees the response, computes for the window, then issues the

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/sim_clock.h"
 #include "engine/metrics.h"
 #include "index/spatial_index.h"
@@ -11,9 +12,41 @@
 #include "prefetch/prefetcher.h"
 #include "storage/cache.h"
 #include "storage/disk_model.h"
+#include "storage/fault_model.h"
 #include "storage/shared_disk.h"
 
 namespace scout {
+
+/// Degraded-mode serving policy: what a session does when the storage
+/// layer reports transient failures (see FaultSchedule). All budgets are
+/// simulated time, so policy decisions are bit-identical across reruns
+/// and worker counts. With no fault schedule attached none of these
+/// knobs changes any simulated metric.
+struct FaultPolicy {
+  /// Per-query response deadline. A query whose accumulated response
+  /// time exceeds the budget stops retrying and reports
+  /// kDeadlineExceeded (partial results are still accounted; the
+  /// sequence keeps running). 0 disables the deadline.
+  SimMicros query_deadline_us = 0;
+  /// Retry budget for demand (residual) misses. Retries exhausted with
+  /// failures outstanding report kUnavailable.
+  uint32_t max_retries = 3;
+  /// Exponential backoff between retry rounds: the k-th retry waits
+  /// backoff_base_us << k, plus jitter.
+  SimMicros backoff_base_us = 1000;
+  /// Uniform jitter fraction added to each backoff wait (decorrelates
+  /// sessions retrying into the same outage; drawn from a per-session
+  /// seeded stream, so still fully deterministic).
+  double backoff_jitter_frac = 0.25;
+  /// Shed prefetch I/O while the session is under retry pressure:
+  /// window fetches are dropped (the session falls back to on-demand
+  /// serving) until degraded_window_us of simulated time passes without
+  /// new failures. Demand misses are never shed — prefetches go first.
+  bool shed_prefetch_on_retry = true;
+  /// How long after the last observed failure the session keeps
+  /// shedding prefetches.
+  SimMicros degraded_window_us = 100000;
+};
 
 /// Multi-client serving-quality (QoS) knobs: how the ONE shared cache
 /// and the ONE shared disk behave when N sessions contend. Consumed by
@@ -82,6 +115,15 @@ struct ExecutorConfig {
   bool charge_prediction = true;
   /// Multi-client serving-quality knobs (ignored by single-stream runs).
   SharedServingConfig serving;
+  /// Degraded-mode serving policy (only consulted when `fault_schedule`
+  /// is attached and armed, except the deadline which always reports).
+  FaultPolicy fault_policy;
+  /// Deterministic storage fault schedule. Borrowed, never owned; null
+  /// (the default) means fault-free serving with every simulated metric
+  /// bit-identical to builds without the fault machinery (pinned by
+  /// fault_differential_test). The executor attaches it to its private
+  /// DiskModel; the owning engine attaches it to shared disk queues.
+  const FaultSchedule* fault_schedule = nullptr;
 };
 
 /// Runs guided query sequences against an index + simulated disk +
@@ -180,6 +222,32 @@ class QueryExecutor {
   /// admitted — only cross-session harm is priced.
   bool AdmitPrefetchInsert() const;
 
+  /// True when a fault schedule is attached and armed: the failure-aware
+  /// read paths and the degraded-mode policy are live.
+  bool FaultyServing() const {
+    return config_.fault_schedule != nullptr &&
+           config_.fault_schedule->Armed();
+  }
+
+  /// Simulated backoff wait before retry round `attempt` (0-based):
+  /// exponential in the round plus seeded uniform jitter.
+  SimMicros RetryBackoffUs(uint32_t attempt);
+
+  /// Records that a failure was observed at simulated instant `now`:
+  /// extends the prefetch-shedding window (when the policy sheds).
+  void NoteFailure(SimMicros now);
+
+  /// Serves the residual-miss batch in `miss_pages_` through the shared
+  /// queue with retries, backoff, deadline accounting and shedding
+  /// bookkeeping. Returns the total simulated serving time (attempts +
+  /// backoff waits); fault counters land in `q`.
+  SimMicros ServeMissBatchWithRetries(QueryRunStats* q);
+
+  /// Same for the private-disk path: one page, demand-miss retry loop.
+  /// `*ok` reports whether the page finally arrived.
+  SimMicros ReadDemandPageWithRetries(PageId page, SimMicros spent_so_far,
+                                      QueryRunStats* q, bool* ok);
+
   const SpatialIndex* index_;
   Prefetcher* prefetcher_;
   ExecutorConfig config_;
@@ -194,6 +262,12 @@ class QueryExecutor {
   std::vector<PageId> miss_pages_;  ///< Residual-batch scratch buffer.
   SimMicros carried_overflow_ = 0;  ///< Prediction overflow delaying the
                                     ///< next query's response.
+  Rng retry_rng_;                   ///< Backoff jitter stream (per-session
+                                    ///< derived seed; see BeginSequence).
+  SimMicros degraded_until_ = 0;    ///< Prefetch shedding active until this
+                                    ///< instant of the stream's timeline.
+  std::vector<PageId> retry_failed_;  ///< Failed-page scratch buffer.
+  std::vector<PageId> retry_pages_;   ///< Retry-batch scratch buffer.
 };
 
 }  // namespace scout

@@ -211,6 +211,11 @@ void PrefetchCache::Clear() {
   ++epoch_;
   std::fill(session_stats_.begin(), session_stats_.end(),
             CacheSessionStats{});
+  // The lifetime eviction counter resets with the generation too: priced
+  // admission warms up from observed insert/hit rates, so any counter
+  // surviving Clear would leak one run's pressure estimate into the
+  // next run's admission decisions.
+  evictions_ = 0;
   active_session_ = kNoSession;
   for (OwnerLru& o : owner_lru_) {
     o.head = kNil;

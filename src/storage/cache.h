@@ -182,7 +182,10 @@ class PrefetchCache {
   void Erase(PageId page);
 
   /// Drops everything (done between sequences, like the paper's cache
-  /// clearing between runs).
+  /// clearing between runs). A cleared cache is indistinguishable from a
+  /// fresh one: contents, per-session attribution stats and the lifetime
+  /// eviction counter all reset (quotas persist — Clear keeps the
+  /// sharing configuration), so admission control re-warms from scratch.
   void Clear();
 
   uint64_t capacity_bytes() const { return capacity_bytes_; }

@@ -2,8 +2,16 @@
 
 namespace scout {
 
-SimMicros DiskModel::ReadPage(PageId page) {
-  const SimMicros cost = PeekCost(page);
+DiskModel::ReadResult DiskModel::TryReadPage(PageId page) {
+  ReadResult result;
+  // The issue instant must be read before the clock advances: fault draws
+  // are pure functions of (seed, page, issue time).
+  const SimMicros issue = clock_->now();
+  SimMicros cost = PeekCost(page);
+  const bool inject = faults_ != nullptr && faults_->Armed();
+  if (inject) {
+    cost += faults_->LatencySpikeExtraUs(page, issue, cost);
+  }
   if (IsSequential(page)) {
     ++sequential_reads_;
   } else {
@@ -14,7 +22,12 @@ SimMicros DiskModel::ReadPage(PageId page) {
   has_position_ = true;
   total_read_time_ += cost;
   clock_->Advance(cost);
-  return cost;
+  result.cost_us = cost;
+  if (inject && faults_->ReadFails(page, issue)) {
+    ++failed_reads_;
+    result.status = Status(StatusCode::kUnavailable, std::string());
+  }
+  return result;
 }
 
 SimMicros DiskModel::EstimateColdReadCost(size_t n) const {
@@ -29,6 +42,7 @@ void DiskModel::Reset() {
   pages_read_ = 0;
   random_reads_ = 0;
   sequential_reads_ = 0;
+  failed_reads_ = 0;
   total_read_time_ = 0;
 }
 

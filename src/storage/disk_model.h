@@ -3,6 +3,8 @@
 #include <cstdint>
 
 #include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/fault_model.h"
 #include "storage/page.h"
 
 namespace scout {
@@ -28,9 +30,31 @@ class DiskModel {
   DiskModel(DiskConfig config, SimClock* clock)
       : config_(config), clock_(clock) {}
 
+  /// Outcome of one failure-aware read attempt. The attempt's cost is
+  /// charged whether or not it succeeded: a failed transfer occupies the
+  /// disk just like a good one, the data merely never arrives.
+  struct ReadResult {
+    Status status;        ///< OK, or kUnavailable on a transient failure.
+    SimMicros cost_us = 0;  ///< Simulated duration charged to the clock.
+  };
+
   /// Charges the simulated cost of reading `page` and advances the clock.
-  /// Returns the charged duration.
-  SimMicros ReadPage(PageId page);
+  /// Returns the charged duration. Infallible entry point: with a fault
+  /// schedule attached, failures are charged but not reported — callers
+  /// that must react to them use TryReadPage.
+  SimMicros ReadPage(PageId page) { return TryReadPage(page).cost_us; }
+
+  /// Failure-aware read: identical arithmetic to ReadPage (bit-identical
+  /// costs and counters with no schedule attached, or a disarmed one),
+  /// plus the fault outcome. Latency spikes inflate the charged cost;
+  /// transient failures return kUnavailable after charging the attempt.
+  ReadResult TryReadPage(PageId page);
+
+  /// Attaches (or detaches, with nullptr) the deterministic fault
+  /// schedule consulted by TryReadPage. The schedule is borrowed, never
+  /// owned, and must outlive the model.
+  void AttachFaults(const FaultSchedule* faults) { faults_ = faults; }
+  const FaultSchedule* faults() const { return faults_; }
 
   /// Cost of reading `page` right now without performing the read.
   SimMicros PeekCost(PageId page) const {
@@ -50,6 +74,7 @@ class DiskModel {
   uint64_t pages_read() const { return pages_read_; }
   uint64_t random_reads() const { return random_reads_; }
   uint64_t sequential_reads() const { return sequential_reads_; }
+  uint64_t failed_reads() const { return failed_reads_; }
   SimMicros total_read_time() const { return total_read_time_; }
 
   /// Forgets the head position and zeroes the counters.
@@ -62,11 +87,13 @@ class DiskModel {
 
   DiskConfig config_;
   SimClock* clock_;
+  const FaultSchedule* faults_ = nullptr;  ///< Borrowed; null = no faults.
   bool has_position_ = false;
   PageId last_page_ = kInvalidPageId;
   uint64_t pages_read_ = 0;
   uint64_t random_reads_ = 0;
   uint64_t sequential_reads_ = 0;
+  uint64_t failed_reads_ = 0;
   SimMicros total_read_time_ = 0;
 };
 

@@ -1,0 +1,103 @@
+#include "storage/fault_model.h"
+
+#include <algorithm>
+
+namespace scout {
+namespace {
+
+// Domain-separation salts: each fault class draws from its own stream so
+// enabling one class never perturbs another's pattern.
+constexpr uint64_t kReadFailureSalt = 0x52454144464c5453ull;   // "READFLTS"
+constexpr uint64_t kLatencySpikeSalt = 0x53504b4546415444ull;  // "SPKEFATD"
+constexpr uint64_t kOutageSalt = 0x4f55544147455344ull;        // "OUTAGESD"
+constexpr uint64_t kOutageOffsetSalt = 0x4f55544f46465354ull;  // "OUTOFFST"
+constexpr uint64_t kJitterSalt = 0x4a49545445525344ull;        // "JITTERSD"
+
+/// SplitMix64 finalizer — the same mixing constants Rng::Seed expands
+/// seeds with, reused here as a stateless hash so draws need no mutable
+/// generator state.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Hash3(uint64_t seed, uint64_t salt, uint64_t a, uint64_t b) {
+  return Mix(Mix(Mix(seed ^ salt) ^ a) ^ b);
+}
+
+/// Uniform [0, 1) from a hash word (same mapping as Rng::NextDouble).
+double Unit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(const FaultConfig& config) : config_(config) {
+  config_.read_failure_burst_us =
+      std::max<SimMicros>(1, config_.read_failure_burst_us);
+  config_.channel_outage_period_us =
+      std::max<SimMicros>(1, config_.channel_outage_period_us);
+  config_.channel_outage_us =
+      std::clamp<SimMicros>(config_.channel_outage_us, 0,
+                            config_.channel_outage_period_us);
+  armed_ = config_.read_failure_prob > 0.0 ||
+           (config_.channel_outage_prob > 0.0 &&
+            config_.channel_outage_us > 0) ||
+           config_.latency_spike_prob > 0.0;
+}
+
+bool FaultSchedule::ReadFails(PageId page, SimMicros now) const {
+  if (config_.read_failure_prob <= 0.0) return false;
+  const uint64_t burst =
+      static_cast<uint64_t>(now / config_.read_failure_burst_us);
+  const uint64_t h = Hash3(config_.seed, kReadFailureSalt, page, burst);
+  return Unit(h) < config_.read_failure_prob;
+}
+
+SimMicros FaultSchedule::LatencySpikeExtraUs(PageId page, SimMicros now,
+                                             SimMicros base_cost_us) const {
+  if (config_.latency_spike_prob <= 0.0) return 0;
+  const uint64_t h = Hash3(config_.seed, kLatencySpikeSalt, page,
+                           static_cast<uint64_t>(now));
+  if (Unit(h) >= config_.latency_spike_prob) return 0;
+  const double extra = static_cast<double>(base_cost_us) *
+                       (std::max(1.0, config_.latency_spike_multiplier) - 1.0);
+  return static_cast<SimMicros>(extra);
+}
+
+SimMicros FaultSchedule::ChannelOutageEndUs(uint32_t channel,
+                                            SimMicros now) const {
+  if (config_.channel_outage_prob <= 0.0 || config_.channel_outage_us <= 0) {
+    return 0;
+  }
+  const SimMicros period = config_.channel_outage_period_us;
+  const SimMicros duration = config_.channel_outage_us;
+  // An outage lies entirely within its period window, so only the window
+  // containing `now` can cover it.
+  const uint64_t window = static_cast<uint64_t>(now / period);
+  const uint64_t h = Hash3(config_.seed, kOutageSalt, channel, window);
+  if (Unit(h) >= config_.channel_outage_prob) return 0;
+  // Deterministic start offset within the window (so outages are not all
+  // phase-locked to window boundaries across channels).
+  const SimMicros slack = period - duration;
+  SimMicros offset = 0;
+  if (slack > 0) {
+    const uint64_t oh =
+        Hash3(config_.seed, kOutageOffsetSalt, channel, window);
+    offset = static_cast<SimMicros>(
+        oh % static_cast<uint64_t>(slack + 1));
+  }
+  const SimMicros start =
+      static_cast<SimMicros>(window) * period + offset;
+  const SimMicros end = start + duration;
+  return (now >= start && now < end) ? end : 0;
+}
+
+uint64_t FaultSchedule::SessionJitterSeed(uint64_t seed, uint32_t session) {
+  return Hash3(seed, kJitterSalt, session, 0);
+}
+
+}  // namespace scout

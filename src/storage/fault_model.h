@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+#include "storage/page.h"
+
+namespace scout {
+
+/// Knobs of the deterministic storage fault injector. All probabilities
+/// are per independent draw; a config with every probability at 0 is the
+/// explicit "no faults" schedule — attaching it must leave every
+/// simulated metric bit-identical to running with no schedule at all
+/// (pinned by fault_differential_test).
+struct FaultConfig {
+  /// Root seed of the schedule. Every draw mixes it SplitMix64-style
+  /// with the (page, channel, time-window) coordinates, so faults are
+  /// pure functions of (seed, page, channel, simulated time) — never of
+  /// thread timing, worker count, or call order.
+  uint64_t seed = 0;
+
+  /// Probability that reading a page transiently fails (bad transfer;
+  /// the attempt still occupies the disk for its full service time).
+  double read_failure_prob = 0.0;
+  /// Failures are drawn per (page, time-burst) window: once a page's
+  /// draw fails, every read of it within the same burst window fails
+  /// too — a transient error persists for a while instead of
+  /// flickering per attempt. Must be > 0.
+  SimMicros read_failure_burst_us = 2000;
+
+  /// Probability that a channel suffers an outage within each
+  /// `channel_outage_period_us` window of simulated time. During an
+  /// outage the channel serves nothing: a read dispatched to it waits
+  /// until the outage ends (its busy_until jumps past the window).
+  double channel_outage_prob = 0.0;
+  SimMicros channel_outage_period_us = 200000;
+  /// Outage duration (clamped to the period).
+  SimMicros channel_outage_us = 50000;
+
+  /// Probability that a read's service time spikes (deep queue inside
+  /// the drive, remapped sector): the read costs
+  /// `latency_spike_multiplier` times its base service time.
+  double latency_spike_prob = 0.0;
+  double latency_spike_multiplier = 8.0;
+};
+
+/// Deterministic storage fault schedule. The schedule is immutable and
+/// stateless after construction: every query is a pure hash draw over
+/// (seed, page/channel, simulated time), so it is safe to share one
+/// const instance across the engine's parallel pure phases (baselines)
+/// and the serial apply loop, and reruns at any worker count see the
+/// exact same fault pattern. Storage components take the schedule via
+/// AttachFaults(const FaultSchedule*) — the only mutation seam, gated
+/// by the `fault-injection-seam` lint rule.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// True when any fault class is armed (all-zero probabilities make
+  /// the schedule a no-op that storage may skip entirely).
+  bool Armed() const { return armed_; }
+
+  /// Whether a read of `page` issued at simulated time `now` fails.
+  /// Constant within each read_failure_burst_us window of a page.
+  bool ReadFails(PageId page, SimMicros now) const;
+
+  /// Extra service time of a read of `page` issued at `now` whose base
+  /// service cost is `base_cost_us` (0 when no spike fires).
+  SimMicros LatencySpikeExtraUs(PageId page, SimMicros now,
+                                SimMicros base_cost_us) const;
+
+  /// End of the outage covering simulated time `now` on `channel`, or 0
+  /// when the channel is serving normally at `now`.
+  SimMicros ChannelOutageEndUs(uint32_t channel, SimMicros now) const;
+
+  /// Derived per-session seed for engine-side randomized policies
+  /// (retry backoff jitter), mirroring the per-session stream
+  /// derivation the prefetchers use: independent across sessions,
+  /// reproducible across reruns.
+  static uint64_t SessionJitterSeed(uint64_t seed, uint32_t session);
+
+ private:
+  FaultConfig config_;
+  bool armed_ = false;
+};
+
+}  // namespace scout

@@ -30,6 +30,18 @@ class PageStore {
 
   const Page& page(PageId id) const { return pages_[id]; }
 
+  /// Bounds-checked page access for callers holding ids of uncertain
+  /// provenance (deserialized layouts, future real-I/O backends where a
+  /// stale id must surface as an error instead of undefined behavior).
+  /// The hot paths keep using page() — index lookups only produce ids
+  /// the store handed out.
+  StatusOr<const Page*> CheckedPage(PageId id) const {
+    if (id >= pages_.size()) {
+      return Status(StatusCode::kOutOfRange, "page id out of range");
+    }
+    return &pages_[id];
+  }
+
   /// All pages in physical order.
   const std::vector<Page>& pages() const { return pages_; }
 

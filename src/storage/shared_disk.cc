@@ -18,11 +18,14 @@ uint32_t SharedDiskQueue::PickChannel() const {
   return best;
 }
 
-SharedDiskQueue::BatchResult SharedDiskQueue::ServeBatch(
-    uint32_t session, SimMicros now, std::span<const PageId> pages) {
+SharedDiskQueue::BatchResult SharedDiskQueue::TryServeBatch(
+    uint32_t session, SimMicros now, std::span<const PageId> pages,
+    std::vector<PageId>* failed) {
   BatchResult result;
+  if (failed != nullptr) failed->clear();
   if (pages.empty()) return result;
   const ScopedWriter guard(this);
+  const bool inject = faults_ != nullptr && faults_->Armed();
 
   // Elevator (C-SCAN) ordering: ascending from the current head
   // position, wrapping to the lowest page. Callers usually pass sorted
@@ -42,16 +45,32 @@ SharedDiskQueue::BatchResult SharedDiskQueue::ServeBatch(
   SimMicros earliest_start = 0;
   SimMicros completion = 0;
   uint64_t reordered = 0;
+  uint64_t failures = 0;
+  SimMicros outage_wait = 0;
   for (size_t i = 0; i < scratch_.size(); ++i) {
     const size_t k = (split + i) % scratch_.size();
     const PageId page = scratch_[k];
     if (page != pages[i]) ++reordered;
     const bool sequential =
         has_position_ && page == head_page_ + 1;
-    const SimMicros cost = sequential ? config_.disk.sequential_read_us
-                                      : config_.disk.random_read_us;
+    SimMicros cost = sequential ? config_.disk.sequential_read_us
+                                : config_.disk.random_read_us;
     const uint32_t channel = PickChannel();
-    const SimMicros start = std::max(now, channel_free_us_[channel]);
+    SimMicros start = std::max(now, channel_free_us_[channel]);
+    if (inject) {
+      // A channel mid-outage serves nothing: dispatch waits out the
+      // window (the channel's busy time jumps past it).
+      const SimMicros outage_end =
+          faults_->ChannelOutageEndUs(channel, start);
+      if (outage_end > start) {
+        outage_wait += outage_end - start;
+        start = outage_end;
+      }
+      // Per-read latency spike, drawn on (page, issue instant) so every
+      // queue (shared or per-baseline private) prices the same read the
+      // same way.
+      cost += faults_->LatencySpikeExtraUs(page, now, cost);
+    }
     channel_free_us_[channel] = start + cost;
     head_page_ = page;
     has_position_ = true;
@@ -67,6 +86,12 @@ SharedDiskQueue::BatchResult SharedDiskQueue::ServeBatch(
       ++stats_.random_reads;
       if (per_session != nullptr) ++per_session->random_reads;
     }
+    if (inject && faults_->ReadFails(page, now)) {
+      // The transfer went bad: the channel time is spent either way, the
+      // data just never arrives.
+      ++failures;
+      if (failed != nullptr) failed->push_back(page);
+    }
   }
   result.latency_us = completion - now;
   result.queue_wait_us = std::max<SimMicros>(0, earliest_start - now);
@@ -74,12 +99,16 @@ SharedDiskQueue::BatchResult SharedDiskQueue::ServeBatch(
   ++stats_.batches;
   stats_.wait_us += result.queue_wait_us;
   stats_.reordered_pages += reordered;
+  stats_.failed_reads += failures;
+  stats_.outage_wait_us += outage_wait;
   if (per_session != nullptr) {
     per_session->requests += scratch_.size();
     ++per_session->batches;
     per_session->service_us += result.service_us;
     per_session->wait_us += result.queue_wait_us;
     per_session->reordered_pages += reordered;
+    per_session->failed_reads += failures;
+    per_session->outage_wait_us += outage_wait;
   }
   return result;
 }
@@ -88,6 +117,17 @@ SharedDiskQueue::BatchResult SharedDiskQueue::ServeOne(uint32_t session,
                                                        SimMicros now,
                                                        PageId page) {
   return ServeBatch(session, now, std::span<const PageId>(&page, 1));
+}
+
+SharedDiskQueue::BatchResult SharedDiskQueue::TryServeOne(uint32_t session,
+                                                          SimMicros now,
+                                                          PageId page,
+                                                          bool* failed) {
+  failed_scratch_.clear();
+  const BatchResult result = TryServeBatch(
+      session, now, std::span<const PageId>(&page, 1), &failed_scratch_);
+  if (failed != nullptr) *failed = !failed_scratch_.empty();
+  return result;
 }
 
 void SharedDiskQueue::Reset() {

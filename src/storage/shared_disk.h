@@ -11,6 +11,7 @@
 
 #include "common/sim_clock.h"
 #include "storage/disk_model.h"
+#include "storage/fault_model.h"
 #include "storage/page.h"
 
 namespace scout {
@@ -32,8 +33,10 @@ struct DiskQueueStats {
   uint64_t random_reads = 0;
   uint64_t sequential_reads = 0;
   uint64_t reordered_pages = 0;   ///< Served out of arrival order.
+  uint64_t failed_reads = 0;      ///< Transient read failures (injected).
   SimMicros service_us = 0;       ///< Summed per-read service time.
   SimMicros wait_us = 0;          ///< Summed head-of-line queueing delay.
+  SimMicros outage_wait_us = 0;   ///< Delay spent behind channel outages.
 };
 
 /// Deterministic shared-disk queueing model: ONE disk array serves every
@@ -77,12 +80,38 @@ class SharedDiskQueue {
   /// Serves `pages` (any order; reordered by the elevator scan) for
   /// `session`, issued at simulated time `now`. `now` need not be
   /// monotone across sessions — an earlier-issued request simply finds
-  /// busier channels.
+  /// busier channels. Infallible entry point: with a fault schedule
+  /// attached, failed transfers are charged but not reported.
   BatchResult ServeBatch(uint32_t session, SimMicros now,
-                         std::span<const PageId> pages);
+                         std::span<const PageId> pages) {
+    return TryServeBatch(session, now, pages, nullptr);
+  }
+
+  /// Failure-aware batch serve: identical timing arithmetic to
+  /// ServeBatch (bit-identical with no schedule attached), with the
+  /// pages whose transfer transiently failed appended to `*failed`
+  /// (cleared first; may be null to ignore failures). A failed page
+  /// still occupies its channel for the full attempt cost; channel
+  /// outages delay dispatch (the channel's busy time jumps past the
+  /// outage window) and latency spikes inflate individual reads.
+  BatchResult TryServeBatch(uint32_t session, SimMicros now,
+                            std::span<const PageId> pages,
+                            std::vector<PageId>* failed);
 
   /// Serves a single read (the prefetch-window path).
   BatchResult ServeOne(uint32_t session, SimMicros now, PageId page);
+
+  /// Failure-aware single read: `*failed` is set iff the transfer
+  /// transiently failed (the attempt cost is charged either way).
+  BatchResult TryServeOne(uint32_t session, SimMicros now, PageId page,
+                          bool* failed);
+
+  /// Attaches (or detaches, with nullptr) the deterministic fault
+  /// schedule consulted on every serve. Borrowed, never owned; must
+  /// outlive the queue. Survives Reset (the schedule is configuration,
+  /// not state).
+  void AttachFaults(const FaultSchedule* faults) { faults_ = faults; }
+  const FaultSchedule* faults() const { return faults_; }
 
   /// Forgets head position and busy times and zeroes all counters (the
   /// owning engine cold-starts the array once per run).
@@ -122,12 +151,14 @@ class SharedDiskQueue {
   uint32_t PickChannel() const;
 
   DiskQueueConfig config_;
+  const FaultSchedule* faults_ = nullptr;  ///< Borrowed; null = no faults.
   std::vector<SimMicros> channel_free_us_;  ///< Per-channel free time.
   bool has_position_ = false;
   PageId head_page_ = kInvalidPageId;  ///< Array-wide head position.
   DiskQueueStats stats_;
   std::vector<DiskQueueStats> session_stats_;
   std::vector<PageId> scratch_;  ///< Elevator ordering buffer.
+  std::vector<PageId> failed_scratch_;  ///< TryServeOne failure buffer.
 #ifndef NDEBUG
   mutable std::atomic<bool> writer_busy_{false};
 #endif

@@ -29,6 +29,9 @@ TEST(StatusTest, FactoriesProduceMatchingCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -38,9 +41,23 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusTest, CodeToStringCoversAllCodes) {
+  // Exhaustive round-trip: every enumerator has a distinct, non-fallback
+  // name. A new code added without a ToString case fails here instead of
+  // silently printing "Unknown".
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -1,0 +1,181 @@
+/// Chaos soak: N = 8 sessions served over the shared cache and shared
+/// disk while an armed FaultSchedule injects transient read failures,
+/// channel outages and latency spikes. The contract under fire:
+///   - the run completes (every query answered, no crash, no abort),
+///   - degradation is bounded (prefetching still lands hits, responses
+///     stay finite, outcome codes account for every failure),
+///   - the whole run is bit-identical across reruns and worker counts
+///     (faults are pure functions of (seed, page, channel, sim-time)),
+///   - prefetch shedding protects the tail: under the same faults, the
+///     shedding policy's pooled p99 is no worse than retry-only.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/multi_client_engine.h"
+#include "index/rtree.h"
+#include "prefetch/scout_prefetcher.h"
+#include "storage/fault_model.h"
+#include "workload/generators.h"
+
+namespace scout {
+namespace {
+
+constexpr uint64_t kSeed = 20120827;
+
+PrefetcherFactory ScoutFactory() {
+  return [] { return std::make_unique<ScoutPrefetcher>(ScoutConfig{}); };
+}
+
+/// Moderate storm: ~8% transient failures in 4 ms bursts, occasional
+/// channel outages, 5% latency spikes at 6x.
+FaultConfig StormConfig() {
+  FaultConfig config;
+  config.seed = 0xdecafbad;
+  config.read_failure_prob = 0.08;
+  config.read_failure_burst_us = 4000;
+  config.channel_outage_prob = 0.25;
+  config.channel_outage_period_us = 200000;
+  config.channel_outage_us = 30000;
+  config.latency_spike_prob = 0.05;
+  config.latency_spike_multiplier = 6.0;
+  return config;
+}
+
+void ExpectSameResult(const SharedCacheResult& a, const SharedCacheResult& b) {
+  EXPECT_EQ(a.combined.total_response_us, b.combined.total_response_us);
+  EXPECT_EQ(a.combined.total_residual_us, b.combined.total_residual_us);
+  EXPECT_EQ(a.combined.total_disk_wait_us, b.combined.total_disk_wait_us);
+  EXPECT_EQ(a.combined.total_pages, b.combined.total_pages);
+  EXPECT_EQ(a.combined.total_hits, b.combined.total_hits);
+  EXPECT_EQ(a.combined.total_queries, b.combined.total_queries);
+  EXPECT_EQ(a.session_response_us, b.session_response_us);
+  EXPECT_EQ(a.session_hit_rate_pct, b.session_hit_rate_pct);
+  EXPECT_EQ(a.hits_own, b.hits_own);
+  EXPECT_EQ(a.hits_cross, b.hits_cross);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.disk.service_us, b.disk.service_us);
+  EXPECT_EQ(a.disk.wait_us, b.disk.wait_us);
+  EXPECT_EQ(a.disk.failed_reads, b.disk.failed_reads);
+  EXPECT_EQ(a.disk.outage_wait_us, b.disk.outage_wait_us);
+  EXPECT_EQ(a.faults_seen, b.faults_seen);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.backoff_wait_us, b.backoff_wait_us);
+  EXPECT_EQ(a.shed_prefetches, b.shed_prefetches);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.unavailable_queries, b.unavailable_queries);
+  EXPECT_EQ(a.p99_response_us, b.p99_response_us);
+}
+
+class FaultChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(
+        GenerateNeuronTissue(NeuronConfigForObjectCount(12000, /*seed=*/3)));
+    index_ = RTreeIndex::Build(dataset_->objects)->release();
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    index_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static QuerySequenceConfig QueryConfig() {
+    QuerySequenceConfig qcfg;
+    qcfg.num_queries = 12;
+    qcfg.query_volume = 20000.0;
+    return qcfg;
+  }
+
+  static ExecutorConfig ExecConfig(const FaultSchedule* schedule,
+                                   bool shed_prefetch) {
+    ExecutorConfig ecfg;
+    ecfg.cache_bytes = ScaledCacheBytes(index_->store());
+    ecfg.prefetch_window_ratio = 1.4;
+    ecfg.fault_schedule = schedule;
+    ecfg.fault_policy.shed_prefetch_on_retry = shed_prefetch;
+    return ecfg;
+  }
+
+  static SharedCacheResult Run(const ExecutorConfig& ecfg,
+                               uint32_t num_workers) {
+    return RunSharedCacheExperiment(*dataset_, *index_, ScoutFactory(),
+                                    QueryConfig(), ecfg, /*num_sessions=*/8,
+                                    kSeed, num_workers);
+  }
+
+  static Dataset* dataset_;
+  static RTreeIndex* index_;
+};
+
+Dataset* FaultChaosTest::dataset_ = nullptr;
+RTreeIndex* FaultChaosTest::index_ = nullptr;
+
+TEST_F(FaultChaosTest, SoakCompletesWithBoundedDegradation) {
+  const FaultSchedule storm{StormConfig()};
+  ASSERT_TRUE(storm.Armed());
+  const SharedCacheResult faulty = Run(ExecConfig(&storm, true), 4);
+  const SharedCacheResult clean = Run(ExecConfig(nullptr, true), 4);
+
+  // Every query of every session completed and was accounted for.
+  EXPECT_EQ(faulty.combined.total_queries, clean.combined.total_queries);
+  EXPECT_EQ(faulty.session_response_us.size(), 8u);
+
+  // The storm actually hit, and the policy actually responded.
+  EXPECT_GT(faulty.faults_seen, 0u);
+  EXPECT_GT(faulty.disk.failed_reads, 0u);
+  EXPECT_GT(faulty.retries, 0u);
+
+  // Bounded degradation: the engine still prefetches and still lands
+  // hits; responses got slower, not unbounded (pay at most 12x clean).
+  EXPECT_GT(faulty.combined.total_hits, 0u);
+  EXPECT_GT(faulty.combined.total_response_us,
+            clean.combined.total_response_us);
+  EXPECT_LT(faulty.combined.total_response_us,
+            12 * clean.combined.total_response_us);
+}
+
+TEST_F(FaultChaosTest, SoakIsBitIdenticalAcrossWorkersAndReruns) {
+  const FaultSchedule storm{StormConfig()};
+  const SharedCacheResult serial = Run(ExecConfig(&storm, true), 1);
+  const SharedCacheResult parallel_run = Run(ExecConfig(&storm, true), 8);
+  const SharedCacheResult rerun = Run(ExecConfig(&storm, true), 8);
+  ExpectSameResult(serial, parallel_run);
+  ExpectSameResult(parallel_run, rerun);
+}
+
+TEST_F(FaultChaosTest, SheddingProtectsTheTailOverRetryOnly) {
+  const FaultSchedule storm{StormConfig()};
+  const SharedCacheResult shed = Run(ExecConfig(&storm, true), 4);
+  const SharedCacheResult retry_only = Run(ExecConfig(&storm, false), 4);
+
+  // The shedding policy really shed; retry-only never does.
+  EXPECT_GT(shed.shed_prefetches, 0u);
+  EXPECT_EQ(retry_only.shed_prefetches, 0u);
+
+  // Shedding drops speculative reads while the array is misbehaving, so
+  // the pooled p99 must not be worse than blindly retrying into a storm.
+  EXPECT_LE(shed.p99_response_us, retry_only.p99_response_us);
+}
+
+TEST_F(FaultChaosTest, FailedQueriesReportStatusInsteadOfAborting) {
+  // Crank failures high with a tight retry budget: some queries must end
+  // kUnavailable (retries exhausted with pages still missing), yet the
+  // run completes and every query is accounted for.
+  FaultConfig brutal = StormConfig();
+  brutal.read_failure_prob = 0.6;
+  brutal.read_failure_burst_us = 50000;  // Long bursts defeat retries.
+  const FaultSchedule storm{brutal};
+  ExecutorConfig ecfg = ExecConfig(&storm, true);
+  ecfg.fault_policy.max_retries = 1;
+  ecfg.fault_policy.backoff_base_us = 100;
+  const SharedCacheResult r = Run(ecfg, 4);
+  EXPECT_EQ(r.combined.total_queries, 8u * 12u);
+  EXPECT_GT(r.unavailable_queries, 0u);
+  EXPECT_LE(r.unavailable_queries, r.combined.total_queries);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,162 @@
+/// Zero-fault bit-identity: the fault machinery must be invisible until
+/// a schedule actually fires. Attaching NO schedule and attaching an
+/// all-zero-probability schedule must produce bit-identical simulated
+/// metrics — on the single-stream engine (private DiskModel path) and on
+/// the multi-client serving engine (shared SharedDiskQueue path) alike.
+/// This is the regression gate that keeps every recorded seed3 baseline
+/// anchor valid as the failure-aware read paths evolve.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/multi_client_engine.h"
+#include "index/rtree.h"
+#include "prefetch/scout_prefetcher.h"
+#include "storage/fault_model.h"
+#include "workload/generators.h"
+
+namespace scout {
+namespace {
+
+PrefetcherFactory ScoutFactory() {
+  return [] { return std::make_unique<ScoutPrefetcher>(ScoutConfig{}); };
+}
+
+void ExpectSameCombined(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.hit_rate_pct, b.hit_rate_pct);
+  EXPECT_EQ(a.speedup, b.speedup);
+  EXPECT_EQ(a.total_response_us, b.total_response_us);
+  EXPECT_EQ(a.baseline_response_us, b.baseline_response_us);
+  EXPECT_EQ(a.total_residual_us, b.total_residual_us);
+  EXPECT_EQ(a.total_disk_wait_us, b.total_disk_wait_us);
+  EXPECT_EQ(a.total_graph_build_us, b.total_graph_build_us);
+  EXPECT_EQ(a.total_prediction_us, b.total_prediction_us);
+  EXPECT_EQ(a.total_pages, b.total_pages);
+  EXPECT_EQ(a.total_hits, b.total_hits);
+  EXPECT_EQ(a.total_result_objects, b.total_result_objects);
+  EXPECT_EQ(a.total_queries, b.total_queries);
+  EXPECT_EQ(a.total_resets, b.total_resets);
+}
+
+/// No fault, no trace: every fault-side counter of a run must be zero.
+void ExpectNoFaultFootprint(const SharedCacheResult& r) {
+  EXPECT_EQ(r.faults_seen, 0u);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.backoff_wait_us, 0);
+  EXPECT_EQ(r.shed_prefetches, 0u);
+  EXPECT_EQ(r.deadline_misses, 0u);
+  EXPECT_EQ(r.unavailable_queries, 0u);
+  EXPECT_EQ(r.disk.failed_reads, 0u);
+  EXPECT_EQ(r.disk.outage_wait_us, 0);
+}
+
+class FaultDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(
+        GenerateNeuronTissue(NeuronConfigForObjectCount(12000, /*seed=*/3)));
+    index_ = RTreeIndex::Build(dataset_->objects)->release();
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    index_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static QuerySequenceConfig QueryConfig() {
+    QuerySequenceConfig qcfg;
+    qcfg.num_queries = 10;
+    qcfg.query_volume = 20000.0;
+    return qcfg;
+  }
+
+  static ExecutorConfig ExecConfig() {
+    ExecutorConfig ecfg;
+    ecfg.cache_bytes = ScaledCacheBytes(index_->store());
+    ecfg.prefetch_window_ratio = 1.4;
+    return ecfg;
+  }
+
+  static Dataset* dataset_;
+  static RTreeIndex* index_;
+};
+
+Dataset* FaultDifferentialTest::dataset_ = nullptr;
+RTreeIndex* FaultDifferentialTest::index_ = nullptr;
+
+TEST_F(FaultDifferentialTest, SharedServingIsBitIdenticalWithZeroRates) {
+  constexpr uint64_t kSeed = 20120827;
+  const FaultSchedule zero{FaultConfig{}};  // Explicit all-zero schedule.
+  ASSERT_FALSE(zero.Armed());
+
+  const ExecutorConfig plain_cfg = ExecConfig();
+  ExecutorConfig attached_cfg = ExecConfig();
+  attached_cfg.fault_schedule = &zero;
+
+  const SharedCacheResult plain = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), plain_cfg,
+      /*num_sessions=*/4, kSeed, /*num_workers=*/2);
+  const SharedCacheResult attached = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), attached_cfg,
+      /*num_sessions=*/4, kSeed, /*num_workers=*/2);
+
+  ExpectSameCombined(plain.combined, attached.combined);
+  EXPECT_EQ(plain.session_response_us, attached.session_response_us);
+  EXPECT_EQ(plain.session_hit_rate_pct, attached.session_hit_rate_pct);
+  EXPECT_EQ(plain.hits_own, attached.hits_own);
+  EXPECT_EQ(plain.hits_cross, attached.hits_cross);
+  EXPECT_EQ(plain.evictions, attached.evictions);
+  EXPECT_EQ(plain.disk.service_us, attached.disk.service_us);
+  EXPECT_EQ(plain.disk.wait_us, attached.disk.wait_us);
+  EXPECT_EQ(plain.p99_response_us, attached.p99_response_us);
+  ExpectNoFaultFootprint(plain);
+  ExpectNoFaultFootprint(attached);
+}
+
+TEST_F(FaultDifferentialTest, PrivateDiskPathIsBitIdenticalWithZeroRates) {
+  constexpr uint64_t kSeed = 20120827;
+  const FaultSchedule zero{FaultConfig{}};
+
+  ExecutorConfig plain_cfg = ExecConfig();
+  plain_cfg.serving = SharedServingConfig::Legacy();  // Private DiskModel.
+  ExecutorConfig attached_cfg = plain_cfg;
+  attached_cfg.fault_schedule = &zero;
+
+  const ExperimentResult plain =
+      RunBatch(*dataset_, *index_, ScoutFactory(), QueryConfig(), plain_cfg,
+               /*num_sequences=*/3, kSeed, /*num_workers=*/2);
+  const ExperimentResult attached =
+      RunBatch(*dataset_, *index_, ScoutFactory(), QueryConfig(),
+               attached_cfg, /*num_sequences=*/3, kSeed, /*num_workers=*/2);
+  ExpectSameCombined(plain, attached);
+}
+
+TEST_F(FaultDifferentialTest, DeadlineOnlyPolicyReportsWithoutPerturbing) {
+  // A deadline with no fault schedule is pure observation: outcomes may
+  // flip to kDeadlineExceeded, but no simulated metric moves.
+  constexpr uint64_t kSeed = 4242;
+  const ExecutorConfig plain_cfg = ExecConfig();
+  ExecutorConfig deadline_cfg = ExecConfig();
+  deadline_cfg.fault_policy.query_deadline_us = 1;  // Absurdly tight.
+
+  const SharedCacheResult plain = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), plain_cfg,
+      /*num_sessions=*/2, kSeed, /*num_workers=*/1);
+  const SharedCacheResult strict = RunSharedCacheExperiment(
+      *dataset_, *index_, ScoutFactory(), QueryConfig(), deadline_cfg,
+      /*num_sessions=*/2, kSeed, /*num_workers=*/1);
+
+  ExpectSameCombined(plain.combined, strict.combined);
+  EXPECT_EQ(plain.p99_response_us, strict.p99_response_us);
+  // Every query with any response time at all overran 1 µs.
+  EXPECT_GT(strict.deadline_misses, 0u);
+  EXPECT_EQ(plain.deadline_misses, 0u);
+  // No retries, no faults — the deadline only watched.
+  EXPECT_EQ(strict.faults_seen, 0u);
+  EXPECT_EQ(strict.retries, 0u);
+}
+
+}  // namespace
+}  // namespace scout

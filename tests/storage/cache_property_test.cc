@@ -52,7 +52,12 @@ class ReferenceLru {
     if (it != lru_.end()) lru_.erase(it);
   }
 
-  void Clear() { lru_.clear(); }
+  void Clear() {
+    // Mirrors PrefetchCache::Clear: a cleared cache is indistinguishable
+    // from a fresh one, eviction counter included.
+    lru_.clear();
+    evictions_ = 0;
+  }
 
   size_t NumPages() const { return lru_.size(); }
   uint64_t evictions() const { return evictions_; }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "prefetch/cost_model.h"
 #include "storage/cache.h"
 
 #include <gtest/gtest.h>
@@ -164,6 +165,45 @@ TEST(CacheQosTest, ClearKeepsQuotasAndZeroesOccupancy) {
   EXPECT_EQ(cache.session_quota(1), 2u);
   EXPECT_EQ(cache.session_occupancy(0), 0u);
   EXPECT_EQ(cache.unattributed_occupancy(), 0u);
+}
+
+TEST(CacheQosTest, ClearAndConfigureSharingResetAdmissionInputs) {
+  // Priced admission is stateless — its warmup and efficiency signals
+  // are the cache's per-session stats and eviction counter. Both resets
+  // must zero them, or one run's pressure estimate leaks into the next
+  // run's admission decisions.
+  PrefetchCache cache(4 * kPageBytes);
+  cache.ConfigureSharing(2, /*quota_eviction=*/true);
+  cache.SetActiveSession(0);
+  const PrefetchAdmission admission;
+  // Push session 0 well past warmup with zero own-hits: against any
+  // efficient victim its inserts are now rejected.
+  for (PageId p = 0; p < 100; ++p) cache.Insert(p);
+  {
+    const CacheSessionStats& s0 = cache.session_stats()[0];
+    ASSERT_GE(s0.inserts, admission.warmup_inserts);
+    EXPECT_FALSE(admission.Admit(s0.inserts, s0.hits_own,
+                                 /*victim_inserts=*/10,
+                                 /*victim_hits_own=*/10, 5000));
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+
+  cache.Clear();
+  // Cleared cache = fresh cache: warmup restarts, eviction count gone.
+  EXPECT_EQ(cache.session_stats()[0].inserts, 0u);
+  EXPECT_EQ(cache.session_stats()[0].hits_own, 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(admission.Admit(cache.session_stats()[0].inserts,
+                              cache.session_stats()[0].hits_own, 10, 10,
+                              5000));
+
+  // ConfigureSharing (re-sharding for a new session count) resets too.
+  cache.SetActiveSession(0);
+  for (PageId p = 0; p < 100; ++p) cache.Insert(p);
+  ASSERT_GT(cache.session_stats()[0].inserts, 0u);
+  cache.ConfigureSharing(2, /*quota_eviction=*/true);
+  EXPECT_EQ(cache.session_stats()[0].inserts, 0u);
+  EXPECT_EQ(cache.session_stats()[0].pages_evicted, 0u);
 }
 
 TEST(CacheQosTest, PeekVictimOwnerPreviewsTheEvictionPolicy) {

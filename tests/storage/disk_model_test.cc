@@ -100,6 +100,72 @@ TEST(DiskModelTest, TotalReadTimeAccumulates) {
   EXPECT_EQ(disk.pages_read(), 4u);
 }
 
+TEST(DiskModelTest, TryReadPageWithoutScheduleMatchesReadPage) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  const DiskModel::ReadResult r = disk.TryReadPage(10);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.cost_us, 5000);
+  EXPECT_EQ(disk.TryReadPage(11).cost_us, 20);
+  EXPECT_EQ(disk.failed_reads(), 0u);
+}
+
+TEST(DiskModelTest, TransientFailureChargesTheAttemptAndMovesTheHead) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  FaultConfig config;
+  config.seed = 17;
+  config.read_failure_prob = 1.0;  // Every read fails.
+  const FaultSchedule faults{config};
+  disk.AttachFaults(&faults);
+  const DiskModel::ReadResult r = disk.TryReadPage(10);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  // The attempt occupies the disk like a good read: cost charged, clock
+  // advanced, head moved, counters bumped.
+  EXPECT_EQ(r.cost_us, 5000);
+  EXPECT_EQ(clock.now(), 5000);
+  EXPECT_EQ(disk.pages_read(), 1u);
+  EXPECT_EQ(disk.failed_reads(), 1u);
+  EXPECT_EQ(disk.PeekCost(11), 20);  // Head is at 10.
+  // The infallible wrapper still charges failures silently.
+  EXPECT_EQ(disk.ReadPage(50), 5000);
+  EXPECT_EQ(disk.failed_reads(), 2u);
+  disk.Reset();
+  EXPECT_EQ(disk.failed_reads(), 0u);
+}
+
+TEST(DiskModelTest, LatencySpikeInflatesTheChargedCost) {
+  SimClock clock;
+  DiskModel disk(DiskConfig{5000, 20}, &clock);
+  FaultConfig config;
+  config.seed = 17;
+  config.latency_spike_prob = 1.0;  // Every read spikes.
+  config.latency_spike_multiplier = 8.0;
+  const FaultSchedule faults{config};
+  disk.AttachFaults(&faults);
+  const DiskModel::ReadResult r = disk.TryReadPage(10);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.cost_us, 8 * 5000);
+  EXPECT_EQ(clock.now(), 8 * 5000);
+  EXPECT_EQ(disk.total_read_time(), 8 * 5000);
+}
+
+TEST(DiskModelTest, DisarmedScheduleIsBitIdenticalToNoSchedule) {
+  SimClock clock_a;
+  DiskModel plain(DiskConfig{5000, 20}, &clock_a);
+  SimClock clock_b;
+  DiskModel attached(DiskConfig{5000, 20}, &clock_b);
+  const FaultSchedule zero{FaultConfig{}};  // All probabilities 0.
+  attached.AttachFaults(&zero);
+  for (PageId page : {10u, 11u, 3u, 4u, 5u, 900u}) {
+    ASSERT_EQ(plain.ReadPage(page), attached.TryReadPage(page).cost_us);
+  }
+  EXPECT_EQ(clock_a.now(), clock_b.now());
+  EXPECT_EQ(plain.total_read_time(), attached.total_read_time());
+  EXPECT_EQ(attached.failed_reads(), 0u);
+}
+
 TEST(SimClockTest, AdvanceAndReset) {
   SimClock clock;
   EXPECT_EQ(clock.now(), 0);

@@ -1,9 +1,12 @@
 // SharedDiskQueue tests: elevator (C-SCAN) ordering, array-wide
 // sequential pricing, channel parallelism, cross-session queueing delay,
-// per-session attribution, and cold-start determinism.
+// per-session attribution, cold-start determinism, edge configurations
+// (1 channel, more channels than batch pages, empty batches) and the
+// fault hooks (transient failures, outages, Reset mid-outage).
 
 #include <vector>
 
+#include "storage/fault_model.h"
 #include "storage/shared_disk.h"
 
 #include <gtest/gtest.h>
@@ -129,6 +132,127 @@ TEST(SharedDiskQueueTest, ZeroChannelConfigClampsToOne) {
   const auto r = disk.ServeBatch(0, 0, pages);
   // One channel: the two random reads serialize.
   EXPECT_EQ(r.latency_us, 2 * 5000);
+}
+
+TEST(SharedDiskQueueTest, SingleChannelSerializesTheWholeBatch) {
+  SharedDiskQueue disk(TestConfig(1), 1);
+  const std::vector<PageId> pages = {0, 100, 200};
+  const auto r = disk.ServeBatch(0, 0, pages);
+  // One channel: three random reads back to back.
+  EXPECT_EQ(r.latency_us, 3 * 5000);
+  EXPECT_EQ(r.service_us, 3 * 5000);
+  EXPECT_EQ(r.queue_wait_us, 0);
+}
+
+TEST(SharedDiskQueueTest, MoreChannelsThanPagesLeavesChannelsIdle) {
+  SharedDiskQueue disk(TestConfig(16), 1);
+  const std::vector<PageId> pages = {0, 100};
+  const auto r = disk.ServeBatch(0, 0, pages);
+  // Two pages on sixteen idle channels: full overlap, fourteen idle.
+  EXPECT_EQ(r.latency_us, 5000);
+  EXPECT_EQ(r.service_us, 2 * 5000);
+  // A later one-page batch still lands on an idle channel immediately.
+  const auto next = disk.ServeOne(0, 100, 900);
+  EXPECT_EQ(next.queue_wait_us, 0);
+}
+
+TEST(SharedDiskQueueTest, TryServeBatchReportsFailedPages) {
+  SharedDiskQueue disk(TestConfig(2), 2);
+  FaultConfig config;
+  config.seed = 5;
+  config.read_failure_prob = 1.0;  // Every transfer fails.
+  const FaultSchedule faults{config};
+  disk.AttachFaults(&faults);
+  const std::vector<PageId> pages = {7, 300};
+  std::vector<PageId> failed;
+  const auto r = disk.TryServeBatch(0, 0, pages, &failed);
+  // Failures are fully charged: timing identical to good transfers.
+  EXPECT_EQ(r.latency_us, 5000);
+  EXPECT_EQ(r.service_us, 2 * 5000);
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_EQ(disk.stats().failed_reads, 2u);
+  EXPECT_EQ(disk.session_stats()[0].failed_reads, 2u);
+  EXPECT_EQ(disk.session_stats()[1].failed_reads, 0u);
+  // The infallible wrapper charges the same and reports nothing.
+  const auto silent = disk.ServeBatch(1, 10000, pages);
+  EXPECT_EQ(silent.service_us, 2 * 5000);
+  EXPECT_EQ(disk.stats().failed_reads, 4u);
+}
+
+TEST(SharedDiskQueueTest, TryServeOneFlagsTheFailure) {
+  SharedDiskQueue disk(TestConfig(1), 1);
+  FaultConfig config;
+  config.seed = 5;
+  config.read_failure_prob = 1.0;
+  const FaultSchedule faults{config};
+  disk.AttachFaults(&faults);
+  bool failed = false;
+  const auto r = disk.TryServeOne(0, 0, 7, &failed);
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(r.latency_us, 5000);
+}
+
+TEST(SharedDiskQueueTest, OutageDelaysDispatchAndCountsTheWait) {
+  SharedDiskQueue disk(TestConfig(1), 1);
+  FaultConfig config;
+  config.seed = 1;
+  config.channel_outage_prob = 1.0;  // Every period window has an outage.
+  config.channel_outage_period_us = 100000;
+  config.channel_outage_us = 100000;  // Wall-to-wall: offset is forced to 0.
+  const FaultSchedule faults{config};
+  disk.AttachFaults(&faults);
+  // Issue at t=0: the channel is down until 100000, the read runs after.
+  const auto r = disk.ServeOne(0, 0, 7);
+  EXPECT_EQ(r.latency_us, 100000 + 5000);
+  EXPECT_EQ(disk.stats().outage_wait_us, 100000);
+  EXPECT_EQ(disk.session_stats()[0].outage_wait_us, 100000);
+}
+
+TEST(SharedDiskQueueTest, ResetMidOutageForgetsQueueStateNotTheSchedule) {
+  SharedDiskQueue disk(TestConfig(1), 1);
+  FaultConfig config;
+  config.seed = 1;
+  config.channel_outage_prob = 1.0;
+  config.channel_outage_period_us = 100000;
+  config.channel_outage_us = 100000;
+  const FaultSchedule faults{config};
+  disk.AttachFaults(&faults);
+  const auto before = disk.ServeOne(0, 0, 7);
+  disk.Reset();
+  // Reset clears counters and busy times but keeps the attachment: the
+  // schedule is configuration. The outage is a pure function of (seed,
+  // channel, time), so the same issue instant waits out the same window.
+  EXPECT_EQ(disk.stats().outage_wait_us, 0);
+  EXPECT_EQ(disk.faults(), &faults);
+  const auto after = disk.ServeOne(0, 0, 7);
+  EXPECT_EQ(after.latency_us, before.latency_us);
+  EXPECT_EQ(disk.stats().outage_wait_us, 100000);
+}
+
+TEST(SharedDiskQueueTest, DisarmedScheduleIsBitIdenticalToNoSchedule) {
+  SharedDiskQueue plain(TestConfig(4), 2);
+  SharedDiskQueue attached(TestConfig(4), 2);
+  const FaultSchedule zero{FaultConfig{}};
+  attached.AttachFaults(&zero);
+  const std::vector<PageId> a = {10, 11, 12, 500};
+  const std::vector<PageId> b = {50, 200};
+  std::vector<PageId> failed;
+  for (int round = 0; round < 3; ++round) {
+    const SimMicros now = static_cast<SimMicros>(round) * 7000;
+    const auto rp = plain.ServeBatch(0, now, a);
+    const auto ra = attached.TryServeBatch(0, now, a, &failed);
+    ASSERT_EQ(rp.latency_us, ra.latency_us);
+    ASSERT_EQ(rp.service_us, ra.service_us);
+    ASSERT_EQ(rp.queue_wait_us, ra.queue_wait_us);
+    ASSERT_TRUE(failed.empty());
+    const auto sp = plain.ServeBatch(1, now + 100, b);
+    const auto sa = attached.ServeBatch(1, now + 100, b);
+    ASSERT_EQ(sp.latency_us, sa.latency_us);
+  }
+  EXPECT_EQ(plain.stats().service_us, attached.stats().service_us);
+  EXPECT_EQ(plain.stats().wait_us, attached.stats().wait_us);
+  EXPECT_EQ(attached.stats().failed_reads, 0u);
+  EXPECT_EQ(attached.stats().outage_wait_us, 0);
 }
 
 TEST(SharedDiskQueueTest, ResetRestoresTheColdState) {

@@ -1,0 +1,14 @@
+// Lint fixture: FaultSchedule wiring outside the whitelisted storage
+// TUs and serial apply loop.
+// Expected findings: line 10 fault-injection-seam (AttachFaults on a
+// disk-named receiver), line 11 fault-injection-seam (queue-named
+// receiver). Line 14: the receiver is neither disk- nor queue-named.
+
+struct FakeDisk { void AttachFaults(const void*); };
+
+void FaultSeamBad(FakeDisk* shared_disk_, FakeDisk& retry_queue) {
+  shared_disk_->AttachFaults(nullptr);
+  retry_queue.AttachFaults(nullptr);
+}
+
+void NotAStorageSeam(FakeDisk& model) { model.AttachFaults(nullptr); }

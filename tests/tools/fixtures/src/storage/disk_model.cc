@@ -1,0 +1,10 @@
+// Lint fixture: the same AttachFaults wiring as fault_seam_bad.cc, but
+// under the whitelisted storage-implementation path
+// src/storage/disk_model.cc — must report zero findings.
+
+struct FakeDisk { void AttachFaults(const void*); };
+
+void FaultSeamAllowedHere(FakeDisk* disk_, FakeDisk& shared_queue) {
+  disk_->AttachFaults(nullptr);
+  shared_queue.AttachFaults(nullptr);
+}

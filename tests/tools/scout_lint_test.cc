@@ -180,6 +180,31 @@ TEST(ScoutLintTest, DiskQueueWriterWhitelistedTranslationUnitIsClean) {
   EXPECT_EQ(run.stdout_text, "");
 }
 
+TEST(ScoutLintTest, FaultSeamFixtureFlagsAttachOutsideWhitelist) {
+  const LintRun run = LintFixture("src/prefetch/fault_seam_bad.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  // AttachFaults on disk-/queue-named receivers; the receiver on line 14
+  // is neither, so it must NOT be flagged.
+  EXPECT_EQ(CountLines(run.stdout_text), 2) << run.stdout_text;
+  for (int line : {10, 11}) {
+    EXPECT_NE(run.stdout_text.find("src/prefetch/fault_seam_bad.cc:" +
+                                   std::to_string(line) +
+                                   ": [fault-injection-seam]"),
+              std::string::npos)
+        << run.stdout_text;
+  }
+  EXPECT_EQ(run.stdout_text.find(":14:"), std::string::npos)
+      << run.stdout_text;
+}
+
+TEST(ScoutLintTest, FaultSeamWhitelistedTranslationUnitIsClean) {
+  // Same wiring, but the fixture path matches the whitelisted storage
+  // implementation TU src/storage/disk_model.cc.
+  const LintRun run = LintFixture("src/storage/disk_model.cc");
+  EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_EQ(run.stdout_text, "");
+}
+
 TEST(ScoutLintTest, HygieneFixturePinsPragmaOnceUsingNamespaceAndFloat) {
   const LintRun run = LintFixture("src/geom/hygiene_bad.h");
   EXPECT_EQ(run.exit_code, 1);
@@ -204,8 +229,9 @@ TEST(ScoutLintTest, ListRulesPrintsTheWholeCatalogue) {
   for (const char* rule :
        {"det-rand", "det-random-device", "det-wall-clock",
         "det-unordered-container", "layer-dag", "cache-single-writer",
-        "disk-queue-single-writer", "hdr-pragma-once", "hdr-using-namespace",
-        "no-float", "lint-allow"}) {
+        "disk-queue-single-writer", "fault-injection-seam",
+        "hdr-pragma-once", "hdr-using-namespace", "no-float",
+        "lint-allow"}) {
     EXPECT_NE(run.stdout_text.find(std::string(rule) + ":"),
               std::string::npos)
         << "missing rule " << rule;

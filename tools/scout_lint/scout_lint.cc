@@ -88,6 +88,12 @@ const std::vector<RuleInfo> kRules = {
      "disk- or queue-named receiver) outside the whitelisted serving "
      "translation units",
      {"src/"}},
+    {"fault-injection-seam",
+     "fault-schedule wiring (AttachFaults on a disk- or queue-named "
+     "receiver) outside the storage TUs and the serial apply loop; "
+     "scattered attach points would let faults fire outside the "
+     "deterministic serving order",
+     {"src/"}},
     {"hdr-pragma-once",
      "header must start with #pragma once (before any code)",
      {"src/", "bench/", "tests/"}},
@@ -120,6 +126,18 @@ const std::vector<const char*> kCacheWriterWhitelist = {
 // query_executor.cc issues the per-session batches, and
 // multi_client_engine.cc owns Reset between experiments.
 const std::vector<const char*> kDiskQueueWriterWhitelist = {
+    "src/storage/shared_disk.cc",
+    "src/engine/query_executor.cc",
+    "src/engine/multi_client_engine.cc",
+};
+
+// Translation units allowed to wire a FaultSchedule into storage
+// (AttachFaults). Keeping the seam here — the storage implementations
+// plus the two TUs that own the deterministic serving order — means a
+// fault can only ever fire inside the serial apply loop's timeline, so
+// injected failures stay bit-identical across worker counts.
+const std::vector<const char*> kFaultSeamWhitelist = {
+    "src/storage/disk_model.cc",
     "src/storage/shared_disk.cc",
     "src/engine/query_executor.cc",
     "src/engine/multi_client_engine.cc",
@@ -522,6 +540,8 @@ class FileScanner {
     CheckWriterRule("disk-queue-single-writer", kDiskQueueWriterWhitelist,
                     {"ServeBatch", "ServeOne", "Reset"}, {"disk", "queue"},
                     "serving-layer");
+    CheckWriterRule("fault-injection-seam", kFaultSeamWhitelist,
+                    {"AttachFaults"}, {"disk", "queue"}, "fault-seam");
   }
 
   void CheckHygiene() {
