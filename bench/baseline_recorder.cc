@@ -6,6 +6,7 @@
 /// committed ones, so perf changes to the query/cache core are visible
 /// in review. `--tiny` shrinks every scenario to CI-smoke size (seconds).
 
+#include <bit>
 #include <string>
 #include <vector>
 
@@ -433,6 +434,51 @@ void RecordMicroScenarios(Recorder* rec) {
       edges += graph.NumEdges();
     }
     RecordOrUse(rec, "graph_grid_hash",
+                scale.graph_reps * scale.graph_objects,
+                static_cast<double>(sw.ElapsedMicros()), edges);
+  }
+  // New raw-speed rows land after the rows above so earlier snapshots'
+  // row positions (and diff tooling keyed on them) stay comparable.
+  {
+    // Batched corner-hull prefilter (Frustum::HullOverlapBits) over a
+    // blocked-SoA slot array — the per-chunk rejection step of the
+    // directory walk, isolated. Workload shared with micro_core_ops
+    // BM_FrustumBatchHullTest via benchsupport.
+    constexpr uint32_t kBoxes = 4096;
+    const std::vector<double> blocks =
+        benchsupport::HullTestSlotBlocks(kBoxes);
+    const Frustum frustum = benchsupport::HullTestFrustum();
+    const size_t rounds = scale.rtree_queries;
+    uint64_t survivors = 0;
+    Stopwatch sw;
+    for (size_t r = 0; r < rounds; ++r) {
+      for (uint32_t base = 0; base < kBoxes; base += 64) {
+        survivors +=
+            std::popcount(frustum.HullOverlapBits(blocks.data(), base, 64));
+      }
+    }
+    RecordOrUse(rec, "frustum_batch_hull_test", rounds * kBoxes,
+                static_cast<double>(sw.ElapsedMicros()), survivors);
+  }
+  {
+    // Tiled grid-hash build with the tile count pinned (4), independent
+    // of the machine's worker-pool default — same workload as the
+    // graph_grid_hash row, so the trajectory captures the explicit
+    // fan-out + deterministic-merge path too.
+    const Aabb bounds(Vec3(0, 0, 0), Vec3(43, 43, 43));
+    const auto objects =
+        benchsupport::RandomObjects(scale.graph_objects, bounds, /*seed=*/3);
+    std::vector<GraphInput> inputs;
+    inputs.reserve(objects.size());
+    for (const auto& obj : objects) inputs.push_back(GraphInput{&obj, 0});
+    uint64_t edges = 0;
+    Stopwatch sw;
+    for (size_t r = 0; r < scale.graph_reps; ++r) {
+      SpatialGraph graph;
+      BuildGraphGridHashTiled(inputs, bounds, 32768, /*tiles=*/4, &graph);
+      edges += graph.NumEdges();
+    }
+    RecordOrUse(rec, "graph_grid_hash_parallel",
                 scale.graph_reps * scale.graph_objects,
                 static_cast<double>(sw.ElapsedMicros()), edges);
   }

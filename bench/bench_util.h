@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "engine/experiment.h"
 #include "index/flat_index.h"
 #include "index/rtree.h"
@@ -179,7 +180,13 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-/// Serializes one snapshot as a JSON object (no trailing newline).
+/// Serializes one snapshot as a JSON object (no trailing newline). The
+/// snapshot is stamped with the compiled SIMD lane backend
+/// (simd::kLaneName, "avx2" or "scalar"): micro rows recorded with
+/// different lane widths measure different code and must not be
+/// silently compared, so the diff surface carries the label. Snapshots
+/// recorded before the field existed have no "simd" key (treat as
+/// unknown backend).
 inline std::string BaselineSnapshotJson(
     const std::string& label, bool tiny,
     const std::vector<BaselineFigRow>& figs,
@@ -187,6 +194,7 @@ inline std::string BaselineSnapshotJson(
   std::ostringstream os;
   os << "    {\n      \"label\": \"" << JsonEscape(label) << "\",\n"
      << "      \"tiny\": " << (tiny ? "true" : "false") << ",\n"
+     << "      \"simd\": \"" << simd::kLaneName << "\",\n"
      << "      \"figs\": [\n";
   for (size_t i = 0; i < figs.size(); ++i) {
     const BaselineFigRow& r = figs[i];

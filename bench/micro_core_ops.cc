@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+
+#include "common/simd.h"
+#include "geom/frustum.h"
 #include "geom/grid.h"
 #include "geom/hilbert.h"
 #include "graph/graph_builder.h"
@@ -82,6 +86,44 @@ void BM_GraphGridHash(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_GraphGridHash)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_GraphGridHashSerial(benchmark::State& state) {
+  // The reference single-threaded builder (the differential oracle the
+  // tiled builder is pinned against) on the same workload as
+  // BM_GraphGridHash, so the serial-vs-tiled ratio reads off directly.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(43, 43, 43));
+  const auto objects = benchsupport::RandomObjects(n, bounds, 3);
+  std::vector<GraphInput> inputs;
+  for (const auto& obj : objects) inputs.push_back(GraphInput{&obj, 0});
+  for (auto _ : state) {
+    SpatialGraph graph;
+    benchmark::DoNotOptimize(
+        BuildGraphGridHashSerial(inputs, bounds, 32768, &graph));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GraphGridHashSerial)->Arg(2048);
+
+void BM_GraphGridHashParallel(benchmark::State& state) {
+  // Tiled builder with the tile count explicit (BM_GraphGridHash routes
+  // through it with the worker-pool default). Output is bit-identical to
+  // the serial build for every tile count; only the fan-out and merge
+  // cost vary, which is exactly what this row measures.
+  const size_t n = 2048;
+  const uint32_t tiles = static_cast<uint32_t>(state.range(0));
+  const Aabb bounds(Vec3(0, 0, 0), Vec3(43, 43, 43));
+  const auto objects = benchsupport::RandomObjects(n, bounds, 3);
+  std::vector<GraphInput> inputs;
+  for (const auto& obj : objects) inputs.push_back(GraphInput{&obj, 0});
+  for (auto _ : state) {
+    SpatialGraph graph;
+    benchmark::DoNotOptimize(
+        BuildGraphGridHashTiled(inputs, bounds, 32768, tiles, &graph));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GraphGridHashParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_GraphCsrTraverse(benchmark::State& state) {
   // Full exit-finding traversal (LabelComponents consumer shape) over the
@@ -214,6 +256,27 @@ void BM_FrustumPrefilteredQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FrustumPrefilteredQuery);
+
+void BM_FrustumBatchHullTest(benchmark::State& state) {
+  // Batched corner-hull AABB prefilter (Frustum::HullOverlapBits) over a
+  // blocked-SoA slot array: the per-chunk rejection step the directory
+  // walk runs before any exact plane test. Workload shared with the
+  // recorder's frustum_batch_hull_test row via benchsupport.
+  constexpr uint32_t kBoxes = 4096;
+  static_assert(kBoxes % 64 == 0);
+  const std::vector<double> blocks = benchsupport::HullTestSlotBlocks(kBoxes);
+  const Frustum frustum = benchsupport::HullTestFrustum();
+  uint64_t survivors = 0;
+  for (auto _ : state) {
+    for (uint32_t base = 0; base < kBoxes; base += 64) {
+      survivors += std::popcount(
+          frustum.HullOverlapBits(blocks.data(), base, 64));
+    }
+  }
+  benchmark::DoNotOptimize(survivors);
+  state.SetItemsProcessed(state.iterations() * kBoxes);
+}
+BENCHMARK(BM_FrustumBatchHullTest);
 
 void BM_FlatOrderedQuery(benchmark::State& state) {
   static auto index = []() {

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "geom/frustum.h"
 #include "geom/region.h"
 #include "index/box_rtree.h"
 #include "index/str_pack.h"
@@ -88,6 +89,40 @@ inline Region NextFrustumQuery(Rng* rng) {
       Vec3(rng->Uniform(30, 270), rng->Uniform(30, 270),
            rng->Uniform(30, 270)),
       dir, 80000.0);
+}
+
+/// Batch-hull-test workload, shared between the recorder's
+/// `frustum_batch_hull_test` row and micro_core_ops'
+/// BM_FrustumBatchHullTest: `n` random small boxes (seed 19) in
+/// [0,300]^3 laid out in BoxRTree's blocked-SoA slot format (groups of
+/// four slots, 24 contiguous doubles per group: min_x[4] min_y[4]
+/// min_z[4] max_x[4] max_y[4] max_z[4]), plus the fixed frustum the
+/// chunks are tested against. `n` must be a multiple of four (no tail
+/// padding needed).
+inline std::vector<double> HullTestSlotBlocks(size_t n) {
+  Rng rng(19);
+  std::vector<double> blocks(n * 6);
+  for (size_t slot = 0; slot < n; ++slot) {
+    const Aabb box = Aabb::FromCenterHalfExtents(
+        Vec3(rng.Uniform(0, 300), rng.Uniform(0, 300), rng.Uniform(0, 300)),
+        Vec3(rng.Uniform(0.1, 2), rng.Uniform(0.1, 2), rng.Uniform(0.1, 2)));
+    const size_t group = (slot & ~size_t{3}) * 6;
+    const size_t lane = slot & 3;
+    blocks[group + lane] = box.min().x;
+    blocks[group + 4 + lane] = box.min().y;
+    blocks[group + 8 + lane] = box.min().z;
+    blocks[group + 12 + lane] = box.max().x;
+    blocks[group + 16 + lane] = box.max().y;
+    blocks[group + 20 + lane] = box.max().z;
+  }
+  return blocks;
+}
+
+/// The frustum the hull-test workload runs against: volume 80000 looking
+/// diagonally through the middle of the [0,300]^3 box field.
+inline Frustum HullTestFrustum() {
+  return Frustum::WithVolume(Vec3(150, 150, 150),
+                             Vec3(1.0, 0.5, 0.25), 80000.0);
 }
 
 }  // namespace scout::benchsupport

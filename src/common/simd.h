@@ -1,0 +1,153 @@
+#pragma once
+
+// Portable 4-wide double-lane SIMD wrapper. This header is the ONLY
+// place raw vector intrinsics may appear (scout_lint `simd-isolation`);
+// everything else programs against the scout::simd:: operations below.
+//
+// Dispatch is purely compile-time: the AVX2 implementation is selected
+// when the build enables it (CMake option SCOUT_SIMD=auto|avx2 defines
+// SCOUT_SIMD_AVX2 and passes -mavx2), otherwise a scalar implementation
+// with identical semantics compiles in — same API, same results, so a
+// scalar-fallback build (SCOUT_SIMD=scalar, CI-enforced) differs only
+// in speed. kLaneName feeds the bench snapshot metadata: baseline rows
+// recorded with different lane widths are not comparable, and the
+// recorder labels each snapshot so such diffs are visible.
+//
+// All comparisons are quiet-ordered on the AVX2 side and use plain
+// C++ comparison operators on the scalar side; both return false for
+// NaN operands, so lane masks are bit-identical across backends.
+
+#include <cmath>
+#include <cstdint>
+
+#if defined(SCOUT_SIMD_AVX2) && defined(__AVX2__)
+#include <immintrin.h>
+#define SCOUT_SIMD_IS_AVX2 1
+#else
+#define SCOUT_SIMD_IS_AVX2 0
+#endif
+
+namespace scout::simd {
+
+/// Lane count of the wide type (fixed: the SoA layouts pad to it).
+inline constexpr int kLanes = 4;
+
+/// Name of the compiled lane backend, recorded in snapshot metadata.
+inline constexpr const char* kLaneName = SCOUT_SIMD_IS_AVX2 ? "avx2"
+                                                           : "scalar";
+
+#if SCOUT_SIMD_IS_AVX2
+
+/// Four double lanes.
+struct Vec4d {
+  __m256d v;
+};
+
+/// Predicate over four lanes (result of comparisons; combined with
+/// And/Or; materialized as 4 bits by Bits()).
+struct Mask4 {
+  __m256d m;
+};
+
+inline Vec4d Load(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void Store(double* p, Vec4d a) { _mm256_storeu_pd(p, a.v); }
+inline Vec4d Broadcast(double x) { return {_mm256_set1_pd(x)}; }
+inline Vec4d Set(double a, double b, double c, double d) {
+  return {_mm256_setr_pd(a, b, c, d)};
+}
+inline Vec4d Add(Vec4d a, Vec4d b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline Vec4d Sub(Vec4d a, Vec4d b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline Vec4d Mul(Vec4d a, Vec4d b) { return {_mm256_mul_pd(a.v, b.v)}; }
+/// Lane-wise IEEE division. Correctly rounded per lane, so results are
+/// bit-identical to the scalar `/` operator on every backend.
+inline Vec4d Div(Vec4d a, Vec4d b) { return {_mm256_div_pd(a.v, b.v)}; }
+/// Lane-wise floor; identical to std::floor per lane (round toward
+/// negative infinity, exceptions suppressed).
+inline Vec4d Floor(Vec4d a) {
+  return {_mm256_round_pd(a.v, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC)};
+}
+
+/// Lane-wise a <= b (false when either operand is NaN).
+inline Mask4 CmpLe(Vec4d a, Vec4d b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+}
+/// Lane-wise a >= b (false when either operand is NaN).
+inline Mask4 CmpGe(Vec4d a, Vec4d b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+}
+inline Mask4 And(Mask4 a, Mask4 b) { return {_mm256_and_pd(a.m, b.m)}; }
+
+/// Lane predicate bits: bit i set iff lane i is true.
+inline uint32_t Bits(Mask4 m) {
+  return static_cast<uint32_t>(_mm256_movemask_pd(m.m));
+}
+
+#else  // scalar fallback: same API, same lane semantics.
+
+struct Vec4d {
+  double v[4];
+};
+
+struct Mask4 {
+  uint32_t bits;
+};
+
+inline Vec4d Load(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+inline void Store(double* p, Vec4d a) {
+  p[0] = a.v[0];
+  p[1] = a.v[1];
+  p[2] = a.v[2];
+  p[3] = a.v[3];
+}
+inline Vec4d Broadcast(double x) { return {{x, x, x, x}}; }
+inline Vec4d Set(double a, double b, double c, double d) {
+  return {{a, b, c, d}};
+}
+inline Vec4d Add(Vec4d a, Vec4d b) {
+  return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2],
+           a.v[3] + b.v[3]}};
+}
+inline Vec4d Sub(Vec4d a, Vec4d b) {
+  return {{a.v[0] - b.v[0], a.v[1] - b.v[1], a.v[2] - b.v[2],
+           a.v[3] - b.v[3]}};
+}
+inline Vec4d Mul(Vec4d a, Vec4d b) {
+  return {{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2],
+           a.v[3] * b.v[3]}};
+}
+/// Lane-wise IEEE division. Correctly rounded per lane, so results are
+/// bit-identical to the scalar `/` operator on every backend.
+inline Vec4d Div(Vec4d a, Vec4d b) {
+  return {{a.v[0] / b.v[0], a.v[1] / b.v[1], a.v[2] / b.v[2],
+           a.v[3] / b.v[3]}};
+}
+/// Lane-wise floor; identical to std::floor per lane (round toward
+/// negative infinity, exceptions suppressed).
+inline Vec4d Floor(Vec4d a) {
+  return {{std::floor(a.v[0]), std::floor(a.v[1]), std::floor(a.v[2]),
+           std::floor(a.v[3])}};
+}
+
+inline Mask4 CmpLe(Vec4d a, Vec4d b) {
+  uint32_t bits = 0;
+  for (int i = 0; i < kLanes; ++i) {
+    if (a.v[i] <= b.v[i]) bits |= 1u << i;
+  }
+  return {bits};
+}
+inline Mask4 CmpGe(Vec4d a, Vec4d b) {
+  uint32_t bits = 0;
+  for (int i = 0; i < kLanes; ++i) {
+    if (a.v[i] >= b.v[i]) bits |= 1u << i;
+  }
+  return {bits};
+}
+inline Mask4 And(Mask4 a, Mask4 b) { return {a.bits & b.bits}; }
+inline uint32_t Bits(Mask4 m) { return m.bits; }
+
+#endif
+
+/// Bits of the lanes [0, n) for a partial group (n in [0, kLanes]).
+inline uint32_t TailMask(uint32_t n) { return (1u << n) - 1u; }
+
+}  // namespace scout::simd

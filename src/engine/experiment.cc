@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "engine/multi_client_engine.h"
-#include "engine/worker_pool.h"
+#include "common/worker_pool.h"
 #include "prefetch/no_prefetch.h"
 
 namespace scout {

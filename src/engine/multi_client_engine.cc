@@ -4,7 +4,7 @@
 #include <atomic>
 #include <utility>
 
-#include "engine/worker_pool.h"
+#include "common/worker_pool.h"
 #include "prefetch/no_prefetch.h"
 
 namespace scout {

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace scout {
 
 namespace {
@@ -126,6 +128,33 @@ bool Frustum::IntersectsPrefiltered(const Aabb& box) const {
     return false;
   }
   return Intersects(box);
+}
+
+uint64_t Frustum::HullOverlapBits(const double* blocks, uint32_t base,
+                                  uint32_t count) const {
+  // Lane-parallel form of the scalar reject in IntersectsPrefiltered:
+  // box overlaps the hull iff max >= hull.min and min <= hull.max on all
+  // three axes. Identical comparisons, so the bitmask matches the scalar
+  // test lane for lane on both SIMD backends.
+  const simd::Vec4d hminx = simd::Broadcast(bounds_.min().x);
+  const simd::Vec4d hminy = simd::Broadcast(bounds_.min().y);
+  const simd::Vec4d hminz = simd::Broadcast(bounds_.min().z);
+  const simd::Vec4d hmaxx = simd::Broadcast(bounds_.max().x);
+  const simd::Vec4d hmaxy = simd::Broadcast(bounds_.max().y);
+  const simd::Vec4d hmaxz = simd::Broadcast(bounds_.max().z);
+  uint64_t bits = 0;
+  const double* blk = blocks + base * 6;
+  for (uint32_t g = 0; g < count; g += simd::kLanes, blk += 24) {
+    const simd::Mask4 m = simd::And(
+        simd::And(simd::And(simd::CmpGe(simd::Load(blk + 12), hminx),
+                            simd::CmpLe(simd::Load(blk), hmaxx)),
+                  simd::And(simd::CmpGe(simd::Load(blk + 16), hminy),
+                            simd::CmpLe(simd::Load(blk + 4), hmaxy))),
+        simd::And(simd::CmpGe(simd::Load(blk + 20), hminz),
+                  simd::CmpLe(simd::Load(blk + 8), hmaxz)));
+    bits |= static_cast<uint64_t>(simd::Bits(m)) << g;
+  }
+  return count >= 64 ? bits : bits & ((1ull << count) - 1);
 }
 
 bool Frustum::ContainsBox(const Aabb& box) const {

@@ -62,6 +62,19 @@ class Frustum {
   /// as the reference the differential tests diff against.
   bool IntersectsPrefiltered(const Aabb& box) const;
 
+  /// Batch form of the corner-hull AABB prefilter inside
+  /// IntersectsPrefiltered(): tests `count` (<= 64) boxes stored in a
+  /// blocked-SoA slot array at slots [base, base + count) against
+  /// Bounds() and returns a bitmask (bit i = box at base + i overlaps
+  /// the hull). `base` must be simd::kLanes-aligned, and each lane
+  /// group occupies 24 contiguous doubles at blocks[slot * 6]:
+  /// min_x[4] min_y[4] min_z[4] max_x[4] max_y[4] max_z[4] (BoxRTree's
+  /// slot-block layout; tail lanes must be padded). Survivors still
+  /// need the exact plane test (Intersects) to reproduce the
+  /// prefiltered accept set.
+  uint64_t HullOverlapBits(const double* blocks, uint32_t base,
+                           uint32_t count) const;
+
   /// Exact full-containment test: true iff every corner of the box lies
   /// inside all six planes (the frustum is their intersection). Uses the
   /// precomputed n-vertex (min-dot corner) per plane.

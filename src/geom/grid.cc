@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace scout {
 
 UniformGrid::UniformGrid(const Aabb& bounds, int nx, int ny, int nz)
@@ -76,64 +78,7 @@ void UniformGrid::CellsOverlapping(const Aabb& box,
 
 void UniformGrid::CellsAlongSegment(const Segment& seg,
                                     std::vector<int64_t>* out) const {
-  double t0;
-  double t1;
-  if (!seg.ClipToBox(bounds_, &t0, &t1)) return;
-  const Vec3 start = seg.PointAt(t0);
-  const Vec3 end = seg.PointAt(t1);
-
-  CellCoords cur = CellOf(start);
-  const CellCoords last = CellOf(end);
-  out->push_back(FlatIndex(cur));
-  if (cur == last) return;
-
-  // Amanatides & Woo 3-D DDA traversal.
-  const Vec3 d = end - start;
-  const double dir[3] = {d.x, d.y, d.z};
-  const double size[3] = {cell_size_.x, cell_size_.y, cell_size_.z};
-  const double origin[3] = {start.x, start.y, start.z};
-  const double lo[3] = {bounds_.min().x, bounds_.min().y, bounds_.min().z};
-  int32_t pos[3] = {cur.x, cur.y, cur.z};
-  const int32_t target[3] = {last.x, last.y, last.z};
-  const int32_t limit[3] = {nx_ - 1, ny_ - 1, nz_ - 1};
-
-  int step[3];
-  double t_max[3];
-  double t_delta[3];
-  for (int i = 0; i < 3; ++i) {
-    if (dir[i] > 0) {
-      step[i] = 1;
-      const double next_boundary = lo[i] + (pos[i] + 1) * size[i];
-      t_max[i] = (next_boundary - origin[i]) / dir[i];
-      t_delta[i] = size[i] / dir[i];
-    } else if (dir[i] < 0) {
-      step[i] = -1;
-      const double next_boundary = lo[i] + pos[i] * size[i];
-      t_max[i] = (next_boundary - origin[i]) / dir[i];
-      t_delta[i] = -size[i] / dir[i];
-    } else {
-      step[i] = 0;
-      t_max[i] = std::numeric_limits<double>::max();
-      t_delta[i] = std::numeric_limits<double>::max();
-    }
-  }
-
-  // Cap iterations defensively; a straight walk can visit at most
-  // nx+ny+nz cells.
-  const int max_steps = nx_ + ny_ + nz_ + 3;
-  for (int it = 0; it < max_steps; ++it) {
-    int axis = 0;
-    if (t_max[1] < t_max[axis]) axis = 1;
-    if (t_max[2] < t_max[axis]) axis = 2;
-    pos[axis] += step[axis];
-    if (pos[axis] < 0 || pos[axis] > limit[axis]) break;
-    t_max[axis] += t_delta[axis];
-    out->push_back(
-        FlatIndex(CellCoords{pos[0], pos[1], pos[2]}));
-    if (pos[0] == target[0] && pos[1] == target[1] && pos[2] == target[2]) {
-      break;
-    }
-  }
+  WalkCellsAlongSegment(seg, [out](int64_t cell) { out->push_back(cell); });
 }
 
 }  // namespace scout

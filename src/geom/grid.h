@@ -1,8 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "common/simd.h"
 #include "geom/aabb.h"
 #include "geom/segment.h"
 #include "geom/vec3.h"
@@ -67,6 +70,156 @@ class UniformGrid {
   /// voxel walk; clips the segment to the grid bounds first). This is how
   /// a cylinder-reduced-to-a-line is hashed to grid cells (Figure 4).
   void CellsAlongSegment(const Segment& seg, std::vector<int64_t>* out) const;
+
+  /// The DDA voxel walk behind CellsAlongSegment, generic over the sink:
+  /// `emit(int64_t flat_cell)` is called once per traversed cell, in
+  /// walk order. Callers that post-process every cell (the grid-hash
+  /// graph builder packs each one into a radix key) inline their sink
+  /// here instead of staging through a vector; the emitted cell sequence
+  /// is identical either way.
+  template <typename Emit>
+  void WalkCellsAlongSegment(const Segment& seg, const Emit& emit) const {
+    double t0 = 0.0;
+    double t1 = 1.0;
+    // Segments with both endpoints inside the grid (the common case for
+    // scene-scale grids) clip to exactly [0, 1]: per axis the near slab
+    // parameter is <= 0 and the far one >= 1, and IEEE rounding is
+    // monotone, so ClipToBox would return these values bit-for-bit. Skip
+    // the six slab divisions; everything downstream (PointAt(0),
+    // PointAt(1), the DDA) is computed identically either way.
+    if (!(bounds_.Contains(seg.a) && bounds_.Contains(seg.b)) &&
+        !seg.ClipToBox(bounds_, &t0, &t1)) {
+      return;
+    }
+    const Vec3 start = seg.PointAt(t0);
+    const Vec3 end = seg.PointAt(t1);
+
+    // Both endpoints' cell coordinates, with the six CellOf divisions
+    // issued as two SIMD divisions. Every lane computes exactly the
+    // scalar expression floor((v - lo) / size) with IEEE-identical
+    // division and floor, so the coordinates match CellOf bit for bit;
+    // degenerate (zero-extent) cell sizes take the scalar path, which
+    // CellOf guards per axis.
+    CellCoords cur;
+    CellCoords last;
+    if (cell_size_.x > 0.0 && cell_size_.y > 0.0 && cell_size_.z > 0.0) {
+      double q[8];
+      simd::Store(
+          q, simd::Floor(simd::Div(
+                 simd::Sub(simd::Set(start.x, start.y, start.z, end.x),
+                           simd::Set(bounds_.min().x, bounds_.min().y,
+                                     bounds_.min().z, bounds_.min().x)),
+                 simd::Set(cell_size_.x, cell_size_.y, cell_size_.z,
+                           cell_size_.x))));
+      simd::Store(
+          q + 4, simd::Floor(simd::Div(
+                     simd::Sub(simd::Set(end.y, end.z, 0.0, 0.0),
+                               simd::Set(bounds_.min().y, bounds_.min().z,
+                                         0.0, 0.0)),
+                     simd::Set(cell_size_.y, cell_size_.z, 1.0, 1.0))));
+      cur = CellCoords{std::clamp(static_cast<int>(q[0]), 0, nx_ - 1),
+                       std::clamp(static_cast<int>(q[1]), 0, ny_ - 1),
+                       std::clamp(static_cast<int>(q[2]), 0, nz_ - 1)};
+      last = CellCoords{std::clamp(static_cast<int>(q[3]), 0, nx_ - 1),
+                        std::clamp(static_cast<int>(q[4]), 0, ny_ - 1),
+                        std::clamp(static_cast<int>(q[5]), 0, nz_ - 1)};
+    } else {
+      cur = CellOf(start);
+      last = CellOf(end);
+    }
+    emit(FlatIndex(cur));
+    if (cur == last) return;
+
+    // Amanatides & Woo 3-D DDA traversal.
+    const Vec3 d = end - start;
+    const double dir[3] = {d.x, d.y, d.z};
+    const double size[3] = {cell_size_.x, cell_size_.y, cell_size_.z};
+    const double origin[3] = {start.x, start.y, start.z};
+    const double lo[3] = {bounds_.min().x, bounds_.min().y, bounds_.min().z};
+    int32_t pos[3] = {cur.x, cur.y, cur.z};
+    const int32_t target[3] = {last.x, last.y, last.z};
+    const int32_t limit[3] = {nx_ - 1, ny_ - 1, nz_ - 1};
+
+    // Setup is branch-free on the direction signs (they are effectively
+    // random per axis, so sign branches mispredict half the time): step
+    // comes from setcc arithmetic, the six divisions issue as two SIMD
+    // divisions, and negative-direction t_delta is recovered with fabs
+    // — IEEE rounding is sign-symmetric, so |size / dir| equals the
+    // original -size / dir bit for bit (size / dir is negative exactly
+    // when dir < 0). Zero direction lanes divide by a patched 1.0 and
+    // are overwritten with the sentinel on the (cold) step == 0 branch.
+    int step[3];
+    double t_max[3];
+    double t_delta[3];
+    double num[3];
+    double dsafe[3];
+    for (int i = 0; i < 3; ++i) {
+      const int up = dir[i] > 0 ? 1 : 0;
+      const int down = dir[i] < 0 ? 1 : 0;
+      step[i] = up - down;
+      num[i] = lo[i] + (pos[i] + up) * size[i] - origin[i];
+      dsafe[i] = step[i] != 0 ? dir[i] : 1.0;
+    }
+    double qd[8];
+    simd::Store(qd,
+                simd::Div(simd::Set(num[0], num[1], num[2], size[0]),
+                          simd::Set(dsafe[0], dsafe[1], dsafe[2], dsafe[0])));
+    simd::Store(qd + 4, simd::Div(simd::Set(size[1], size[2], 1.0, 1.0),
+                                  simd::Set(dsafe[1], dsafe[2], 1.0, 1.0)));
+    const double td[3] = {qd[3], qd[4], qd[5]};
+    for (int i = 0; i < 3; ++i) {
+      t_max[i] = qd[i];
+      t_delta[i] = std::fabs(td[i]);
+      if (step[i] == 0) {
+        t_max[i] = std::numeric_limits<double>::max();
+        t_delta[i] = std::numeric_limits<double>::max();
+      }
+    }
+
+    // Cap iterations defensively; a straight walk can visit at most
+    // nx+ny+nz cells. The flat index is maintained incrementally (each
+    // step moves one cell along one axis, i.e. one stride), replacing
+    // the two multiplies of FlatIndex per emitted cell with one add —
+    // the integer result is identical by construction. State lives in
+    // scalars and every per-step choice is a select (the stepped axis
+    // is data-dependent-random, so an axis branch would mispredict most
+    // iterations); the axis comparisons replicate the reference
+    // `axis = 0; if (t_max[1] < t_max[axis]) axis = 1; if (t_max[2] <
+    // t_max[axis]) axis = 2;` chain exactly, strict < keeping the
+    // earlier axis on ties.
+    const int64_t jump[3] = {step[0], step[1] * static_cast<int64_t>(nx_),
+                             step[2] * static_cast<int64_t>(nx_) * ny_};
+    int64_t flat = FlatIndex(cur);
+    double tmx = t_max[0];
+    double tmy = t_max[1];
+    double tmz = t_max[2];
+    int px = pos[0];
+    int py = pos[1];
+    int pz = pos[2];
+    const int max_steps = nx_ + ny_ + nz_ + 3;
+    for (int it = 0; it < max_steps; ++it) {
+      const int axis01 = tmy < tmx ? 1 : 0;
+      const double tm01 = tmy < tmx ? tmy : tmx;
+      const int axis = tmz < tm01 ? 2 : axis01;
+      const int npx = px + (axis == 0 ? step[0] : 0);
+      const int npy = py + (axis == 1 ? step[1] : 0);
+      const int npz = pz + (axis == 2 ? step[2] : 0);
+      const int moved = axis == 0 ? npx : (axis == 1 ? npy : npz);
+      const int lim = axis == 0 ? limit[0] : (axis == 1 ? limit[1] : limit[2]);
+      px = npx;
+      py = npy;
+      pz = npz;
+      if (moved < 0 || moved > lim) break;
+      tmx = axis == 0 ? tmx + t_delta[0] : tmx;
+      tmy = axis == 1 ? tmy + t_delta[1] : tmy;
+      tmz = axis == 2 ? tmz + t_delta[2] : tmz;
+      flat += axis == 0 ? jump[0] : (axis == 1 ? jump[1] : jump[2]);
+      emit(flat);
+      if (((px ^ target[0]) | (py ^ target[1]) | (pz ^ target[2])) == 0) {
+        break;
+      }
+    }
+  }
 
  private:
   Aabb bounds_;

@@ -66,6 +66,34 @@ GraphBuildStats BuildGraphGridHash(std::span<const GraphInput> inputs,
                                    const Aabb& bounds, int64_t total_cells,
                                    SpatialGraph* graph);
 
+/// The tiled builder behind BuildGraphGridHash, with the tile count
+/// explicit (testing / tuning knob). The per-object DDA hashing is
+/// sharded into `tiles` contiguous vertex ranges fanned out over the
+/// engine worker pool, and the per-tile (cell, vertex) arenas are
+/// concatenated in ascending tile order — exactly the order the serial
+/// builder appends them — before the shared grouping / sweep phases
+/// run. Dense grids group the arena into per-cell runs by a stable
+/// radix sort over packed (cell, vertex) keys; sweeping cells in
+/// ascending-index order instead of the serial builder's first-touch
+/// order is unobservable, because the stats counters are
+/// order-independent sums and SpatialGraph::Finalize sorts and dedups
+/// the edge buffer. The graph CSR and every stats counter are therefore
+/// bit-identical to BuildGraphGridHashSerial for every tile count (the
+/// parallel differential tests pin this across 1/2/4/8 tiles).
+GraphBuildStats BuildGraphGridHashTiled(std::span<const GraphInput> inputs,
+                                        const Aabb& bounds,
+                                        int64_t total_cells, uint32_t tiles,
+                                        SpatialGraph* graph);
+
+/// Reference single-threaded grid-hash implementation, kept as the
+/// differential oracle the tiled builder is diffed against. No scratch
+/// reuse, no tiling — the shape that is easiest to audit against the
+/// paper's Figure 4 description.
+GraphBuildStats BuildGraphGridHashSerial(std::span<const GraphInput> inputs,
+                                         const Aabb& bounds,
+                                         int64_t total_cells,
+                                         SpatialGraph* graph);
+
 /// Reference O(n^2) construction connecting objects whose line segments
 /// pass within `epsilon` of each other. Used by tests as ground truth for
 /// the grid-hash approximation and by the brute-force ablation.

@@ -1,8 +1,52 @@
 #include "graph/spatial_graph.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 namespace scout {
+
+namespace {
+
+// Ascending sort of packed (min << 32) | max edge keys by LSD radix:
+// stable byte passes over the max half then the min half give exactly
+// the numeric order std::sort produces, in a handful of sequential
+// streaming passes instead of comparison-sorting random data. Only the
+// bytes a vertex id can occupy are passed over (ids are < num_vertices,
+// and both halves span the same id range).
+void RadixSortEdges(std::vector<uint64_t>* edges, size_t num_vertices) {
+  const uint32_t id_bytes = std::max<uint32_t>(
+      1, (std::bit_width(static_cast<uint64_t>(num_vertices - 1)) + 7) / 8);
+  std::vector<uint64_t> tmp(edges->size());
+  uint64_t* src = edges->data();
+  uint64_t* dst = tmp.data();
+  uint32_t hist[256];
+  for (uint32_t p = 0; p < 2 * id_bytes; ++p) {
+    const uint32_t shift = p < id_bytes ? 8 * p : 32 + 8 * (p - id_bytes);
+    std::memset(hist, 0, sizeof(hist));
+    for (size_t i = 0; i < edges->size(); ++i) {
+      ++hist[(src[i] >> shift) & 255];
+    }
+    uint32_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      const uint32_t c = hist[b];
+      hist[b] = sum;
+      sum += c;
+    }
+    for (size_t i = 0; i < edges->size(); ++i) {
+      const uint64_t k = src[i];
+      dst[hist[(k >> shift) & 255]++] = k;
+    }
+    std::swap(src, dst);
+  }
+  // 2 * id_bytes passes is even, so the data ends up back in `edges`;
+  // the copy below only runs if that invariant is ever broken.
+  if (src != edges->data()) {
+    std::copy(src, src + edges->size(), edges->data());
+  }
+}
+
+}  // namespace
 
 void SpatialGraph::Finalize() {
   // Idempotent: a second call must not rebuild from the (now released)
@@ -12,8 +56,14 @@ void SpatialGraph::Finalize() {
   offsets_.assign(n + 1, 0);
 
   // Dedup: edges are packed (min << 32) | max, so one sort + unique over
-  // the flat buffer removes parallel edges in both orientations.
-  std::sort(pending_edges_.begin(), pending_edges_.end());
+  // the flat buffer removes parallel edges in both orientations. Tiny
+  // buffers comparison-sort (identical order either way); larger ones
+  // radix-sort.
+  if (pending_edges_.size() < 64) {
+    std::sort(pending_edges_.begin(), pending_edges_.end());
+  } else {
+    RadixSortEdges(&pending_edges_, n);
+  }
   pending_edges_.erase(
       std::unique(pending_edges_.begin(), pending_edges_.end()),
       pending_edges_.end());

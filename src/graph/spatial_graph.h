@@ -51,6 +51,16 @@ class SpatialGraph {
     return static_cast<VertexId>(vertices_.size() - 1);
   }
 
+  /// Bulk form of AddVertex for builders: appends `n` default-constructed
+  /// vertices and returns the span to fill in place (skips the per-push
+  /// bookkeeping and copy). Only valid before Finalize().
+  std::span<GraphVertex> AppendVertices(size_t n) {
+    assert(!finalized_);
+    const size_t old = vertices_.size();
+    vertices_.resize(old + n);
+    return std::span<GraphVertex>(vertices_.data() + old, n);
+  }
+
   /// Buffers an undirected edge. Self-loops are ignored; duplicates are
   /// removed by Finalize(). Only valid before Finalize().
   void AddEdge(VertexId a, VertexId b) {

@@ -1,11 +1,27 @@
 #include "index/box_rtree.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <queue>
 
+#include "common/simd.h"
+
 namespace scout {
+
+// The blocked slot layout packs one SIMD lane group per block; if the
+// wrapper's lane width ever changes, the layout must follow.
+static_assert(BoxRTree::kSlotGroup == simd::kLanes);
+
+namespace {
+
+// Bits [0, count) set, for count in [0, 64].
+inline uint64_t FullMask(uint32_t count) {
+  return count >= 64 ? ~0ull : (1ull << count) - 1;
+}
+
+}  // namespace
 
 void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
                         std::vector<uint32_t> payloads, size_t fanout) {
@@ -15,12 +31,7 @@ void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
   // on a compiled-out assert now that the knob is public API.
   fanout = std::max<size_t>(2, fanout);
   nodes_.clear();
-  slot_min_x_.clear();
-  slot_min_y_.clear();
-  slot_min_z_.clear();
-  slot_max_x_.clear();
-  slot_max_y_.clear();
-  slot_max_z_.clear();
+  slot_blocks_.clear();
   entry_boxes_ = std::move(boxes);
   entry_payloads_ = std::move(payloads);
   leaf_count_ = entry_boxes_.size();
@@ -64,45 +75,63 @@ void BoxRTree::BulkLoad(std::vector<Aabb> boxes,
   // The contained-subtree stack tag claims the node index MSB.
   assert(nodes_.size() < kContainedTag);
 
-  // Pack every node's child AABBs into contiguous SoA slots, in child
-  // order: entry boxes for leaves, child-node bounds for internal nodes.
-  // The walk only ever touches these six flat arrays (plus payloads),
-  // never the Aabb members scattered across Node structs.
+  // Pack every node's child AABBs into contiguous blocked-SoA slots, in
+  // child order: entry boxes for leaves, child-node bounds for internal
+  // nodes. The walk only ever touches this one flat array (plus
+  // payloads), never the Aabb members scattered across Node structs, so
+  // each leaf scan is a single sequential cache stream. Every node's
+  // slot run is padded up to a whole number of kSlotGroup-wide blocks
+  // with inverted sentinel boxes (min = +huge, max = -huge): the SIMD
+  // lane loads never cross into another node's slots, sentinel lanes
+  // fail every overlap compare, and the mask functors clear tail bits
+  // regardless.
   size_t total_slots = 0;
-  for (const Node& node : nodes_) total_slots += node.count;
-  slot_min_x_.reserve(total_slots);
-  slot_min_y_.reserve(total_slots);
-  slot_min_z_.reserve(total_slots);
-  slot_max_x_.reserve(total_slots);
-  slot_max_y_.reserve(total_slots);
-  slot_max_z_.reserve(total_slots);
+  for (const Node& node : nodes_) {
+    total_slots += (node.count + kSlotGroup - 1) / kSlotGroup * kSlotGroup;
+  }
+  slot_blocks_.reserve(total_slots * 6);
+  uint32_t next_slot = 0;
   for (Node& node : nodes_) {
-    node.slot_begin = static_cast<uint32_t>(slot_min_x_.size());
-    for (uint32_t i = 0; i < node.count; ++i) {
-      const Aabb& box = node.is_leaf
-                            ? entry_boxes_[node.entry_begin + i]
-                            : nodes_[node.first_child + i].bounds;
-      slot_min_x_.push_back(box.min().x);
-      slot_min_y_.push_back(box.min().y);
-      slot_min_z_.push_back(box.min().z);
-      slot_max_x_.push_back(box.max().x);
-      slot_max_y_.push_back(box.max().y);
-      slot_max_z_.push_back(box.max().z);
+    node.slot_begin = next_slot;
+    const uint32_t padded =
+        (node.count + kSlotGroup - 1) / kSlotGroup * kSlotGroup;
+    next_slot += padded;
+    for (uint32_t g = 0; g < padded; g += kSlotGroup) {
+      for (int comp = 0; comp < 6; ++comp) {
+        for (uint32_t lane = 0; lane < kSlotGroup; ++lane) {
+          const uint32_t i = g + lane;
+          if (i >= node.count) {
+            slot_blocks_.push_back(comp < 3
+                                       ? std::numeric_limits<double>::max()
+                                       : std::numeric_limits<double>::lowest());
+            continue;
+          }
+          const Aabb& box = node.is_leaf
+                                ? entry_boxes_[node.entry_begin + i]
+                                : nodes_[node.first_child + i].bounds;
+          const Vec3& corner = comp < 3 ? box.min() : box.max();
+          slot_blocks_.push_back(comp % 3 == 0   ? corner.x
+                                 : comp % 3 == 1 ? corner.y
+                                                 : corner.z);
+        }
+      }
     }
   }
 }
 
-template <typename OverlapsSlot, typename ContainsSlot>
-void BoxRTree::Walk(const OverlapsSlot& overlaps, const ContainsSlot& contains,
-                    std::vector<uint32_t>* out) const {
+template <typename NodeMasks>
+void BoxRTree::Walk(const NodeMasks& masks, std::vector<uint32_t>* out) const {
   if (leaf_count_ == 0) return;
   out->reserve(out->size() + fanout_);
-  // Iterative DFS: a popped node tests all of its children in one flat
-  // SoA loop and pushes the overlapping ones in reverse, so entries come
-  // out in bulk-load order. Subtrees the query fully contains are pushed
-  // with the contained tag and batch-append their entry run on pop. The
-  // root is expanded unconditionally (its bounds are not in any slot);
-  // if the query misses the tree entirely, its child tests all fail.
+  // Iterative DFS: a popped node tests all of its children as lane-group
+  // bitmasks over the flat SoA slots and pushes the overlapping ones in
+  // descending bit order, so entries come out in bulk-load order.
+  // Subtrees the query fully contains are pushed with the contained tag
+  // and batch-append their entry run on pop. The root is expanded
+  // unconditionally (its bounds are not in any slot); if the query
+  // misses the tree entirely, its child masks all come back zero.
+  // Degenerate runtime fanouts above 64 are chunked into <= 64-child
+  // mask groups (ascending for leaves, descending for pushes).
   uint32_t inline_stack[kMaxTraversalStack];
   uint32_t* stack = inline_stack;
   size_t capacity = kMaxTraversalStack;
@@ -118,11 +147,27 @@ void BoxRTree::Walk(const OverlapsSlot& overlaps, const ContainsSlot& contains,
                   entry_payloads_.begin() + node.entry_end);
       continue;
     }
-    const uint32_t base = node.slot_begin;
     if (node.is_leaf) {
-      for (uint32_t i = 0; i < node.count; ++i) {
-        if (overlaps(base + i)) {
-          out->push_back(entry_payloads_[node.entry_begin + i]);
+      const uint32_t* run = entry_payloads_.data() + node.entry_begin;
+      for (uint32_t chunk = 0; chunk < node.count; chunk += 64) {
+        const uint32_t ccount = std::min<uint32_t>(64, node.count - chunk);
+        uint64_t overlap = 0;
+        uint64_t contain = 0;
+        masks(node.slot_begin + chunk, ccount, /*want_contain=*/false,
+              &overlap, &contain);
+        if (overlap == 0) continue;
+        const uint32_t* chunk_run = run + chunk;
+        if (overlap == FullMask(ccount)) {
+          // Every entry matched: one batch append, no bit iteration.
+          out->insert(out->end(), chunk_run, chunk_run + ccount);
+          continue;
+        }
+        const size_t write = out->size();
+        out->resize(write + static_cast<size_t>(std::popcount(overlap)));
+        uint32_t* dst = out->data() + write;
+        while (overlap != 0) {
+          *dst++ = chunk_run[std::countr_zero(overlap)];
+          overlap &= overlap - 1;
         }
       }
       continue;
@@ -139,11 +184,20 @@ void BoxRTree::Walk(const OverlapsSlot& overlaps, const ContainsSlot& contains,
       stack = heap.data();
       capacity = heap.size();
     }
-    for (uint32_t i = node.count; i > 0; --i) {
-      const uint32_t slot = base + i - 1;
-      if (overlaps(slot)) {
-        const uint32_t child = node.first_child + i - 1;
-        stack[top++] = contains(slot) ? (child | kContainedTag) : child;
+    const uint32_t num_chunks = (node.count + 63) / 64;
+    for (uint32_t ci = num_chunks; ci > 0; --ci) {
+      const uint32_t chunk = (ci - 1) * 64;
+      const uint32_t ccount = std::min<uint32_t>(64, node.count - chunk);
+      uint64_t overlap = 0;
+      uint64_t contain = 0;
+      masks(node.slot_begin + chunk, ccount, /*want_contain=*/true, &overlap,
+            &contain);
+      const uint32_t child_base = node.first_child + chunk;
+      while (overlap != 0) {
+        const int i = 63 - std::countl_zero(overlap);
+        overlap &= ~(1ull << i);
+        const uint32_t child = child_base + static_cast<uint32_t>(i);
+        stack[top++] = ((contain >> i) & 1) ? (child | kContainedTag) : child;
       }
     }
   }
@@ -162,27 +216,40 @@ void BoxRTree::Query(const Region& region, std::vector<uint32_t>* out) const {
   // directly over the flat slot arrays, and only hull survivors pay the
   // six-plane test.
   const Frustum& frustum = region.frustum();
-  const Vec3 hmin = frustum.Bounds().min();
-  const Vec3 hmax = frustum.Bounds().max();
-  const double* sminx = slot_min_x_.data();
-  const double* sminy = slot_min_y_.data();
-  const double* sminz = slot_min_z_.data();
-  const double* smaxx = slot_max_x_.data();
-  const double* smaxy = slot_max_y_.data();
-  const double* smaxz = slot_max_z_.data();
+  const double* blocks = slot_blocks_.data();
   const auto slot_box = [&](uint32_t s) {
-    return Aabb(Vec3(sminx[s], sminy[s], sminz[s]),
-                Vec3(smaxx[s], smaxy[s], smaxz[s]));
+    const double* blk = blocks + (s & ~(kSlotGroup - 1)) * 6;
+    const uint32_t lane = s & (kSlotGroup - 1);
+    return Aabb(Vec3(blk[lane], blk[kSlotGroup + lane],
+                     blk[2 * kSlotGroup + lane]),
+                Vec3(blk[3 * kSlotGroup + lane], blk[4 * kSlotGroup + lane],
+                     blk[5 * kSlotGroup + lane]));
   };
   Walk(
-      [&](uint32_t s) {
-        if (smaxx[s] < hmin.x || sminx[s] > hmax.x || smaxy[s] < hmin.y ||
-            sminy[s] > hmax.y || smaxz[s] < hmin.z || sminz[s] > hmax.z) {
-          return false;
+      [&](uint32_t base, uint32_t count, bool want_contain, uint64_t* overlap,
+          uint64_t* contain) {
+        // Hull-reject the whole lane group in one SIMD pass, then run the
+        // exact plane test only on hull survivors — the same accept set,
+        // in the same per-slot order, as the scalar prefiltered chain.
+        uint64_t hull = frustum.HullOverlapBits(blocks, base, count);
+        uint64_t o = 0;
+        while (hull != 0) {
+          const int i = std::countr_zero(hull);
+          hull &= hull - 1;
+          if (frustum.Intersects(slot_box(base + i))) o |= 1ull << i;
         }
-        return frustum.Intersects(slot_box(s));
+        *overlap = o;
+        if (want_contain) {
+          uint64_t c = 0;
+          while (o != 0) {
+            const int i = std::countr_zero(o);
+            o &= o - 1;
+            if (frustum.ContainsBox(slot_box(base + i))) c |= 1ull << i;
+          }
+          *contain = c;
+        }
       },
-      [&](uint32_t s) { return frustum.ContainsBox(slot_box(s)); }, out);
+      out);
 }
 
 void BoxRTree::Query(const Aabb& box, std::vector<uint32_t>* out) const {
@@ -190,25 +257,57 @@ void BoxRTree::Query(const Aabb& box, std::vector<uint32_t>* out) const {
   // Slot boxes are never empty (they bound real objects), and the query
   // box was just checked, so the per-box IsEmpty gates inside
   // Aabb::Intersects/Contains can be hoisted out of the walk. The
-  // comparisons read nothing but the six flat slot arrays.
+  // comparisons read nothing but the flat slot-block array.
   const Vec3 qmin = box.min();
   const Vec3 qmax = box.max();
-  const double* sminx = slot_min_x_.data();
-  const double* sminy = slot_min_y_.data();
-  const double* sminz = slot_min_z_.data();
-  const double* smaxx = slot_max_x_.data();
-  const double* smaxy = slot_max_y_.data();
-  const double* smaxz = slot_max_z_.data();
+  const double* blocks = slot_blocks_.data();
+  const simd::Vec4d bqminx = simd::Broadcast(qmin.x);
+  const simd::Vec4d bqminy = simd::Broadcast(qmin.y);
+  const simd::Vec4d bqminz = simd::Broadcast(qmin.z);
+  const simd::Vec4d bqmaxx = simd::Broadcast(qmax.x);
+  const simd::Vec4d bqmaxy = simd::Broadcast(qmax.y);
+  const simd::Vec4d bqmaxz = simd::Broadcast(qmax.z);
   Walk(
-      [&](uint32_t s) {
-        return qmin.x <= smaxx[s] && qmax.x >= sminx[s] &&
-               qmin.y <= smaxy[s] && qmax.y >= sminy[s] &&
-               qmin.z <= smaxz[s] && qmax.z >= sminz[s];
-      },
-      [&](uint32_t s) {
-        return qmin.x <= sminx[s] && qmax.x >= smaxx[s] &&
-               qmin.y <= sminy[s] && qmax.y >= smaxy[s] &&
-               qmin.z <= sminz[s] && qmax.z >= smaxz[s];
+      [&](uint32_t base, uint32_t count, bool want_contain, uint64_t* overlap,
+          uint64_t* contain) {
+        // Same interval compares as the scalar walk, four slots per step
+        // streaming one 24-double block per group; per-node sentinel
+        // padding keeps tail lanes inert and the final FullMask clears
+        // any bits beyond the node's children.
+        uint64_t o = 0;
+        uint64_t c = 0;
+        const double* blk = blocks + base * 6;
+        for (uint32_t g = 0; g < count; g += simd::kLanes, blk += 24) {
+          const simd::Vec4d sminx = simd::Load(blk);
+          const simd::Vec4d sminy = simd::Load(blk + 4);
+          const simd::Vec4d sminz = simd::Load(blk + 8);
+          const simd::Vec4d smaxx = simd::Load(blk + 12);
+          const simd::Vec4d smaxy = simd::Load(blk + 16);
+          const simd::Vec4d smaxz = simd::Load(blk + 20);
+          const simd::Mask4 mo =
+              simd::And(simd::And(simd::And(simd::CmpLe(bqminx, smaxx),
+                                            simd::CmpGe(bqmaxx, sminx)),
+                                  simd::And(simd::CmpLe(bqminy, smaxy),
+                                            simd::CmpGe(bqmaxy, sminy))),
+                        simd::And(simd::CmpLe(bqminz, smaxz),
+                                  simd::CmpGe(bqmaxz, sminz)));
+          const uint32_t ob = simd::Bits(mo);
+          o |= static_cast<uint64_t>(ob) << g;
+          // Containment can only hold where overlap does, so groups with
+          // no overlapping lane skip the second mask entirely.
+          if (want_contain && ob != 0) {
+            const simd::Mask4 mc =
+                simd::And(simd::And(simd::And(simd::CmpLe(bqminx, sminx),
+                                              simd::CmpGe(bqmaxx, smaxx)),
+                                    simd::And(simd::CmpLe(bqminy, sminy),
+                                              simd::CmpGe(bqmaxy, smaxy))),
+                          simd::And(simd::CmpLe(bqminz, sminz),
+                                    simd::CmpGe(bqmaxz, smaxz)));
+            c |= static_cast<uint64_t>(simd::Bits(mc)) << g;
+          }
+        }
+        *overlap = o & FullMask(count);
+        *contain = c & FullMask(count);
       },
       out);
 }

@@ -16,13 +16,20 @@ namespace scout {
 /// entries with StrOrder / Hilbert order for good tiles.
 ///
 /// The directory is laid out for the walk, not the build: every node's
-/// child AABBs live in contiguous structure-of-arrays slots (six flat
-/// double arrays), so Query tests all children of a node in one tight
-/// loop over flat memory instead of pointer-chasing Aabb members of
-/// scattered Node structs.
+/// child AABBs live in contiguous blocked structure-of-arrays slots
+/// (groups of four slots, each group storing min_x[4], min_y[4],
+/// min_z[4], max_x[4], max_y[4], max_z[4] contiguously), so Query tests
+/// all children of a node with SIMD lane groups streaming over a single
+/// flat array instead of pointer-chasing Aabb members of scattered Node
+/// structs — or striding six separate arrays, which costs six concurrent
+/// cache streams per leaf instead of one.
 class BoxRTree {
  public:
   static constexpr size_t kFanout = 64;
+
+  /// Slots per blocked-SoA group; equals simd::kLanes (static_asserted
+  /// in the .cc so the layout and the SIMD loads cannot drift apart).
+  static constexpr uint32_t kSlotGroup = 4;
 
   BoxRTree() = default;
 
@@ -87,16 +94,25 @@ class BoxRTree {
   // fully contained in the query (batch-append its entry run on pop).
   static constexpr uint32_t kContainedTag = 0x80000000u;
 
-  template <typename OverlapsSlot, typename ContainsSlot>
-  void Walk(const OverlapsSlot& overlaps, const ContainsSlot& contains,
-            std::vector<uint32_t>* out) const;
+  // NodeMasks computes child masks for one lane group of a node:
+  // masks(base, count, want_contain, &overlap, &contain) sets bit i of
+  // *overlap iff the child AABB at SoA slot base + i intersects the
+  // query, and (only when want_contain) bit i of *contain iff the query
+  // fully contains it; count <= 64 and bits >= count must be clear. The
+  // walk batch-appends full-mask leaf runs with one memcpy-style insert
+  // and bit-iterates partial masks, preserving bulk-load entry order.
+  template <typename NodeMasks>
+  void Walk(const NodeMasks& masks, std::vector<uint32_t>* out) const;
 
   std::vector<Node> nodes_;
   std::vector<Aabb> entry_boxes_;  ///< AoS copy for Nearest().
   std::vector<uint32_t> entry_payloads_;
-  // Child-AABB slots (SoA): the walk's only per-candidate reads.
-  std::vector<double> slot_min_x_, slot_min_y_, slot_min_z_;
-  std::vector<double> slot_max_x_, slot_max_y_, slot_max_z_;
+  // Child-AABB slots (blocked SoA): the walk's only per-candidate reads.
+  // Every node's slot_begin is aligned to kSlotGroup (padded with inert
+  // sentinel slots), and the group starting at slot s occupies the 24
+  // doubles at slot_blocks_[s * 6]: min_x[4] min_y[4] min_z[4] max_x[4]
+  // max_y[4] max_z[4].
+  std::vector<double> slot_blocks_;
   size_t leaf_count_ = 0;
   size_t fanout_ = kFanout;
   uint32_t root_ = 0;

@@ -331,13 +331,12 @@ void ScoutPrefetcher::RunPrefetch(PrefetchIo* io) {
   if (!has_last_region_) return;
   RefineAxes(io);
   plan_.Reset(pending_axes_, last_region_, config_.max_steps_per_axis);
-  std::vector<PageId> pages;
   while (io->WindowOpen()) {
     const std::optional<Region> region = plan_.Next();
     if (!region.has_value()) return;
-    pages.clear();
-    io->QueryPages(*region, &pages);
-    for (PageId page : pages) {
+    drain_pages_.clear();
+    io->QueryPages(*region, &drain_pages_);
+    for (PageId page : drain_pages_) {
       if (!io->FetchPage(page)) return;
     }
   }

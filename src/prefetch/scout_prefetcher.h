@@ -136,6 +136,10 @@ class ScoutPrefetcher : public Prefetcher {
 
   ObserveBreakdown breakdown_;
   std::vector<ExitPoint> last_exits_;
+  /// Reusable result-page buffer for the window drain (the zero-copy
+  /// result path: QueryPages fills a caller-provided buffer, so steady
+  /// state pays no per-call vector growth).
+  std::vector<PageId> drain_pages_;
 };
 
 }  // namespace scout

@@ -12,13 +12,15 @@ namespace {
 
 constexpr SimMicros kStaticPredictCostUs = 1;
 
-void DrainCells(const std::vector<Aabb>& cells, PrefetchIo* io) {
-  std::vector<PageId> pages;
+// `pages` is the caller's reusable buffer (zero-copy result path: no
+// per-call vector growth in steady state).
+void DrainCells(const std::vector<Aabb>& cells, PrefetchIo* io,
+                std::vector<PageId>* pages) {
   for (const Aabb& cell : cells) {
     if (!io->WindowOpen()) return;
-    pages.clear();
-    io->QueryPages(Region(cell), &pages);
-    for (PageId page : pages) {
+    pages->clear();
+    io->QueryPages(Region(cell), pages);
+    for (PageId page : *pages) {
       if (!io->FetchPage(page)) return;
     }
   }
@@ -59,7 +61,7 @@ SimMicros HilbertPrefetcher::Observe(const QueryResultView& result) {
 }
 
 void HilbertPrefetcher::RunPrefetch(PrefetchIo* io) {
-  DrainCells(pending_cells_, io);
+  DrainCells(pending_cells_, io, &drain_pages_);
 }
 
 void LayeredPrefetcher::BeginSequence() { pending_cells_.clear(); }
@@ -103,7 +105,7 @@ SimMicros LayeredPrefetcher::Observe(const QueryResultView& result) {
 }
 
 void LayeredPrefetcher::RunPrefetch(PrefetchIo* io) {
-  DrainCells(pending_cells_, io);
+  DrainCells(pending_cells_, io, &drain_pages_);
 }
 
 }  // namespace scout

@@ -34,6 +34,9 @@ class HilbertPrefetcher : public Prefetcher {
  private:
   StaticPrefetchConfig config_;
   std::vector<Aabb> pending_cells_;
+  /// Reusable result-page buffer for the window drain (zero-copy result
+  /// path: no per-call vector growth in steady state).
+  std::vector<PageId> drain_pages_;
 };
 
 /// Layered [31] (paper §2.1): segments space into a grid and prefetches
@@ -51,6 +54,9 @@ class LayeredPrefetcher : public Prefetcher {
  private:
   StaticPrefetchConfig config_;
   std::vector<Aabb> pending_cells_;
+  /// Reusable result-page buffer for the window drain (zero-copy result
+  /// path: no per-call vector growth in steady state).
+  std::vector<PageId> drain_pages_;
 };
 
 }  // namespace scout

@@ -57,13 +57,12 @@ SimMicros TrajectoryPrefetcher::Observe(const QueryResultView& result) {
 
 void TrajectoryPrefetcher::RunPrefetch(PrefetchIo* io) {
   if (!has_region_) return;
-  std::vector<PageId> pages;
   while (io->WindowOpen()) {
     const std::optional<Region> region = plan_.Next();
     if (!region.has_value()) return;
-    pages.clear();
-    io->QueryPages(*region, &pages);
-    for (PageId page : pages) {
+    drain_pages_.clear();
+    io->QueryPages(*region, &drain_pages_);
+    for (PageId page : drain_pages_) {
       if (!io->FetchPage(page)) return;
     }
   }

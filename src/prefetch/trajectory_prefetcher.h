@@ -34,6 +34,9 @@ class TrajectoryPrefetcher : public Prefetcher {
   Region last_region_;
   bool has_region_ = false;
   IncrementalPlan plan_;
+  /// Reusable result-page buffer for the window drain (zero-copy result
+  /// path: no per-call vector growth in steady state).
+  std::vector<PageId> drain_pages_;
 };
 
 /// Straight Line Extrapolation [26]: next = last + (last - second_last).

@@ -139,6 +139,19 @@ TEST(BaselineLabelTest, Seed3OrderingGuardGatesOnlyTheAppendPath) {
   std::remove(path.c_str());
 }
 
+TEST(BaselineLabelTest, SnapshotIsStampedWithTheCompiledSimdLane) {
+  // Micro rows recorded under different SIMD backends measure different
+  // code; the snapshot must carry the lane label of the binary that
+  // recorded it so cross-backend diffs are visible, and it must be the
+  // backend this test binary was actually compiled with.
+  const std::string json = OneRowSnapshot("lane-label");
+  EXPECT_NE(json.find(std::string("\"simd\": \"") + simd::kLaneName + "\""),
+            std::string::npos)
+      << json;
+  const std::string lane = simd::kLaneName;
+  EXPECT_TRUE(lane == "avx2" || lane == "scalar") << lane;
+}
+
 TEST(BaselineLabelTest, MulticlientRowsSerializeServingExtras) {
   // fig_multiclient rows carry the QoS serving extras; single-client
   // rows must keep the exact field set earlier snapshots were recorded

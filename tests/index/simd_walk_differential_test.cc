@@ -1,0 +1,210 @@
+/// Differential tests pinning the SIMD directory walk to its scalar
+/// semantics: BoxRTree::Query (box and frustum-region forms) against a
+/// brute-force scan over the loaded entries, and the batched corner-hull
+/// prefilter (Frustum::HullOverlapBits) against the per-box scalar test.
+/// The populations and queries deliberately include degenerate boxes
+/// (zero extent in one, two, or all three axes) and straddling boxes
+/// (thin slivers spanning the whole domain) so partial lane groups, tail
+/// masks, and touching-boundary comparisons are all exercised — exactly
+/// the places a vectorized rewrite could drift from the scalar walk.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "geom/frustum.h"
+#include "index/box_rtree.h"
+
+namespace scout {
+namespace {
+
+// A mixed population: ordinary small boxes, degenerate points/segments/
+// plates, and domain-straddling slivers, all inside [0, 100]^3.
+std::vector<Aabb> MixedBoxes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Aabb> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec3 c(rng.Uniform(0, 100), rng.Uniform(0, 100),
+                 rng.Uniform(0, 100));
+    switch (rng.NextBounded(8)) {
+      case 0:  // Point (all extents zero).
+        boxes.emplace_back(c, c);
+        break;
+      case 1:  // Axis-aligned segment (two extents zero).
+        boxes.emplace_back(c, c + Vec3(rng.Uniform(0, 10), 0, 0));
+        break;
+      case 2:  // Plate (one extent zero).
+        boxes.emplace_back(
+            c, c + Vec3(rng.Uniform(0, 5), rng.Uniform(0, 5), 0));
+        break;
+      case 3:  // Straddling sliver: spans the whole domain on one axis.
+        boxes.emplace_back(Vec3(0, c.y, c.z),
+                           Vec3(100, c.y + rng.Uniform(0, 0.5),
+                                c.z + rng.Uniform(0, 0.5)));
+        break;
+      default:  // Ordinary small box.
+        boxes.push_back(Aabb::FromCenterHalfExtents(
+            c, Vec3(rng.Uniform(0.1, 3), rng.Uniform(0.1, 3),
+                    rng.Uniform(0.1, 3))));
+        break;
+    }
+  }
+  return boxes;
+}
+
+// Query mix: ordinary boxes, degenerate point/plane probes, thin slabs,
+// and occasional huge boxes that fully contain subtrees (stressing the
+// contained-run batch append).
+Aabb NextQuery(Rng* rng) {
+  const Vec3 c(rng->Uniform(-5, 105), rng->Uniform(-5, 105),
+               rng->Uniform(-5, 105));
+  switch (rng->NextBounded(8)) {
+    case 0:  // Point probe.
+      return Aabb(c, c);
+    case 1:  // Axis-aligned plane probe (zero thickness).
+      return Aabb(Vec3(0, 0, c.z), Vec3(100, 100, c.z));
+    case 2:  // Thin slab across the whole domain.
+      return Aabb(Vec3(0, c.y, 0), Vec3(100, c.y + 0.25, 100));
+    case 3:  // Huge box: contains most of the tree.
+      return Aabb::FromCenterHalfExtents(c, Vec3(60, 60, 60));
+    default:
+      return Aabb::FromCenterHalfExtents(
+          c, Vec3(rng->Uniform(1, 20), rng->Uniform(1, 20),
+                  rng->Uniform(1, 20)));
+  }
+}
+
+BoxRTree TreeOver(const std::vector<Aabb>& boxes, size_t fanout) {
+  std::vector<uint32_t> payloads(boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    payloads[i] = static_cast<uint32_t>(i);
+  }
+  BoxRTree tree;
+  tree.BulkLoad(boxes, payloads, fanout);
+  return tree;
+}
+
+// 1k randomized box queries: the walk must return exactly the entries a
+// scalar brute-force scan accepts, in bulk-load entry order.
+TEST(SimdWalkDifferentialTest, BoxQueryMatchesBruteForceOn1kQueries) {
+  const std::vector<Aabb> boxes = MixedBoxes(5000, /*seed=*/101);
+  const BoxRTree tree = TreeOver(boxes, BoxRTree::kFanout);
+  Rng rng(102);
+  std::vector<uint32_t> got;
+  std::vector<uint32_t> expected;
+  for (int q = 0; q < 1000; ++q) {
+    const Aabb query = NextQuery(&rng);
+    got.clear();
+    tree.Query(query, &got);
+    expected.clear();
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (query.Intersects(boxes[i])) {
+        expected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    ASSERT_EQ(got, expected) << "query " << q;
+  }
+}
+
+// Same differential with a degenerate fanout: partial lane groups at
+// every node (count < kLanes) plus the traversal-stack spill path.
+TEST(SimdWalkDifferentialTest, BoxQueryMatchesBruteForceAtTinyFanout) {
+  const std::vector<Aabb> boxes = MixedBoxes(600, /*seed=*/103);
+  const BoxRTree tree = TreeOver(boxes, /*fanout=*/3);
+  Rng rng(104);
+  std::vector<uint32_t> got;
+  std::vector<uint32_t> expected;
+  for (int q = 0; q < 250; ++q) {
+    const Aabb query = NextQuery(&rng);
+    got.clear();
+    tree.Query(query, &got);
+    expected.clear();
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (query.Intersects(boxes[i])) {
+        expected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    ASSERT_EQ(got, expected) << "query " << q;
+  }
+}
+
+// Frustum-region queries walk the same SoA slots through the batched
+// hull prefilter + plane tests; the accept set must equal the scalar
+// per-entry prefiltered test.
+TEST(SimdWalkDifferentialTest, FrustumQueryMatchesBruteForce) {
+  const std::vector<Aabb> boxes = MixedBoxes(5000, /*seed=*/105);
+  const BoxRTree tree = TreeOver(boxes, BoxRTree::kFanout);
+  Rng rng(106);
+  std::vector<uint32_t> got;
+  std::vector<uint32_t> expected;
+  for (int q = 0; q < 250; ++q) {
+    Vec3 dir(rng.Gaussian(0, 1), rng.Gaussian(0, 1), rng.Gaussian(0, 1));
+    if (dir == Vec3()) dir = Vec3(1, 0, 0);
+    const Frustum frustum = Frustum::WithVolume(
+        Vec3(rng.Uniform(10, 90), rng.Uniform(10, 90), rng.Uniform(10, 90)),
+        dir, rng.Uniform(1000, 50000));
+    got.clear();
+    tree.Query(Region(frustum), &got);
+    expected.clear();
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (frustum.IntersectsPrefiltered(boxes[i])) {
+        expected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    ASSERT_EQ(got, expected) << "query " << q;
+  }
+}
+
+// The batched hull prefilter must agree bit-for-bit with the scalar
+// per-box hull test for every chunk size in [1, 64], including counts
+// that end mid lane group (tail masking).
+TEST(SimdWalkDifferentialTest, HullOverlapBitsMatchesScalarHullTest) {
+  const std::vector<Aabb> boxes = MixedBoxes(256, /*seed=*/107);
+  // Blocked-SoA slot array, padded with inert slots (inverted boxes) so
+  // tail lanes of a partial group never overlap anything.
+  const size_t padded = (boxes.size() + 3) & ~size_t{3};
+  std::vector<double> blocks(padded * 6);
+  for (size_t slot = 0; slot < padded; ++slot) {
+    const bool pad = slot >= boxes.size();
+    const Aabb box = pad ? Aabb(Vec3(1, 1, 1), Vec3(0, 0, 0)) : boxes[slot];
+    const size_t group = (slot & ~size_t{3}) * 6;
+    const size_t lane = slot & 3;
+    blocks[group + lane] = box.min().x;
+    blocks[group + 4 + lane] = box.min().y;
+    blocks[group + 8 + lane] = box.min().z;
+    blocks[group + 12 + lane] = box.max().x;
+    blocks[group + 16 + lane] = box.max().y;
+    blocks[group + 20 + lane] = box.max().z;
+  }
+  Rng rng(108);
+  for (int f = 0; f < 16; ++f) {
+    Vec3 dir(rng.Gaussian(0, 1), rng.Gaussian(0, 1), rng.Gaussian(0, 1));
+    if (dir == Vec3()) dir = Vec3(0, 0, 1);
+    const Frustum frustum = Frustum::WithVolume(
+        Vec3(rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)),
+        dir, rng.Uniform(500, 80000));
+    for (uint32_t count = 1; count <= 64; ++count) {
+      const uint32_t base = static_cast<uint32_t>(
+          rng.NextBounded((boxes.size() - count) / simd::kLanes + 1) *
+          simd::kLanes);
+      const uint64_t got = frustum.HullOverlapBits(blocks.data(), base, count);
+      uint64_t expected = 0;
+      for (uint32_t i = 0; i < count; ++i) {
+        if (base + i < boxes.size() &&
+            frustum.Bounds().Intersects(boxes[base + i])) {
+          expected |= uint64_t{1} << i;
+        }
+      }
+      ASSERT_EQ(got, expected)
+          << "frustum " << f << " base " << base << " count " << count;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scout

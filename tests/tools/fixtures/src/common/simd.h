@@ -1,0 +1,11 @@
+#pragma once
+
+// Fixture for the simd-isolation whitelist: identical raw-intrinsic
+// tokens to simd_bad.cc, zero findings because this fixture's
+// root-relative path IS the wrapper home (src/common/simd.h).
+
+#include <immintrin.h>
+
+inline double FixtureLane0(const double* p) {
+  return _mm256_cvtsd_f64(_mm256_loadu_pd(p));
+}

@@ -1,0 +1,13 @@
+// Fixture for the simd-isolation rule: raw vector intrinsics outside
+// src/common/simd.h. The include on line 7 and the intrinsic calls on
+// lines 10-12 must each be flagged (one finding per line).
+
+#include <cstdint>
+
+#include <immintrin.h>
+
+uint64_t BadLaneSum(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  v = _mm256_add_pd(v, _mm256_set1_pd(1.0));
+  return static_cast<uint64_t>(_mm256_movemask_pd(v));
+}

@@ -205,6 +205,31 @@ TEST(ScoutLintTest, FaultSeamWhitelistedTranslationUnitIsClean) {
   EXPECT_EQ(run.stdout_text, "");
 }
 
+TEST(ScoutLintTest, SimdIsolationFlagsRawIntrinsicsOutsideTheWrapper) {
+  const LintRun run = LintFixture("src/geom/simd_bad.cc");
+  EXPECT_EQ(run.exit_code, 1);
+  // The immintrin include plus one finding per intrinsic-bearing line
+  // (several intrinsics on line 11 are one defect). The __m256d type
+  // token on line 10 must not add a second finding for that line.
+  EXPECT_EQ(CountLines(run.stdout_text), 4) << run.stdout_text;
+  for (int line : {7, 10, 11, 12}) {
+    EXPECT_NE(run.stdout_text.find("src/geom/simd_bad.cc:" +
+                                   std::to_string(line) +
+                                   ": [simd-isolation]"),
+              std::string::npos)
+        << run.stdout_text;
+  }
+}
+
+TEST(ScoutLintTest, SimdIsolationWhitelistsTheWrapperHeader) {
+  // Same raw-intrinsic tokens, but the fixture's root-relative path is
+  // the wrapper home src/common/simd.h — the one file allowed to hold
+  // them.
+  const LintRun run = LintFixture("src/common/simd.h");
+  EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_EQ(run.stdout_text, "");
+}
+
 TEST(ScoutLintTest, HygieneFixturePinsPragmaOnceUsingNamespaceAndFloat) {
   const LintRun run = LintFixture("src/geom/hygiene_bad.h");
   EXPECT_EQ(run.exit_code, 1);
@@ -230,8 +255,8 @@ TEST(ScoutLintTest, ListRulesPrintsTheWholeCatalogue) {
        {"det-rand", "det-random-device", "det-wall-clock",
         "det-unordered-container", "layer-dag", "cache-single-writer",
         "disk-queue-single-writer", "fault-injection-seam",
-        "hdr-pragma-once", "hdr-using-namespace", "no-float",
-        "lint-allow"}) {
+        "simd-isolation", "hdr-pragma-once", "hdr-using-namespace",
+        "no-float", "lint-allow"}) {
     EXPECT_NE(run.stdout_text.find(std::string(rule) + ":"),
               std::string::npos)
         << "missing rule " << rule;

@@ -94,6 +94,11 @@ const std::vector<RuleInfo> kRules = {
      "scattered attach points would let faults fire outside the "
      "deterministic serving order",
      {"src/"}},
+    {"simd-isolation",
+     "raw vector intrinsics (_mm256_* calls or <immintrin.h>) outside "
+     "src/common/simd.h; program against the scout::simd wrapper so the "
+     "scalar-fallback build stays a pure compile-time switch",
+     {"src/", "bench/", "tests/"}},
     {"hdr-pragma-once",
      "header must start with #pragma once (before any code)",
      {"src/", "bench/", "tests/"}},
@@ -142,6 +147,12 @@ const std::vector<const char*> kFaultSeamWhitelist = {
     "src/engine/query_executor.cc",
     "src/engine/multi_client_engine.cc",
 };
+
+// The single translation unit allowed to touch raw vector intrinsics:
+// the portable SIMD wrapper itself. Everything else goes through its
+// scout::simd:: operations, which is what makes SCOUT_SIMD=scalar a
+// pure compile-time backend switch instead of a porting project.
+const char kSimdWrapperHome[] = "src/common/simd.h";
 
 const RuleInfo* FindRule(const std::string& id) {
   for (const RuleInfo& r : kRules) {
@@ -342,6 +353,7 @@ class FileScanner {
     CheckDeterminism();
     CheckLayering();
     CheckSingleWriter();
+    CheckSimdIsolation();
     CheckHygiene();
     return true;
   }
@@ -542,6 +554,35 @@ class FileScanner {
                     "serving-layer");
     CheckWriterRule("fault-injection-seam", kFaultSeamWhitelist,
                     {"AttachFaults"}, {"disk", "queue"}, "fault-seam");
+  }
+
+  void CheckSimdIsolation() {
+    if (!RuleApplies("simd-isolation")) return;
+    if (rel_ == kSimdWrapperHome) return;
+    for (size_t i = 0; i < stripped_.size(); ++i) {
+      const std::string& s = stripped_[i];
+      const int n = static_cast<int>(i) + 1;
+      // Any identifier starting with the AVX2 intrinsic prefix. The
+      // vector *types* (__m256d) are deliberately not matched: they
+      // cannot appear without an intrinsic producing them anyway.
+      size_t pos = 0;
+      while ((pos = s.find("_mm256_", pos)) != std::string::npos) {
+        if (pos == 0 || !IsWordChar(s[pos - 1])) {
+          Report(n, "simd-isolation",
+                 "raw _mm256_* intrinsic outside " +
+                     std::string(kSimdWrapperHome));
+        }
+        pos += 7;
+      }
+      // The include line's path survives in the raw text (<...> is not
+      // a string literal, but recover from raw for uniformity).
+      if (LineIsInclude(i) &&
+          raw_[i].find("immintrin.h") != std::string::npos) {
+        Report(n, "simd-isolation",
+               "#include <immintrin.h> outside " +
+                   std::string(kSimdWrapperHome));
+      }
+    }
   }
 
   void CheckHygiene() {
