@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/testing_support.h"
+#include "bench/wallclock_support.h"
 #include "common/stopwatch.h"
 #include "graph/graph_builder.h"
 #include "index/box_rtree.h"
@@ -312,6 +313,67 @@ void RecordFaultScenarios(Recorder* rec, NeuronStack& stack) {
   }
 }
 
+/// Real-I/O wall-clock serving (fig_wallclock): the model-building
+/// sequence served from an on-disk page file, sync vs decoupled-async
+/// prefetch, cold and warm. These are the only rows whose primary
+/// metric is wall_ms (real elapsed time; the sim_* fields stay zero) —
+/// successive PRs diff the cold speedup to keep the async pipeline's
+/// win from regressing. The page file is generated next to the output
+/// in the build tree and never committed. Appended after the fault rows
+/// so all earlier row positions stay comparable across snapshots.
+void RecordWallclockScenarios(Recorder* rec) {
+  WallclockOptions opt;
+  opt.neuron_objects = rec->scale().neuron_objects;
+  WallclockResults results;
+  if (!RunWallclockScenarios(opt, &results)) {
+    std::fprintf(stderr, "baseline_recorder: wallclock scenarios failed\n");
+    std::exit(1);
+  }
+  if (!results.HashesAgree()) {
+    std::fprintf(stderr,
+                 "baseline_recorder: sync/async result hashes diverge — "
+                 "refusing to record a broken wallclock row\n");
+    std::exit(1);
+  }
+  struct ModeRow {
+    const char* scenario;
+    const char* prefetcher;
+    const WallclockModeResult* r;
+    double speedup;
+  };
+  const ModeRow rows[] = {
+      {"cold", "scout-sync", &results.sync_cold, 1.0},
+      {"cold", "scout-async", &results.async_cold, results.ColdSpeedup()},
+      {"warm", "scout-sync", &results.sync_warm, 1.0},
+      {"warm", "scout-async", &results.async_warm, results.WarmSpeedup()},
+  };
+  for (const ModeRow& m : rows) {
+    BaselineFigRow row;
+    row.bench = "fig_wallclock";
+    row.scenario = m.scenario;
+    row.prefetcher = m.prefetcher;
+    row.wall_ms = m.r->wall_ms;
+    row.hit_rate_pct = m.r->hit_rate_pct;
+    row.speedup = m.speedup;
+    row.wallclock = true;
+    row.device_latency_us = opt.device_latency_us;
+    row.think_time_us = opt.think_time_us;
+    row.demand_reads = m.r->demand_reads;
+    row.prefetch_reads = m.r->prefetch_reads;
+    row.late_hit_waits = m.r->late_hit_waits;
+    row.result_hash = m.r->result_hash;
+    rec->figs.push_back(row);
+    std::printf(
+        "%-24s %-18s %-10s %9.1f ms  hit %5.1f%%  speedup %.2f  "
+        "(demand %llu, prefetch %llu, latewait %llu)\n",
+        row.bench.c_str(), row.scenario.c_str(), row.prefetcher.c_str(),
+        row.wall_ms, row.hit_rate_pct, row.speedup,
+        static_cast<unsigned long long>(row.demand_reads),
+        static_cast<unsigned long long>(row.prefetch_reads),
+        static_cast<unsigned long long>(row.late_hit_waits));
+  }
+}
+
 /// Records the row and folds the checksum into the output so the work
 /// cannot be optimized away (and snapshots can be sanity-compared).
 void RecordOrUse(Recorder* rec, const char* name, uint64_t ops,
@@ -567,6 +629,7 @@ int main(int argc, char** argv) {
     RecordMultiClientScenarios(&rec, stack, serving);
     RecordFaultScenarios(&rec, stack);
   }
+  RecordWallclockScenarios(&rec);
   RecordMicroScenarios(&rec);
 
   const std::string snapshot =

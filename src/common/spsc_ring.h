@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace scout {
+
+/// Fixed-capacity single-producer/single-consumer ring buffer: the
+/// lock-free handoff lane of the asynchronous prefetch pipeline
+/// (prefedge's per-thread pipe, C++-ified). Exactly ONE thread may ever
+/// call TryPush and exactly ONE thread may ever call TryPop — the
+/// `ring-single-writer` lint rule keeps those call sites in the
+/// whitelisted pipeline TUs.
+///
+/// The implementation is the classic monotonically-counting ring:
+/// head_/tail_ are free-running uint64 counters (never wrapped), the
+/// slot index is `counter & (kCapacity - 1)`. A push publishes its slot
+/// write with a release store of head_; a pop acquires it before
+/// reading the slot. Capacity must be a power of two.
+template <typename T, size_t kCapacity>
+class SpscRing {
+  static_assert(kCapacity >= 2 && (kCapacity & (kCapacity - 1)) == 0,
+                "SpscRing capacity must be a power of two");
+
+ public:
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full (the caller
+  /// decides whether to retry — the pipeline blocks, preserving the
+  /// superset-ordering contract, instead of dropping predictions).
+  bool TryPush(const T& value) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= kCapacity) return false;
+    slots_[head & kMask] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    *out = slots_[tail & kMask];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Entries currently buffered. Exact when called from the producer or
+  /// consumer thread; a racing snapshot otherwise.
+  size_t SizeApprox() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<size_t>(head - tail);
+  }
+
+  bool Empty() const { return SizeApprox() == 0; }
+
+  static constexpr size_t Capacity() { return kCapacity; }
+
+ private:
+  static constexpr uint64_t kMask = kCapacity - 1;
+
+  alignas(64) std::atomic<uint64_t> head_{0};  ///< Next producer slot.
+  alignas(64) std::atomic<uint64_t> tail_{0};  ///< Next consumer slot.
+  alignas(64) T slots_[kCapacity] = {};
+};
+
+}  // namespace scout

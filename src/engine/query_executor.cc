@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "prefetch/async_pipeline.h"
+#include "storage/file_page_store.h"
 
 namespace scout {
 namespace {
@@ -522,6 +529,412 @@ SequenceRunStats QueryExecutor::RunSequence(
   for (size_t i = 0; i < queries.size(); ++i) {
     stats.queries.push_back(ExecuteQuery(queries[i], preps[i]));
   }
+  return stats;
+}
+
+// ===================================================================
+// Real-I/O (file backend) serving. See RunSequenceFile's declaration
+// for the contract; the short version: the PrefetchCache remains a
+// purely LOGICAL plane driven through the exact same operation sequence
+// in sync and async mode (so hits, evictions and fetch sets are
+// bit-identical and rerun-deterministic), while bytes travel through
+// frames_ — inline in sync mode, via the AsyncPrefetchPipeline's fetch
+// worker in async mode. The worker never touches the cache; every cache
+// mutation below runs on the executor thread.
+// ===================================================================
+
+namespace {
+
+/// Executor-side wait granularity while a needed page is in flight.
+constexpr std::chrono::microseconds kAwaitPoll{20};
+
+uint64_t Fnv1a(uint64_t h, const void* bytes, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t FnvDouble(uint64_t h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Fnv1a(h, &bits, sizeof(bits));
+}
+
+/// True when `sub` appears within `seq` in order (not necessarily
+/// contiguously) — the shape the worker's issue log must have relative
+/// to the plan order.
+[[maybe_unused]] bool IsSubsequence(const std::vector<PageId>& sub,
+                                    const std::vector<PageId>& seq) {
+  size_t matched = 0;
+  for (PageId p : seq) {
+    if (matched < sub.size() && sub[matched] == p) ++matched;
+  }
+  return matched == sub.size();
+}
+
+}  // namespace
+
+uint64_t QueryExecutor::HashResultObject(uint64_t h, const SpatialObject& obj,
+                                         PageId page) {
+  h = Fnv1a(h, &obj.id, sizeof(obj.id));
+  h = Fnv1a(h, &obj.structure_id, sizeof(obj.structure_id));
+  h = Fnv1a(h, &obj.path_index, sizeof(obj.path_index));
+  const Vec3 p0 = obj.geom.p0();
+  const Vec3 p1 = obj.geom.p1();
+  h = FnvDouble(h, p0.x);
+  h = FnvDouble(h, p0.y);
+  h = FnvDouble(h, p0.z);
+  h = FnvDouble(h, p1.x);
+  h = FnvDouble(h, p1.y);
+  h = FnvDouble(h, p1.z);
+  h = FnvDouble(h, obj.geom.r0());
+  h = FnvDouble(h, obj.geom.r1());
+  return Fnv1a(h, &page, sizeof(page));
+}
+
+uint64_t QueryExecutor::HashPreparedObjects(
+    uint64_t h, std::span<const GraphInput> objects) {
+  for (const GraphInput& g : objects) {
+    h = HashResultObject(h, *g.object, g.page);
+  }
+  return h;
+}
+
+double FileSequenceStats::CacheHitRatePct() const {
+  const size_t total = TotalPagesTotal();
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(TotalPagesHit()) /
+                          static_cast<double>(total);
+}
+
+size_t FileSequenceStats::TotalPagesTotal() const {
+  size_t v = 0;
+  for (const FileQueryStats& q : queries) v += q.pages_total;
+  return v;
+}
+
+size_t FileSequenceStats::TotalPagesHit() const {
+  size_t v = 0;
+  for (const FileQueryStats& q : queries) v += q.pages_hit;
+  return v;
+}
+
+size_t FileSequenceStats::TotalDemandReads() const {
+  size_t v = 0;
+  for (const FileQueryStats& q : queries) v += q.demand_reads;
+  return v;
+}
+
+size_t FileSequenceStats::TotalPrefetchPlanned() const {
+  size_t v = 0;
+  for (const FileQueryStats& q : queries) v += q.prefetch_planned;
+  return v;
+}
+
+size_t FileSequenceStats::TotalLateHitWaits() const {
+  size_t v = 0;
+  for (const FileQueryStats& q : queries) v += q.late_hit_waits;
+  return v;
+}
+
+uint64_t FileSequenceStats::TotalFaultsSeen() const {
+  uint64_t v = 0;
+  for (const FileQueryStats& q : queries) v += q.faults_seen;
+  return v;
+}
+
+uint32_t FileSequenceStats::TotalRetries() const {
+  uint32_t v = 0;
+  for (const FileQueryStats& q : queries) v += q.retries;
+  return v;
+}
+
+size_t FileSequenceStats::UnavailableQueries() const {
+  size_t v = 0;
+  for (const FileQueryStats& q : queries) {
+    v += q.outcome == StatusCode::kUnavailable ? 1 : 0;
+  }
+  return v;
+}
+
+/// PrefetchIo implementation for the file backend: captures the
+/// prefetcher's plan (in plan order, deduplicated against the logical
+/// cache and the plan itself) instead of performing I/O. The window is
+/// a fixed page budget — the file backend has no simulated clock, and a
+/// deterministic budget is what keeps sync and async runs planning
+/// identical fetch sets.
+class QueryExecutor::FilePlanIo : public PrefetchIo {
+ public:
+  FilePlanIo(QueryExecutor* executor, size_t budget,
+             std::vector<PageId>* plan)
+      : executor_(executor), budget_(budget), plan_(plan) {}
+
+  void QueryPages(const Region& region, std::vector<PageId>* out) override {
+    executor_->index_->QueryPages(region, out);
+  }
+
+  bool IsCached(PageId page) const override {
+    return executor_->cache_->Contains(page) ||
+           std::find(plan_->begin(), plan_->end(), page) != plan_->end();
+  }
+
+  bool FetchPage(PageId page) override {
+    if (IsCached(page)) return true;
+    if (plan_->size() >= budget_) return false;
+    plan_->push_back(page);
+    return true;
+  }
+
+  bool WindowOpen() const override { return plan_->size() < budget_; }
+
+ private:
+  QueryExecutor* executor_;
+  size_t budget_;
+  std::vector<PageId>* plan_;
+};
+
+bool QueryExecutor::ApplyCompletion(AsyncFetchResult&& r, FileQueryStats* q) {
+  if (!r.status.ok()) {
+    // The transfer failed, so the page never arrived: withdraw its
+    // logical cache entry (mirrors the sync path's erase-on-failure).
+    cache_->Erase(r.page);
+    if (q != nullptr) ++q->faults_seen;
+    return false;
+  }
+  if (frames_[r.page] == nullptr) {
+    frames_[r.page] = std::make_unique<Page>(std::move(r.data));
+  }
+  return true;
+}
+
+const Page* QueryExecutor::AwaitFramePage(PageId page,
+                                          AsyncPrefetchPipeline* pipeline,
+                                          FileQueryStats* q) {
+  if (frames_[page] != nullptr) return frames_[page].get();
+  if (pipeline == nullptr) return nullptr;
+  // The page is logically cached but its bytes are still in flight — a
+  // "late hit": keep draining completions (applying them serially on
+  // this thread) until it lands or its fetch is known to have failed.
+  bool waited = false;
+  while (frames_[page] == nullptr) {
+    AsyncFetchResult r;
+    if (pipeline->TryDrainOne(&r)) {
+      const PageId done = r.page;
+      const bool ok = ApplyCompletion(std::move(r), q);
+      if (done == page && !ok) break;
+      continue;
+    }
+    if (pipeline->pending() == 0) break;  // Not in flight: never coming.
+    std::this_thread::sleep_for(kAwaitPoll);
+    waited = true;
+  }
+  if (waited) ++q->late_hit_waits;
+  return frames_[page] == nullptr ? nullptr : frames_[page].get();
+}
+
+const Page* QueryExecutor::DemandReadFilePage(PageId page,
+                                              AsyncPrefetchPipeline* pipeline,
+                                              FileQueryStats* q,
+                                              FileSequenceStats* stats) {
+  FilePageStore* store = config_.io.store;
+  ++q->demand_reads;
+  stats->demand_order.push_back(page);
+  const uint32_t max_retries = config_.fault_policy.max_retries;
+  for (uint32_t attempt = 0;; ++attempt) {
+    AsyncFetchResult r;
+    if (pipeline != nullptr) {
+      // Demand promotion: issued ahead of the prediction backlog.
+      r = pipeline->FetchDemand(page);
+    } else {
+      r.page = page;
+      r.status = store->ReadPage(page, &r.data);
+    }
+    if (r.status.ok()) {
+      if (frames_[page] == nullptr) {
+        frames_[page] = std::make_unique<Page>(std::move(r.data));
+      }
+      return frames_[page].get();
+    }
+    ++q->faults_seen;
+    // Only transient (kUnavailable) failures are worth retrying; the
+    // file backend has no simulated clock, so retries are immediate
+    // (each attempt advances the fault schedule's op timeline).
+    if (r.status.code() != StatusCode::kUnavailable ||
+        attempt >= max_retries) {
+      q->outcome = r.status.code();
+      return nullptr;
+    }
+    ++q->retries;
+  }
+}
+
+FileSequenceStats QueryExecutor::RunSequenceFile(
+    std::span<const Region> queries) {
+  return RunSequenceFile(queries, FileRunOptions{});
+}
+
+FileSequenceStats QueryExecutor::RunSequenceFile(
+    std::span<const Region> queries, const FileRunOptions& options) {
+  FileSequenceStats stats;
+  FilePageStore* store = config_.io.store;
+  assert(config_.io.backend == IoBackend::kFile && store != nullptr);
+  assert(disk_queue_ == nullptr && "file serving uses the page file, not "
+                                   "the simulated shared disk");
+  const size_t num_pages = store->NumPages();
+  if (!options.warm_start || frames_.size() != num_pages) {
+    // A borrowed shared cache is never cleared (its contents belong to
+    // all sessions); stale logical entries whose bytes we don't hold
+    // degrade gracefully into demand reads.
+    if (owns_cache()) owned_cache_->Clear();
+    frames_.clear();
+    frames_.resize(num_pages);
+  }
+  // Shared-cache attribution: every cache operation below runs on this
+  // thread — including completions applied from the async pipeline — so
+  // one bracket covers the whole sequence and the fetch worker can
+  // never race SetActiveSession.
+  if (!owns_cache()) cache_->SetActiveSession(session_id_);
+  prefetcher_->BeginSequence();
+
+  std::unique_ptr<AsyncPrefetchPipeline> pipeline;
+  if (config_.io.async_prefetch) {
+    AsyncPrefetchPipeline::Options popt;
+    popt.max_in_flight = config_.io.max_in_flight;
+    pipeline = std::make_unique<AsyncPrefetchPipeline>(store, popt);
+    pipeline->Start();
+  }
+
+  uint64_t hash = kResultHashSeed;
+  const Stopwatch total_sw;
+  stats.queries.reserve(queries.size());
+  PreparedQuery prep;
+  for (const Region& region : queries) {
+    Prepare(*index_, region, &prep);
+    FileQueryStats q;
+    const Stopwatch q_sw;
+    q.pages_total = prep.pages.size();
+    file_objects_.clear();
+    if (options.collect_results) stats.results.emplace_back();
+
+    // --- Execute: serve result pages, decode, filter. ----------------
+    for (PageId page : prep.pages) {
+      const Page* data = nullptr;
+      if (cache_->TouchIfPresent(page)) {
+        ++q.pages_hit;
+        data = AwaitFramePage(page, pipeline.get(), &q);
+      }
+      if (data == nullptr) {
+        data = DemandReadFilePage(page, pipeline.get(), &q, &stats);
+        if (data != nullptr && config_.cache_residual_reads) {
+          cache_->Insert(page);
+        }
+      }
+      if (data == nullptr) continue;  // Degraded: partial results.
+      // Filter exactly like Prepare (containment fast path, then the
+      // per-object Intersects test) so decoded results are
+      // object-for-object identical to the in-memory oracle.
+      if (region.ContainsBox(data->bounds)) {
+        for (const SpatialObject& obj : data->objects) {
+          file_objects_.push_back(GraphInput{&obj, page});
+        }
+      } else {
+        for (const SpatialObject& obj : data->objects) {
+          if (region.Intersects(obj.Bounds())) {
+            file_objects_.push_back(GraphInput{&obj, page});
+          }
+        }
+      }
+    }
+    q.result_objects = file_objects_.size();
+    for (const GraphInput& g : file_objects_) {
+      hash = HashResultObject(hash, *g.object, g.page);
+      if (options.collect_results) stats.results.back().push_back(*g.object);
+    }
+    q.wall_response_us = q_sw.ElapsedMicros();
+
+    // --- Predict + capture the plan. ---------------------------------
+    QueryResultView view;
+    view.region = &region;
+    view.objects = std::span<const GraphInput>(file_objects_);
+    view.pages = std::span<const PageId>(prep.pages);
+    prefetcher_->Observe(view);
+    file_plan_.clear();
+    FilePlanIo io(this, config_.io.prefetch_budget_pages, &file_plan_);
+    prefetcher_->RunPrefetch(&io);
+    q.prefetch_planned = file_plan_.size();
+
+    // --- Fetch the plan. The logical Insert happens at the same
+    // operation position in both modes; only the bytes' transport
+    // differs. Async transport is HYBRID: until the next query arrives
+    // (think_time_us after the response) the executor is idle anyway —
+    // sync spends exactly that gap fetching inline — so leading plan
+    // pages are read inline here and only the overflow is handed to
+    // the worker. The two device channels (executor + worker) then
+    // fetch concurrently, and the pages the next query touches first
+    // are the ones guaranteed present. -------------------------------
+    for (PageId page : file_plan_) {
+      cache_->Insert(page);
+      stats.prefetch_order.push_back(page);
+      const bool think_gap_spent =
+          q_sw.ElapsedMicros() - q.wall_response_us >=
+          config_.io.think_time_us;
+      if (pipeline != nullptr && think_gap_spent) {
+        while (!pipeline->TryEnqueue(page)) {
+          // Backpressure: drain completions (serially, here) until the
+          // in-flight budget frees a slot. Predictions are never
+          // dropped, preserving the superset-ordering contract.
+          AsyncFetchResult r;
+          if (pipeline->TryDrainOne(&r)) {
+            ApplyCompletion(std::move(r), &q);
+          } else {
+            std::this_thread::sleep_for(kAwaitPoll);
+          }
+        }
+      } else {
+        Page tmp;
+        const Status st = store->ReadPage(page, &tmp);
+        if (!st.ok()) {
+          ++q.faults_seen;
+          cache_->Erase(page);  // Mirrors the async failed-completion path.
+        } else if (frames_[page] == nullptr) {
+          frames_[page] = std::make_unique<Page>(std::move(tmp));
+        }
+      }
+    }
+
+    // --- Think time: the user issues the next query think_time_us
+    // after seeing the response. Prediction and (sync) plan fetching
+    // run inside that gap and delay the next query when they overrun
+    // it — the overrun is exactly what async mode hides. -------------
+    const int64_t after_response = q_sw.ElapsedMicros() - q.wall_response_us;
+    if (config_.io.think_time_us > after_response) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.io.think_time_us - after_response));
+    }
+    q.wall_total_us = q_sw.ElapsedMicros();
+    stats.queries.push_back(q);
+  }
+
+  if (pipeline != nullptr) {
+    // Quiesce: let the worker finish the final plan, then apply the
+    // remaining completions on this thread.
+    pipeline->WaitWorkerIdle();
+    FileQueryStats* tail =
+        stats.queries.empty() ? nullptr : &stats.queries.back();
+    AsyncFetchResult r;
+    while (pipeline->TryDrainOne(&r)) ApplyCompletion(std::move(r), tail);
+    // Superset-ordering contract: the worker issued exactly the
+    // non-inline plan pages, in plan order — its log must be a
+    // subsequence of the plan.
+    assert(IsSubsequence(pipeline->IssueLog(), stats.prefetch_order));
+    pipeline->Stop();
+  }
+  if (!owns_cache()) cache_->SetActiveSession(PrefetchCache::kNoSession);
+  stats.result_hash = hash;
+  stats.wall_total_us = total_sw.ElapsedMicros();
   return stats;
 }
 

@@ -17,6 +17,10 @@
 
 namespace scout {
 
+class FilePageStore;          // storage/file_page_store.h
+class AsyncPrefetchPipeline;  // prefetch/async_pipeline.h
+struct AsyncFetchResult;      // prefetch/async_pipeline.h
+
 /// Degraded-mode serving policy: what a session does when the storage
 /// layer reports transient failures (see FaultSchedule). All budgets are
 /// simulated time, so policy decisions are bit-identical across reruns
@@ -91,6 +95,96 @@ struct SharedServingConfig {
   }
 };
 
+/// Which backend serves page reads.
+enum class IoBackend {
+  /// DiskModel/SharedDiskQueue simulated time — the deterministic
+  /// oracle; every published figure's simulated metrics come from here.
+  kSimulated,
+  /// FilePageStore real reads (RunSequenceFile): wall-clock measured
+  /// serving over an on-disk page file.
+  kFile,
+};
+
+/// Real-I/O serving configuration (consulted only by RunSequenceFile).
+struct FileIoConfig {
+  IoBackend backend = IoBackend::kSimulated;
+  /// The on-disk page store to serve from. Borrowed, never owned;
+  /// required when backend == kFile.
+  FilePageStore* store = nullptr;
+  /// Decoupled async prefetching: plan pages are enqueued to a
+  /// dedicated fetch worker instead of being fetched inline, so fetch
+  /// overlaps prediction, think time and the next query's execution.
+  bool async_prefetch = false;
+  /// Prefetch budget per window, in pages. The file backend has no
+  /// simulated clock, so the window is bounded by page count rather
+  /// than simulated time — fixed at a budget so sync and async modes
+  /// plan identical fetch sets (the differential contract).
+  size_t prefetch_budget_pages = 16;
+  /// Async pipeline in-flight bound (pages accepted but not yet
+  /// drained); enqueueing backpressures beyond it.
+  size_t max_in_flight = 64;
+  /// Emulated user think time between response delivery and the next
+  /// query (wall microseconds). The sync path fetches its plan inside
+  /// this gap and overruns it when the plan is slow; the async path
+  /// always sleeps the full gap while the worker fetches.
+  int64_t think_time_us = 0;
+};
+
+/// Per-query measurements of a real-I/O (file backend) run. Counters
+/// (pages, hits, demand reads, faults) are deterministic at a fixed
+/// configuration; wall_* fields are measured time.
+struct FileQueryStats {
+  size_t pages_total = 0;
+  size_t pages_hit = 0;       ///< Logical prefetch-cache hits.
+  size_t result_objects = 0;
+  size_t demand_reads = 0;    ///< Reads issued for logical misses.
+  size_t prefetch_planned = 0;  ///< Plan pages fetched/enqueued.
+  size_t late_hit_waits = 0;  ///< Hits whose bytes were still in flight.
+  uint64_t faults_seen = 0;
+  uint32_t retries = 0;
+  StatusCode outcome = StatusCode::kOk;
+  int64_t wall_response_us = 0;  ///< Demand I/O + decode + filter.
+  int64_t wall_total_us = 0;     ///< Response + prediction + fetch/think.
+};
+
+/// Whole-sequence measurements of a real-I/O run.
+struct FileSequenceStats {
+  std::vector<FileQueryStats> queries;
+  int64_t wall_total_us = 0;
+  /// FNV-1a over every query's decoded result objects, in order: the
+  /// bit-identity fingerprint the differential tests compare across
+  /// backends and modes.
+  uint64_t result_hash = 0;
+  /// Pages in the order prefetch reads were ISSUED (executor order in
+  /// sync mode, fetch-worker order in async mode).
+  std::vector<PageId> prefetch_order;
+  /// Pages in the order demand reads were issued.
+  std::vector<PageId> demand_order;
+  /// Decoded result objects per query; filled only when
+  /// FileRunOptions::collect_results is set (tests).
+  std::vector<std::vector<SpatialObject>> results;
+
+  double CacheHitRatePct() const;
+  size_t TotalPagesTotal() const;
+  size_t TotalPagesHit() const;
+  size_t TotalDemandReads() const;
+  size_t TotalPrefetchPlanned() const;
+  size_t TotalLateHitWaits() const;
+  uint64_t TotalFaultsSeen() const;
+  uint32_t TotalRetries() const;
+  size_t UnavailableQueries() const;
+};
+
+/// Options of one RunSequenceFile call.
+struct FileRunOptions {
+  /// Keep the prefetch cache and decoded frames from the previous run
+  /// (the "warm cache" scenario); default is a cold start.
+  bool warm_start = false;
+  /// Copy every query's decoded result objects into
+  /// FileSequenceStats::results (tests only; benches keep it off).
+  bool collect_results = false;
+};
+
 /// Executor configuration. The prefetch window follows the paper's model
 /// (§7.2): if d is the time to retrieve one query's data cold from disk
 /// and u the user/compute time on the result, the window ratio is
@@ -124,6 +218,10 @@ struct ExecutorConfig {
   /// fault_differential_test). The executor attaches it to its private
   /// DiskModel; the owning engine attaches it to shared disk queues.
   const FaultSchedule* fault_schedule = nullptr;
+  /// Real-I/O backend switch (RunSequenceFile only; the simulated
+  /// paths never consult it, so attaching a file store changes no
+  /// simulated metric).
+  FileIoConfig io;
 };
 
 /// Runs guided query sequences against an index + simulated disk +
@@ -205,12 +303,40 @@ class QueryExecutor {
   SequenceRunStats RunSequence(std::span<const Region> queries,
                                std::span<const PreparedQuery> preps);
 
+  /// Executes one sequence over the REAL-I/O backend (config().io must
+  /// name a FilePageStore): result pages are decoded from the on-disk
+  /// page file, the prefetch cache tracks the same logical plan as the
+  /// simulated path, and wall-clock serving time is measured. With
+  /// io.async_prefetch the plan is fetched by a decoupled worker
+  /// (prefetch overlaps execution); without it, fetches block the query
+  /// loop. Both modes drive the prefetch cache through an identical
+  /// logical operation sequence, so hits, fetch sets and decoded
+  /// results are bit-identical between them (fault-free; pinned by
+  /// engine_async_differential_test). Single-stream executors only
+  /// (owned cache, private disk).
+  FileSequenceStats RunSequenceFile(std::span<const Region> queries);
+  FileSequenceStats RunSequenceFile(std::span<const Region> queries,
+                                    const FileRunOptions& options);
+
+  /// FNV-1a fold of one result object (raw double bits + ids + page):
+  /// the fingerprint primitive behind FileSequenceStats::result_hash.
+  /// Exposed so tests and benches hash a simulated-oracle result set
+  /// with the exact same encoding.
+  static uint64_t HashResultObject(uint64_t h, const SpatialObject& obj,
+                                   PageId page);
+  /// Folds a whole Prepare() result (the simulated oracle's objects).
+  static uint64_t HashPreparedObjects(uint64_t h,
+                                      std::span<const GraphInput> objects);
+  /// Seed of the result-hash fold.
+  static constexpr uint64_t kResultHashSeed = 1469598103934665603ull;
+
   const PrefetchCache& cache() const { return *cache_; }
   const DiskModel& disk() const { return disk_; }
   bool owns_cache() const { return owned_cache_ != nullptr; }
 
  private:
   class WindowIo;
+  class FilePlanIo;
 
   /// Cold-read cost of the given pages in sorted order (first page
   /// random, then sequential whenever physically adjacent).
@@ -248,6 +374,26 @@ class QueryExecutor {
   SimMicros ReadDemandPageWithRetries(PageId page, SimMicros spent_so_far,
                                       QueryRunStats* q, bool* ok);
 
+  // ---- Real-I/O (file backend) serving; see RunSequenceFile. --------
+
+  /// Applies one async completion on the executor thread: decoded bytes
+  /// land in frames_; a failed fetch erases the page's logical cache
+  /// entry (it never arrived). Returns status.ok(). The worker never
+  /// touches the cache — this is the serial-apply seam.
+  bool ApplyCompletion(AsyncFetchResult&& r, FileQueryStats* q);
+
+  /// Bytes of a logically-cached page: served from frames_, or (async)
+  /// awaited from the in-flight pipeline, draining completions while
+  /// waiting. Null when the page's fetch failed (caller demand-reads).
+  const Page* AwaitFramePage(PageId page, AsyncPrefetchPipeline* pipeline,
+                             FileQueryStats* q);
+
+  /// Demand read with retries (fault_policy.max_retries), promoted past
+  /// the prediction backlog in async mode. Null after retry exhaustion
+  /// (outcome is set on `q`).
+  const Page* DemandReadFilePage(PageId page, AsyncPrefetchPipeline* pipeline,
+                                 FileQueryStats* q, FileSequenceStats* stats);
+
   const SpatialIndex* index_;
   Prefetcher* prefetcher_;
   ExecutorConfig config_;
@@ -268,6 +414,18 @@ class QueryExecutor {
                                     ///< instant of the stream's timeline.
   std::vector<PageId> retry_failed_;  ///< Failed-page scratch buffer.
   std::vector<PageId> retry_pages_;   ///< Retry-batch scratch buffer.
+
+  // ---- Real-I/O (file backend) state; live only inside
+  // RunSequenceFile runs. -------------------------------------------
+  /// Decoded-page frames, indexed by PageId: the data plane of file
+  /// serving. The PrefetchCache stays the (logical) metadata plane that
+  /// decides which reads happen; frames just hold bytes that already
+  /// arrived, so entries are never invalidated (the page file is
+  /// immutable for the life of a sequence) and result-object pointers
+  /// stay stable for the prefetcher's Observe.
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::vector<PageId> file_plan_;     ///< Plan-capture scratch buffer.
+  std::vector<GraphInput> file_objects_;  ///< Result scratch buffer.
 };
 
 }  // namespace scout

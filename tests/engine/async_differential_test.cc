@@ -1,0 +1,301 @@
+// Differential tests of real-I/O serving (RunSequenceFile): the async
+// decoupled pipeline must be BIT-IDENTICAL to the synchronous file path
+// — same result hash, same logical-cache behaviour, same fetch plan in
+// the same order — and the synchronous file path must reproduce the
+// in-memory oracle exactly. Wall-clock is deliberately not asserted
+// here (bench/fig_wallclock measures it); these tests pin correctness.
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/query_executor.h"
+#include "geom/aabb.h"
+#include "gtest/gtest.h"
+#include "index/rtree.h"
+#include "prefetch/scout_prefetcher.h"
+#include "storage/cache.h"
+#include "storage/fault_model.h"
+#include "storage/file_page_store.h"
+#include "testing/test_util.h"
+
+namespace scout {
+namespace {
+
+class AsyncDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto objects = testing::MakeFiber(Vec3(5, 50, 50), Vec3(1, 0, 0), 150,
+                                      2.0, 0, 0, 41);
+    auto clutter = testing::MakeRandomObjects(
+        1500, Aabb(Vec3(0, 0, 0), Vec3(320, 100, 100)), 42);
+    for (auto& obj : clutter) {
+      obj.id += 10000;
+      objects.push_back(obj);
+    }
+    auto built = RTreeIndex::Build(objects);
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    index_ = std::move(built).value();
+    path_ = ::testing::TempDir() + "scout_diff_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".pages";
+    const Status st = FilePageStore::WriteFile(index_->store(), path_);
+    ASSERT_TRUE(st.ok()) << st.message();
+  }
+
+  std::vector<Region> Sequence(size_t n) const {
+    std::vector<Region> queries;
+    for (size_t q = 0; q < n; ++q) {
+      queries.push_back(
+          Region::CubeAt(Vec3(30.0 + 20.0 * q, 50, 50), 8000.0));
+    }
+    return queries;
+  }
+
+  std::unique_ptr<FilePageStore> OpenStore() {
+    auto opened = FilePageStore::Open(path_, store_options_);
+    EXPECT_TRUE(opened.ok()) << opened.status().message();
+    return std::move(opened).value();
+  }
+
+  ExecutorConfig FileConfig(FilePageStore* store, bool async) const {
+    ExecutorConfig config;
+    config.io.backend = IoBackend::kFile;
+    config.io.store = store;
+    config.io.async_prefetch = async;
+    config.io.prefetch_budget_pages = 8;
+    config.io.think_time_us = think_us_;
+    return config;
+  }
+
+  /// One cold run over a fresh store + fresh prefetcher (both modes are
+  /// stateful, so reruns must not share them). Returns the stats and,
+  /// via `store_out`, the store (for its fetch log).
+  FileSequenceStats Run(bool async, std::span<const Region> queries,
+                        const FileRunOptions& options,
+                        std::unique_ptr<FilePageStore>* store_out) {
+    *store_out = OpenStore();
+    (*store_out)->EnableFetchLog();
+    ScoutPrefetcher prefetcher{ScoutConfig{}};
+    QueryExecutor executor(index_.get(), &prefetcher,
+                           FileConfig(store_out->get(), async));
+    return executor.RunSequenceFile(queries, options);
+  }
+
+  std::unique_ptr<RTreeIndex> index_;
+  std::string path_;
+  /// Think gap used by FileConfig. 0 routes every async plan page
+  /// through the worker; > 0 engages the hybrid transport (leading
+  /// plan pages fetched inline on the executor).
+  int64_t think_us_ = 0;
+  FilePageStoreOptions store_options_;
+};
+
+std::vector<PageId> Sorted(std::vector<PageId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST_F(AsyncDifferentialTest, SyncFileMatchesInMemoryOracle) {
+  const auto queries = Sequence(10);
+  FileRunOptions options;
+  options.collect_results = true;
+  std::unique_ptr<FilePageStore> store;
+  const FileSequenceStats stats = Run(/*async=*/false, queries, options,
+                                      &store);
+
+  // Oracle: Prepare() on the in-memory index, hashed through the same
+  // fingerprint the file path folds as it serves.
+  uint64_t oracle_hash = QueryExecutor::kResultHashSeed;
+  QueryExecutor::PreparedQuery prep;
+  ASSERT_EQ(stats.results.size(), queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryExecutor::Prepare(*index_, queries[qi], &prep);
+    oracle_hash = QueryExecutor::HashPreparedObjects(
+        oracle_hash, std::span<const GraphInput>(prep.objects));
+    // Value-level comparison, object for object, in order.
+    ASSERT_EQ(stats.results[qi].size(), prep.objects.size()) << "query " << qi;
+    for (size_t i = 0; i < prep.objects.size(); ++i) {
+      EXPECT_EQ(stats.results[qi][i].id, prep.objects[i].object->id);
+    }
+    EXPECT_EQ(stats.queries[qi].result_objects, prep.objects.size());
+    EXPECT_EQ(stats.queries[qi].outcome, StatusCode::kOk);
+  }
+  EXPECT_EQ(stats.result_hash, oracle_hash);
+  EXPECT_GT(stats.TotalPagesHit(), 0u) << "prefetching never hit";
+}
+
+TEST_F(AsyncDifferentialTest, AsyncIsBitIdenticalToSync) {
+  const auto queries = Sequence(10);
+  std::unique_ptr<FilePageStore> sync_store;
+  std::unique_ptr<FilePageStore> async_store;
+  const FileSequenceStats sync_stats =
+      Run(/*async=*/false, queries, FileRunOptions{}, &sync_store);
+  const FileSequenceStats async_stats =
+      Run(/*async=*/true, queries, FileRunOptions{}, &async_store);
+
+  EXPECT_EQ(async_stats.result_hash, sync_stats.result_hash);
+
+  // The logical cache plane is driven through the identical operation
+  // sequence in both modes, so every logical counter matches per query.
+  ASSERT_EQ(async_stats.queries.size(), sync_stats.queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const FileQueryStats& s = sync_stats.queries[qi];
+    const FileQueryStats& a = async_stats.queries[qi];
+    EXPECT_EQ(a.pages_total, s.pages_total) << "query " << qi;
+    EXPECT_EQ(a.pages_hit, s.pages_hit) << "query " << qi;
+    EXPECT_EQ(a.demand_reads, s.demand_reads) << "query " << qi;
+    EXPECT_EQ(a.prefetch_planned, s.prefetch_planned) << "query " << qi;
+    EXPECT_EQ(a.result_objects, s.result_objects) << "query " << qi;
+    EXPECT_EQ(a.outcome, StatusCode::kOk);
+  }
+
+  // Superset-ordering contract: both modes issue the identical plan in
+  // the identical order (the worker's issue log is a subsequence of it,
+  // asserted inside the engine), and demand reads promote in the same
+  // order; fault-free, the global fetch multisets coincide exactly.
+  EXPECT_EQ(async_stats.prefetch_order, sync_stats.prefetch_order);
+  EXPECT_EQ(async_stats.demand_order, sync_stats.demand_order);
+  EXPECT_GT(sync_stats.prefetch_order.size(), 0u);
+  EXPECT_EQ(Sorted(async_store->FetchLog()), Sorted(sync_store->FetchLog()));
+}
+
+TEST_F(AsyncDifferentialTest, HybridInlineTransportKeepsBitIdentity) {
+  // A non-zero think gap engages the hybrid transport: the async
+  // executor fetches leading plan pages inline and hands only the
+  // overflow to the worker. The inline/worker split point is
+  // timing-dependent run to run, but it must never be observable:
+  // results, logical counters, plan order, and the global fetch
+  // multiset all stay bit-identical to sync serving.
+  think_us_ = 400;
+  // A real per-read latency makes the gap actually fill up, so the run
+  // exercises both halves of the hybrid (inline prefix AND worker
+  // overflow) instead of fetching everything inline instantly.
+  store_options_.device_latency_us = 100;
+  const auto queries = Sequence(10);
+  std::unique_ptr<FilePageStore> sync_store;
+  std::unique_ptr<FilePageStore> async_store;
+  const FileSequenceStats sync_stats =
+      Run(/*async=*/false, queries, FileRunOptions{}, &sync_store);
+  const FileSequenceStats async_stats =
+      Run(/*async=*/true, queries, FileRunOptions{}, &async_store);
+
+  EXPECT_EQ(async_stats.result_hash, sync_stats.result_hash);
+  EXPECT_EQ(async_stats.prefetch_order, sync_stats.prefetch_order);
+  EXPECT_EQ(async_stats.demand_order, sync_stats.demand_order);
+  EXPECT_EQ(Sorted(async_store->FetchLog()), Sorted(sync_store->FetchLog()));
+  ASSERT_EQ(async_stats.queries.size(), sync_stats.queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_EQ(async_stats.queries[qi].pages_hit,
+              sync_stats.queries[qi].pages_hit);
+    EXPECT_EQ(async_stats.queries[qi].demand_reads,
+              sync_stats.queries[qi].demand_reads);
+    EXPECT_EQ(async_stats.queries[qi].result_objects,
+              sync_stats.queries[qi].result_objects);
+  }
+}
+
+TEST_F(AsyncDifferentialTest, AsyncRerunsAreDeterministic) {
+  const auto queries = Sequence(8);
+  std::unique_ptr<FilePageStore> store_a;
+  std::unique_ptr<FilePageStore> store_b;
+  const FileSequenceStats a =
+      Run(/*async=*/true, queries, FileRunOptions{}, &store_a);
+  const FileSequenceStats b =
+      Run(/*async=*/true, queries, FileRunOptions{}, &store_b);
+
+  EXPECT_EQ(a.result_hash, b.result_hash);
+  EXPECT_EQ(a.prefetch_order, b.prefetch_order);
+  EXPECT_EQ(a.demand_order, b.demand_order);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t qi = 0; qi < a.queries.size(); ++qi) {
+    EXPECT_EQ(a.queries[qi].pages_hit, b.queries[qi].pages_hit);
+    EXPECT_EQ(a.queries[qi].demand_reads, b.queries[qi].demand_reads);
+    EXPECT_EQ(a.queries[qi].prefetch_planned, b.queries[qi].prefetch_planned);
+  }
+}
+
+TEST_F(AsyncDifferentialTest, WarmRerunHitsCacheAndKeepsResults) {
+  const auto queries = Sequence(8);
+  auto store = OpenStore();
+  ScoutPrefetcher prefetcher{ScoutConfig{}};
+  QueryExecutor executor(index_.get(), &prefetcher,
+                         FileConfig(store.get(), /*async=*/true));
+  const FileSequenceStats cold = executor.RunSequenceFile(queries);
+  FileRunOptions warm_options;
+  warm_options.warm_start = true;
+  const FileSequenceStats warm =
+      executor.RunSequenceFile(queries, warm_options);
+
+  EXPECT_EQ(warm.result_hash, cold.result_hash);
+  EXPECT_GE(warm.TotalPagesHit(), cold.TotalPagesHit());
+  EXPECT_LE(warm.TotalDemandReads(), cold.TotalDemandReads());
+}
+
+// Satellite regression: async completions must be applied serially on
+// the executor thread, so a shared cache's SetActiveSession attribution
+// can never race the fetch worker. Runs under TSan in CI (tier1), where
+// a worker-side cache mutation would fire instantly; the debug-mode
+// ScopedWriter guard inside PrefetchCache checks the same invariant.
+TEST_F(AsyncDifferentialTest, SharedCacheAttributionUnderAsyncServing) {
+  const auto queries = Sequence(8);
+  auto store = OpenStore();
+  PrefetchCache shared(64ull << 20);
+  shared.ConfigureSharing(2);
+  ScoutPrefetcher prefetcher{ScoutConfig{}};
+  QueryExecutor executor(index_.get(), &prefetcher,
+                         FileConfig(store.get(), /*async=*/true), &shared);
+  const FileSequenceStats stats = executor.RunSequenceFile(queries);
+
+  EXPECT_GT(stats.result_hash, 0u);
+  EXPECT_EQ(stats.UnavailableQueries(), 0u);
+  // Every insert the sequence performed was attributed to session 0.
+  EXPECT_GT(shared.session_stats()[0].inserts, 0u);
+  EXPECT_EQ(shared.session_stats()[1].inserts, 0u);
+  // The attribution bracket was closed on exit.
+  EXPECT_EQ(shared.active_session(), PrefetchCache::kNoSession);
+}
+
+// Fault-storm soak over the file backend: serving degrades to partial
+// results but never crashes, wedges, or loses the sequence; and the
+// single-threaded sync path replays the identical degraded run on a
+// fresh store (the op-counter fault timeline is deterministic).
+TEST_F(AsyncDifferentialTest, FaultStormSoakServesDegraded) {
+  const auto queries = Sequence(10);
+  FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.read_failure_prob = 0.25;
+  cfg.read_failure_burst_us = 1000;
+  const FaultSchedule faults(cfg);
+
+  auto run = [&](bool async) {
+    auto store = OpenStore();
+    store->AttachFaults(&faults);
+    ScoutPrefetcher prefetcher{ScoutConfig{}};
+    QueryExecutor executor(index_.get(), &prefetcher,
+                           FileConfig(store.get(), async));
+    FileSequenceStats stats = executor.RunSequenceFile(queries);
+    EXPECT_EQ(stats.queries.size(), queries.size());
+    return stats;
+  };
+
+  const FileSequenceStats sync_a = run(/*async=*/false);
+  const FileSequenceStats sync_b = run(/*async=*/false);
+  EXPECT_EQ(sync_a.result_hash, sync_b.result_hash);
+  EXPECT_EQ(sync_a.TotalFaultsSeen(), sync_b.TotalFaultsSeen());
+  EXPECT_EQ(sync_a.TotalRetries(), sync_b.TotalRetries());
+  EXPECT_GT(sync_a.TotalFaultsSeen(), 0u) << "storm did not fire";
+
+  // Async under faults: thread interleaving may shift which attempt a
+  // burst hits, so only robustness (not bit-identity) is asserted.
+  const FileSequenceStats async_stats = run(/*async=*/true);
+  QueryExecutor::PreparedQuery prep;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryExecutor::Prepare(*index_, queries[qi], &prep);
+    EXPECT_LE(async_stats.queries[qi].result_objects, prep.objects.size());
+  }
+}
+
+}  // namespace
+}  // namespace scout

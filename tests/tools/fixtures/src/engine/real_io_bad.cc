@@ -1,0 +1,15 @@
+// Lint fixture: raw file/OS I/O outside the whitelisted real-I/O
+// backend TU src/storage/file_page_store.cc.
+// Expected findings: line 8 real-io-isolation (pread call), line 9
+// (fopen call), line 10 (std::ifstream mention). Line 15: Open() and
+// Spread() are word-bounded non-matches and must NOT be flagged.
+
+void RealIoBad(int fd, void* buf) {
+  pread(fd, buf, 4096, 0);
+  fopen("pages.bin", "rb");
+  std::ifstream raw_in;
+}
+
+struct Store { void Open(); double Spread(); };
+
+void NotRealIo(Store& s) { s.Open(); s.Spread(); }

@@ -1,0 +1,10 @@
+// Lint fixture: the same ring endpoint calls as ring_writer_bad.cc,
+// but under the whitelisted pipeline path
+// src/prefetch/async_pipeline.cc — must report zero findings.
+
+struct FakeRing { bool TryPush(int); bool TryPop(int*); };
+
+void RingEndpointsAllowedHere(FakeRing* requests_, FakeRing& completions_) {
+  requests_->TryPush(1);
+  completions_.TryPop(nullptr);
+}

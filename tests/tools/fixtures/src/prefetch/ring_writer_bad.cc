@@ -1,0 +1,15 @@
+// Lint fixture: SPSC ring endpoint calls outside the whitelisted
+// async pipeline TU src/prefetch/async_pipeline.cc.
+// Expected findings: lines 10-12 ring-single-writer (TryPush/TryPop
+// on ring-/requests-/pipe-named receivers). Line 15: the receiver
+// matches no ring key, so it must NOT be flagged.
+
+struct FakeRing { bool TryPush(int); bool TryPop(int*); };
+
+void RingWriterBad(FakeRing* ring_, FakeRing& requests, FakeRing& out_pipe) {
+  ring_->TryPush(1);
+  requests.TryPush(2);
+  out_pipe.TryPop(nullptr);
+}
+
+void NotARingEndpoint(FakeRing& stack) { stack.TryPop(nullptr); }

@@ -1,0 +1,9 @@
+// Lint fixture: the same raw I/O calls as real_io_bad.cc, but under
+// the whitelisted real-I/O backend path
+// src/storage/file_page_store.cc — must report zero findings.
+
+void RealIoAllowedHere(int fd, void* buf) {
+  pread(fd, buf, 4096, 0);
+  fopen("pages.bin", "rb");
+  std::ifstream raw_in;
+}

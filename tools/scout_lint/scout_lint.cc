@@ -88,11 +88,23 @@ const std::vector<RuleInfo> kRules = {
      "disk- or queue-named receiver) outside the whitelisted serving "
      "translation units",
      {"src/"}},
+    {"ring-single-writer",
+     "SPSC ring endpoint call (TryPush/TryPop on a ring/requests/"
+     "completions/pipe-named receiver) outside the whitelisted pipeline "
+     "translation units; a second producer or consumer voids the "
+     "lock-free single-producer/single-consumer contract",
+     {"src/"}},
     {"fault-injection-seam",
      "fault-schedule wiring (AttachFaults on a disk- or queue-named "
      "receiver) outside the storage TUs and the serial apply loop; "
      "scattered attach points would let faults fire outside the "
      "deterministic serving order",
+     {"src/"}},
+    {"real-io-isolation",
+     "file/OS I/O call (open/pread/fstream/...) in src/ outside the "
+     "real-I/O backend TU; everything else serves through the "
+     "PageStore/FilePageStore seams so the simulated oracle stays "
+     "I/O-free",
      {"src/"}},
     {"simd-isolation",
      "raw vector intrinsics (_mm256_* calls or <immintrin.h>) outside "
@@ -146,6 +158,23 @@ const std::vector<const char*> kFaultSeamWhitelist = {
     "src/storage/shared_disk.cc",
     "src/engine/query_executor.cc",
     "src/engine/multi_client_engine.cc",
+};
+
+// Translation units allowed to call SPSC ring endpoints (TryPush /
+// TryPop on a ring-named receiver). The async prefetch pipeline is the
+// only producer AND the only consumer broker: it owns which thread
+// holds each end, which is the whole lock-free contract. A second call
+// site would silently turn SPSC into MPSC and corrupt the ring.
+const std::vector<const char*> kRingWriterWhitelist = {
+    "src/prefetch/async_pipeline.cc",
+};
+
+// The single translation unit in src/ allowed to perform real file/OS
+// I/O. Everything else reads pages through the PageStore/FilePageStore
+// seams, which keeps the simulated oracle I/O-free and makes the
+// backend switch (IoBackend::kSimulated vs kFile) a pure config flag.
+const std::vector<const char*> kRealIoWhitelist = {
+    "src/storage/file_page_store.cc",
 };
 
 // The single translation unit allowed to touch raw vector intrinsics:
@@ -353,6 +382,7 @@ class FileScanner {
     CheckDeterminism();
     CheckLayering();
     CheckSingleWriter();
+    CheckRealIoIsolation();
     CheckSimdIsolation();
     CheckHygiene();
     return true;
@@ -554,6 +584,49 @@ class FileScanner {
                     "serving-layer");
     CheckWriterRule("fault-injection-seam", kFaultSeamWhitelist,
                     {"AttachFaults"}, {"disk", "queue"}, "fault-seam");
+    CheckWriterRule("ring-single-writer", kRingWriterWhitelist,
+                    {"TryPush", "TryPop"},
+                    {"ring", "requests", "completions", "pipe"},
+                    "ring-writer");
+  }
+
+  // Real file/OS I/O is confined to the one backend TU; the rest of
+  // src/ reads pages through the PageStore seams. Matched as calls
+  // (token followed by `(`) for the C/POSIX surface plus bare
+  // mentions of the std stream types, which only appear when a TU
+  // opens files itself.
+  void CheckRealIoIsolation() {
+    if (!RuleApplies("real-io-isolation")) return;
+    for (const char* ok : kRealIoWhitelist) {
+      if (rel_ == ok) return;
+    }
+    static const std::vector<const char*> kCallTokens = {
+        "open",  "creat",  "pread",  "pwrite",     "mmap",
+        "munmap", "fopen", "fread",  "fwrite",     "fsync",
+        "fdatasync"};
+    static const std::vector<const char*> kTypeTokens = {
+        "ifstream", "ofstream", "fstream"};
+    for (size_t i = 0; i < stripped_.size(); ++i) {
+      const std::string& s = stripped_[i];
+      const int n = static_cast<int>(i) + 1;
+      for (const char* t : kCallTokens) {
+        ForEachWord(s, t, [&](size_t col) {
+          if (!WordFollowedByParen(s, col, std::string(t).size())) return;
+          Report(n, "real-io-isolation",
+                 std::string(t) +
+                     "() call outside the real-I/O backend TU "
+                     "(src/storage/file_page_store.cc)");
+        });
+      }
+      for (const char* t : kTypeTokens) {
+        ForEachWord(s, t, [&](size_t) {
+          Report(n, "real-io-isolation",
+                 std::string("std::") + t +
+                     " outside the real-I/O backend TU "
+                     "(src/storage/file_page_store.cc)");
+        });
+      }
+    }
   }
 
   void CheckSimdIsolation() {
